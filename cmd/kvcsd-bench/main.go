@@ -1,0 +1,122 @@
+// Command kvcsd-bench regenerates the paper's micro-benchmark figures
+// (Figures 7a, 7b, 8, 9, 10a, 10b and Table I) on the simulator.
+//
+// Usage:
+//
+//	kvcsd-bench -fig all            # every micro figure at default scale
+//	kvcsd-bench -fig 7a -scale 8    # Figure 7a with 8x larger datasets
+//	kvcsd-bench -fig ablations      # the design-choice ablations
+//	kvcsd-bench -config             # print the simulated hardware (Table I)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kvcsd/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all")
+	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	s := bench.DefaultScale().Multiply(*scale)
+	s.Seed = *seed
+	out := os.Stdout
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	want := func(names ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, n := range names {
+			if strings.EqualFold(*fig, n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := false
+	if want("table1", "1") {
+		bench.Table1().Print(out)
+		ran = true
+	}
+	if want("7a", "7b", "7") {
+		a, b, err := bench.Fig7(s)
+		if err != nil {
+			fail(err)
+		}
+		if want("7a", "7") {
+			a.Print(out)
+		}
+		if want("7b", "7") {
+			b.Print(out)
+		}
+		ran = true
+	}
+	if want("8") {
+		t, err := bench.Fig8(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		ran = true
+	}
+	if want("9") {
+		t, err := bench.Fig9(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		ran = true
+	}
+	if want("10a", "10b", "10") {
+		a, b, err := bench.Fig10(s)
+		if err != nil {
+			fail(err)
+		}
+		if want("10a", "10") {
+			a.Print(out)
+		}
+		if want("10b", "10") {
+			b.Print(out)
+		}
+		ran = true
+	}
+	if want("ablations") {
+		type abl struct {
+			name string
+			fn   func(bench.Scale) (*bench.Table, error)
+		}
+		for _, a := range []abl{
+			{"bulk-put", bench.AblationBulkPut},
+			{"kv-separation", bench.AblationKVSeparation},
+			{"striping", bench.AblationStriping},
+			{"deferred-compaction", bench.AblationDeferredCompaction},
+			{"sort-budget", bench.AblationSortBudget},
+			{"ingest-buffer", bench.AblationIngestBuffer},
+			{"consolidated-indexing", bench.AblationConsolidatedIndexing},
+			{"remote-access", bench.AblationRemoteAccess},
+		} {
+			t, err := a.fn(s)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", a.name, err))
+			}
+			t.Print(out)
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,117 @@
+// Command kvcsd-cli drives a simulated KV-CSD device through a scripted
+// key-value session and prints what the device did: keyspace lifecycle,
+// timings of each phase (virtual time), and the device-side statistics.
+// It is the quickest way to watch the deferred-compaction flow end to end.
+//
+// Usage:
+//
+//	kvcsd-cli                      # default session: 100k keys, queries
+//	kvcsd-cli -keys 1000000 -value-size 128
+//	kvcsd-cli -keyspaces 8         # multi-keyspace session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kvcsd"
+	"kvcsd/internal/stats"
+)
+
+func main() {
+	keys := flag.Int("keys", 100000, "keys to insert per keyspace")
+	valueSize := flag.Int("value-size", 32, "value size in bytes")
+	keyspaces := flag.Int("keyspaces", 1, "number of keyspaces (one writer thread each)")
+	queries := flag.Int("queries", 1000, "random point queries per keyspace after compaction")
+	flag.Parse()
+
+	sys := kvcsd.New(nil)
+	err := sys.Run(func(p *kvcsd.Proc) error {
+		// Insert phase: one writer process per keyspace.
+		t0 := p.Now()
+		errs := make([]error, *keyspaces)
+		handles := make([]*kvcsd.Keyspace, *keyspaces)
+		var writers []*kvcsd.Proc
+		for w := 0; w < *keyspaces; w++ {
+			w := w
+			writers = append(writers, sys.Go(fmt.Sprintf("writer-%d", w), func(wp *kvcsd.Proc) {
+				ks, err := sys.Client.CreateKeyspace(wp, fmt.Sprintf("ks-%d", w))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				handles[w] = ks
+				val := make([]byte, *valueSize)
+				for i := 0; i < *keys; i++ {
+					key := kvcsd.Uint64Key(uint64(w)<<48 | uint64(i*2654435761))
+					if err := ks.BulkPut(wp, key, val); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				errs[w] = ks.Compact(wp) // deferred: returns immediately
+			}))
+		}
+		p.Join(writers...)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		writeTime := p.Now() - t0
+		fmt.Printf("insert+compact-invoke: %v  (%d keys x %d keyspaces, %dB values)\n",
+			writeTime, *keys, *keyspaces, *valueSize)
+
+		// Wait out the asynchronous device compaction.
+		t1 := p.Now()
+		for _, ks := range handles {
+			if err := ks.WaitCompacted(p); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("device compaction window: %v (hidden from the application)\n", p.Now()-t1)
+
+		for _, ks := range handles {
+			info, err := ks.Info(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("keyspace %-6s state=%-10s pairs=%-10d zones=%-4d compaction=%v\n",
+				info.Name, info.State, info.Pairs, info.ZoneCount, info.CompactDur)
+		}
+
+		// Query phase.
+		t2 := p.Now()
+		found := 0
+		for w, ks := range handles {
+			for q := 0; q < *queries; q++ {
+				key := kvcsd.Uint64Key(uint64(w)<<48 | uint64((q*7919%*keys)*2654435761))
+				_, ok, err := ks.Get(p, key)
+				if err != nil {
+					return err
+				}
+				if ok {
+					found++
+				}
+			}
+		}
+		total := *queries * *keyspaces
+		fmt.Printf("queries: %d/%d found in %v (%.1fus avg)\n",
+			found, total, p.Now()-t2, float64(p.Now()-t2)/float64(total)/1e3)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvcsd-cli: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\ndevice statistics:\n")
+	fmt.Printf("  media write: %s   media read: %s\n",
+		stats.HumanBytes(sys.Stats.MediaWrite.Value()), stats.HumanBytes(sys.Stats.MediaRead.Value()))
+	fmt.Printf("  host->device: %s  device->host: %s\n",
+		stats.HumanBytes(sys.Stats.HostToDevice.Value()), stats.HumanBytes(sys.Stats.DeviceToHost.Value()))
+	fmt.Printf("  commands: %d  write amplification: %.2f\n",
+		sys.Stats.Commands.Value(), sys.Stats.WriteAmplification())
+	fmt.Printf("  total virtual time: %v\n", sys.Elapsed())
+}

@@ -1,0 +1,70 @@
+// Quickstart: the minimal KV-CSD session — create a keyspace, bulk-insert
+// data, invoke deferred compaction, and query once the device has sorted.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kvcsd"
+)
+
+func main() {
+	sys := kvcsd.New(nil)
+	err := sys.Run(func(p *kvcsd.Proc) error {
+		// 1. Keyspaces are containers of key-value pairs, created on demand.
+		ks, err := sys.Client.CreateKeyspace(p, "quickstart")
+		if err != nil {
+			return err
+		}
+
+		// 2. Insert with bulk puts: pairs accumulate into 128 KiB messages.
+		for i := 0; i < 10000; i++ {
+			key := kvcsd.Uint64Key(uint64(i))
+			value := []byte(fmt.Sprintf("record-%05d", i))
+			if err := ks.BulkPut(p, key, value); err != nil {
+				return err
+			}
+		}
+
+		// 3. Invoke compaction. The call returns immediately — the device
+		// sorts the keyspace asynchronously on its own SoC.
+		t0 := p.Now()
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		fmt.Printf("compaction invoked in %v (application continues)\n", p.Now()-t0)
+
+		// 4. Wait until the keyspace is queryable, then read back.
+		if err := ks.WaitCompacted(p); err != nil {
+			return err
+		}
+		fmt.Printf("device finished sorting at t=%v\n", p.Now())
+
+		v, ok, err := ks.Get(p, kvcsd.Uint64Key(1234))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("point query: found=%v value=%q\n", ok, v)
+
+		pairs, err := ks.Scan(p, kvcsd.Uint64Key(100), kvcsd.Uint64Key(110), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("range query [100,110): %d pairs, first=%q\n", len(pairs), pairs[0].Value)
+
+		info, err := ks.Info(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("keyspace: state=%s pairs=%d zones=%d device-compaction=%v\n",
+			info.State, info.Pairs, info.ZoneCount, info.CompactDur)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total virtual time: %v\n", sys.Elapsed())
+}

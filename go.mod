@@ -1,0 +1,3 @@
+module kvcsd
+
+go 1.22

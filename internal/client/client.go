@@ -1,0 +1,357 @@
+// Package client is the host-side KV-CSD client library (paper §I, IV): a
+// thin userspace driver that packs key-value calls into NVMe commands, ships
+// them over PCIe with DMA, and waits for completions — bypassing the host
+// kernel, filesystem, and block layer entirely.
+//
+// The library supports regular and bulk PUTs. Bulk PUTs accumulate pairs
+// into 128 KiB messages ("each bulk put message is 128KB ... up to 2570
+// key-value pairs"), amortizing per-command latency.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/pcie"
+	"kvcsd/internal/sim"
+)
+
+// ErrNotFound reports a missing key or keyspace.
+var ErrNotFound = errors.New("client: not found")
+
+// BulkMessageBytes is the bulk PUT message size from the paper.
+const BulkMessageBytes = 128 << 10
+
+// perCommandCost is the host CPU cost of assembling and ringing one NVMe
+// command from userspace (no kernel crossing).
+const perCommandCost = 500 * time.Nanosecond
+
+// Client is a host-side connection to one KV-CSD device.
+type Client struct {
+	h     *host.Host
+	link  *pcie.Link
+	queue *nvme.QueuePair
+}
+
+// New binds a client to a device using the host's CPU for packing costs.
+func New(h *host.Host, dev *device.Device) *Client {
+	return &Client{h: h, link: dev.Link(), queue: dev.Queue()}
+}
+
+// roundTrip sends one command and waits for its completion, charging packing
+// CPU and both PCIe directions.
+func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, error) {
+	c.h.Compute(p, perCommandCost)
+	size := cmd.WireSize()
+	c.h.Copy(p, size-64) // payload staging copy (command header is free)
+	c.link.Transfer(p, pcie.HostToDevice, size)
+	handle := c.queue.Submit(p, cmd)
+	comp := handle.Wait(p)
+	c.link.Transfer(p, pcie.DeviceToHost, comp.WireSize())
+	return comp, comp.Status.Err()
+}
+
+// CreateKeyspace creates a keyspace and returns a handle to it.
+func (c *Client) CreateKeyspace(p *sim.Proc, name string) (*Keyspace, error) {
+	if _, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpCreateKeyspace, Keyspace: name}); err != nil {
+		return nil, err
+	}
+	return &Keyspace{c: c, name: name}, nil
+}
+
+// OpenKeyspace returns a handle to an existing keyspace.
+func (c *Client) OpenKeyspace(p *sim.Proc, name string) (*Keyspace, error) {
+	comp, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpOpenKeyspace, Keyspace: name})
+	if err != nil {
+		if comp != nil && comp.Status == nvme.StatusNotFound {
+			return nil, fmt.Errorf("%w: keyspace %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	return &Keyspace{c: c, name: name}, nil
+}
+
+// DeleteKeyspace removes a keyspace and all its data.
+func (c *Client) DeleteKeyspace(p *sim.Proc, name string) error {
+	_, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpDeleteKeyspace, Keyspace: name})
+	return err
+}
+
+// Keyspace is a handle for operations on one keyspace.
+type Keyspace struct {
+	c    *Client
+	name string
+
+	bulk      []nvme.KVPair
+	bulkBytes int64
+}
+
+// Name returns the keyspace name.
+func (k *Keyspace) Name() string { return k.name }
+
+// Put stores a single pair with one command (the paper's regular PUT).
+// Staged bulk pairs are flushed first so device order matches program order.
+func (k *Keyspace) Put(p *sim.Proc, key, value []byte) error {
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	_, err := k.c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpStore,
+		Keyspace: k.name,
+		Key:      append([]byte(nil), key...),
+		Value:    append([]byte(nil), value...),
+	})
+	return err
+}
+
+// Delete removes a key with one command. The device records a tombstone;
+// the key (and everything older under it) vanishes at compaction. Staged
+// bulk pairs are flushed first so device order matches program order.
+func (k *Keyspace) Delete(p *sim.Proc, key []byte) error {
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	_, err := k.c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpDelete,
+		Keyspace: k.name,
+		Key:      append([]byte(nil), key...),
+	})
+	return err
+}
+
+// BulkDelete stages a deletion into the current bulk message (the paper's
+// bulk deletes share the bulk-put transport).
+func (k *Keyspace) BulkDelete(p *sim.Proc, key []byte) error {
+	k.bulk = append(k.bulk, nvme.KVPair{
+		Key:       append([]byte(nil), key...),
+		Tombstone: true,
+	})
+	k.bulkBytes += int64(len(key) + 8)
+	if k.bulkBytes >= BulkMessageBytes {
+		return k.Flush(p)
+	}
+	return nil
+}
+
+// BulkPut stages a pair into the current 128 KiB bulk message, sending it
+// when full. Call Flush to push a final partial message.
+func (k *Keyspace) BulkPut(p *sim.Proc, key, value []byte) error {
+	k.bulk = append(k.bulk, nvme.KVPair{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+	k.bulkBytes += int64(len(key) + len(value) + 8)
+	if k.bulkBytes >= BulkMessageBytes {
+		return k.Flush(p)
+	}
+	return nil
+}
+
+// Flush sends any staged bulk pairs.
+func (k *Keyspace) Flush(p *sim.Proc) error {
+	if len(k.bulk) == 0 {
+		return nil
+	}
+	pairs := k.bulk
+	k.bulk = nil
+	k.bulkBytes = 0
+	_, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpBulkStore, Keyspace: k.name, Pairs: pairs})
+	return err
+}
+
+// Sync flushes staged pairs and the device-side ingest buffer.
+func (k *Keyspace) Sync(p *sim.Proc) error {
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	_, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpSync, Keyspace: k.name})
+	return err
+}
+
+// Compact asks the device to sort the keyspace. The call returns as soon as
+// the device acknowledges — compaction continues asynchronously in the
+// device (the paper's deferred, offloaded compaction).
+func (k *Keyspace) Compact(p *sim.Proc) error {
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	_, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpCompact, Keyspace: k.name})
+	return err
+}
+
+// CompactWithIndexes invokes compaction with secondary indexes declared
+// upfront — the consolidated index construction the paper proposes as
+// future work: the device extracts all secondary keys during the
+// compaction's own data pass instead of re-reading the keyspace per index.
+func (k *Keyspace) CompactWithIndexes(p *sim.Proc, specs []IndexSpec) error {
+	if err := k.Flush(p); err != nil {
+		return err
+	}
+	ixs := make([]nvme.SecondaryIndexSpec, len(specs))
+	for i, s := range specs {
+		ixs[i] = nvme.SecondaryIndexSpec{Name: s.Name, Offset: s.Offset, Length: s.Length, Type: s.Type}
+	}
+	_, err := k.c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpCompactWithIndexes,
+		Keyspace: k.name,
+		Indexes:  ixs,
+	})
+	return err
+}
+
+// CompactDone polls whether compaction has finished.
+func (k *Keyspace) CompactDone(p *sim.Proc) (bool, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpCompactStatus, Keyspace: k.name})
+	if err != nil {
+		return false, err
+	}
+	return comp.Done, nil
+}
+
+// WaitCompacted polls until compaction completes.
+func (k *Keyspace) WaitCompacted(p *sim.Proc) error {
+	for {
+		done, err := k.CompactDone(p)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		p.Sleep(5 * time.Millisecond)
+	}
+}
+
+// IndexSpec mirrors the paper's secondary index configuration.
+type IndexSpec struct {
+	Name   string
+	Offset int
+	Length int
+	Type   keyenc.SecondaryType
+}
+
+// BuildSecondaryIndex configures and starts building a secondary index over
+// the given value byte range; the build runs asynchronously in the device.
+func (k *Keyspace) BuildSecondaryIndex(p *sim.Proc, spec IndexSpec) error {
+	_, err := k.c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpBuildSecondaryIndex,
+		Keyspace: k.name,
+		Index: nvme.SecondaryIndexSpec{
+			Name:   spec.Name,
+			Offset: spec.Offset,
+			Length: spec.Length,
+			Type:   spec.Type,
+		},
+	})
+	return err
+}
+
+// IndexBuilt polls whether a secondary index has finished building.
+func (k *Keyspace) IndexBuilt(p *sim.Proc, name string) (bool, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpIndexStatus,
+		Keyspace: k.name,
+		Index:    nvme.SecondaryIndexSpec{Name: name},
+	})
+	if err != nil {
+		return false, err
+	}
+	return comp.Done, nil
+}
+
+// WaitIndexBuilt polls until the named index is ready.
+func (k *Keyspace) WaitIndexBuilt(p *sim.Proc, name string) error {
+	for {
+		done, err := k.IndexBuilt(p, name)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		p.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Get retrieves the value for a key.
+func (k *Keyspace) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpRetrieve, Keyspace: k.name, Key: key})
+	if comp != nil && comp.Status == nvme.StatusNotFound {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return comp.Value, true, nil
+}
+
+// Exist probes for a key without transferring its value.
+func (k *Keyspace) Exist(p *sim.Proc, key []byte) (bool, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpExist, Keyspace: k.name, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return comp.Exists, nil
+}
+
+// Scan returns pairs with lo <= key < hi in key order, capped at limit
+// (0 = all). Only the results cross the PCIe link.
+func (k *Keyspace) Scan(p *sim.Proc, lo, hi []byte, limit int) ([]nvme.KVPair, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{
+		Op:          nvme.OpQueryPrimaryRange,
+		Keyspace:    k.name,
+		Low:         lo,
+		High:        hi,
+		ResultLimit: limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Pairs, nil
+}
+
+// QuerySecondaryRange returns pairs whose secondary key is in [lo, hi),
+// ordered by secondary key. Pair keys are the primary keys.
+func (k *Keyspace) QuerySecondaryRange(p *sim.Proc, index string, lo, hi []byte, limit int) ([]nvme.KVPair, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{
+		Op:          nvme.OpQuerySecondaryRange,
+		Keyspace:    k.name,
+		Index:       nvme.SecondaryIndexSpec{Name: index},
+		Low:         lo,
+		High:        hi,
+		ResultLimit: limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Pairs, nil
+}
+
+// QuerySecondaryPoint returns pairs whose secondary key equals key.
+func (k *Keyspace) QuerySecondaryPoint(p *sim.Proc, index string, key []byte, limit int) ([]nvme.KVPair, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{
+		Op:          nvme.OpQuerySecondaryPoint,
+		Keyspace:    k.name,
+		Index:       nvme.SecondaryIndexSpec{Name: index},
+		Key:         key,
+		ResultLimit: limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Pairs, nil
+}
+
+// Info fetches the keyspace metadata the device tracks.
+func (k *Keyspace) Info(p *sim.Proc) (nvme.KeyspaceInfo, error) {
+	comp, err := k.c.roundTrip(p, &nvme.Command{Op: nvme.OpKeyspaceInfo, Keyspace: k.name})
+	if err != nil {
+		return nvme.KeyspaceInfo{}, err
+	}
+	return comp.Info, nil
+}

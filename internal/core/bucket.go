@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sort"
+
+	"kvcsd/internal/sim"
+)
+
+// bucketWriter partitions records by a uint64 ordering key into contiguous
+// range buckets, each a temp zone cluster written sequentially. Together
+// with a per-bucket in-DRAM sort on read-back, this gives a two-pass
+// distribution sort: the mechanism that lets KV-CSD move value bytes exactly
+// twice during compaction regardless of dataset size, which is the point of
+// key-value separation (paper §V: values are sorted "using the sorted keys"
+// rather than merged through log-many rounds).
+type bucketWriter struct {
+	zm       *ZoneManager
+	width    uint64 // ordering-key span per bucket
+	clusters []*Cluster
+	bufs     [][]byte
+}
+
+// maxBuckets bounds open clusters (and the per-bucket DRAM needed later).
+const maxBuckets = 64
+
+// newBucketWriter sizes buckets to cover [0, total) with spans of at least
+// budget bytes, capped at maxBuckets buckets.
+func newBucketWriter(zm *ZoneManager, total uint64, budget int) *bucketWriter {
+	width := uint64(budget)
+	if width == 0 {
+		width = 1
+	}
+	if n := total / width; n >= maxBuckets {
+		width = (total + maxBuckets - 1) / maxBuckets
+	}
+	return &bucketWriter{zm: zm, width: width}
+}
+
+// add appends an encoded record to the bucket owning ordering key k.
+func (w *bucketWriter) add(p *sim.Proc, k uint64, encoded []byte) error {
+	b := int(k / w.width)
+	for len(w.clusters) <= b {
+		w.clusters = append(w.clusters, w.zm.NewCluster(ZoneTemp))
+		w.bufs = append(w.bufs, nil)
+	}
+	w.bufs[b] = append(w.bufs[b], encoded...)
+	if len(w.bufs[b]) >= 64<<10 {
+		if err := w.clusters[b].Append(p, w.bufs[b]); err != nil {
+			return err
+		}
+		w.bufs[b] = w.bufs[b][:0]
+	}
+	return nil
+}
+
+// finish flushes and seals all buckets.
+func (w *bucketWriter) finish(p *sim.Proc) error {
+	for b, c := range w.clusters {
+		if len(w.bufs[b]) > 0 {
+			if err := c.Append(p, w.bufs[b]); err != nil {
+				return err
+			}
+			w.bufs[b] = nil
+		}
+		if err := c.Seal(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// release returns all bucket zones to the pool.
+func (w *bucketWriter) release(p *sim.Proc) error {
+	for _, c := range w.clusters {
+		if err := c.Release(p); err != nil {
+			return err
+		}
+	}
+	w.clusters = nil
+	return nil
+}
+
+// readBucketSorted loads one bucket fully, decodes its records, sorts them by
+// key, and returns them. The per-bucket size is bounded by the bucket width
+// (plus skew), which newBucketWriter ties to the DRAM budget.
+func readBucketSorted[T any](p *sim.Proc, soc interface {
+	Compute(*sim.Proc, sim.Duration)
+	SortCost(int64) sim.Duration
+}, c *Cluster, codec Codec[T], keyOf func(T) uint64) ([]T, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, nil
+	}
+	sc := newScanner(c, codec, 0)
+	var recs []T
+	for {
+		rec, ok, err := sc.next(p)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	soc.Compute(p, soc.SortCost(int64(len(recs))))
+	sort.SliceStable(recs, func(i, j int) bool { return keyOf(recs[i]) < keyOf(recs[j]) })
+	return recs, nil
+}
+
+// buckets returns the bucket clusters in range order.
+func (w *bucketWriter) buckets() []*Cluster { return w.clusters }

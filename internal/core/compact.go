@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"kvcsd/internal/sim"
+)
+
+// runCompaction executes the paper's two-step deferred compaction on the
+// device (§V, "Compaction"):
+//
+//  1. sort the keys — an external merge sort of the KLOG entries;
+//  2. use the sorted keys to sort the values — compute each value's
+//     destination offset, invert the permutation by sorting destination
+//     entries by VLOG position, then stream the VLOG once, generating runs
+//     sorted by destination and merging them straight into SORTED_VALUES;
+//
+// and then build the PIDX blocks plus the in-memory sketch (one pivot per
+// 4 KiB block). All intermediate runs live in temporarily allocated zone
+// clusters released as the sort proceeds; the original KLOG/VLOG clusters
+// are deleted at the end and replaced by PIDX and SORTED_VALUES.
+func (e *Engine) runCompaction(p *sim.Proc, ks *Keyspace) error {
+	// The done event fires even on error so waiters never deadlock; they
+	// observe the failure through Engine.BackgroundErr.
+	defer ks.compactDone.Signal()
+	return e.compactInto(p, ks, nil)
+}
+
+// compactInto is the compaction pipeline; when onPair is non-nil, every
+// surviving (primary key, value) pair is additionally handed to it in sorted
+// order during the final value pass (consolidated index construction).
+func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, []byte, uint64, []byte) error) error {
+	if err := ks.klog.Seal(p); err != nil {
+		return err
+	}
+	if err := ks.vlog.Seal(p); err != nil {
+		return err
+	}
+
+	// Step 1: sort keys. Ties on equal keys keep the entry with the larger
+	// vlogOff (the most recently inserted duplicate wins). A tombstone does
+	// not advance the VLOG, so it can share a vlogOff with a LATER put of
+	// the same key — on that tie the put is newer and must sort first.
+	keySorter := NewSorter[klogEntry](e.zm, e.soc, e.cfg, klogCodec{}, func(a, b klogEntry) bool {
+		c := bytes.Compare(a.key, b.key)
+		if c != 0 {
+			return c < 0
+		}
+		if a.vlogOff != b.vlogOff {
+			return a.vlogOff > b.vlogOff
+		}
+		return !a.isTombstone() && b.isTombstone()
+	})
+	sortedKeys, err := keySorter.SortCluster(p, ks.klog)
+	if err != nil {
+		return err
+	}
+
+	// Pass over sorted keys: drop duplicate keys, assign destination
+	// offsets, build PIDX blocks + sketch, and scatter destination entries
+	// into buckets by VLOG position (the inverse permutation, bucketed so
+	// the value pass needs no log-round merging).
+	pidx := e.zm.NewCluster(ZonePIDX)
+	pidxW := newBlockWriter(pidx, e.cfg.BlockBytes)
+	destBuckets := newBucketWriter(e.zm, uint64(ks.vlog.Len())+1, e.cfg.SortBudgetBytes)
+	var destOff uint64
+	var livePairs int64
+	var lastKey []byte
+	haveLast := false
+	sc := newScanner(sortedKeys, klogCodec{}, 0)
+	codec := klogCodec{}
+	dcodec := destCodec{}
+	for {
+		rec, ok, err := sc.next(p)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if haveLast && bytes.Equal(rec.key, lastKey) {
+			continue // older duplicate, superseded
+		}
+		lastKey = append(lastKey[:0], rec.key...)
+		haveLast = true
+		if rec.isTombstone() {
+			continue // newest record is a delete: the key vanishes
+		}
+		livePairs++
+		de := destEntry{vlogOff: rec.vlogOff, destOff: destOff, vlen: rec.vlen}
+		if err := destBuckets.add(p, rec.vlogOff, dcodec.Encode(nil, de)); err != nil {
+			return err
+		}
+		entry := codec.Encode(nil, pidxEntry{key: rec.key, vlen: rec.vlen, vlogOff: destOff})
+		if err := pidxW.add(p, entry, rec.key); err != nil {
+			return err
+		}
+		destOff += uint64(rec.vlen)
+	}
+	totalValueBytes := destOff
+	if err := destBuckets.finish(p); err != nil {
+		return err
+	}
+	if err := pidxW.finish(p); err != nil {
+		return err
+	}
+	if err := sortedKeys.Release(p); err != nil {
+		return err
+	}
+
+	// Step 2: sort the values using the sorted keys — a two-pass
+	// distribution sort. Pass one streams the VLOG in order (guided by the
+	// per-bucket destination entries) and scatters values into buckets by
+	// destination; pass two reads each destination bucket, orders it in
+	// DRAM, and appends the raw bytes to SORTED_VALUES. Value bytes move
+	// exactly twice regardless of dataset size — the payoff of key-value
+	// separation.
+	valBuckets := newBucketWriter(e.zm, totalValueBytes+1, e.cfg.SortBudgetBytes)
+	vcodec := valueCodec{}
+	vlogWin := &clusterWindow{c: ks.vlog}
+	for _, db := range destBuckets.buckets() {
+		dents, err := readBucketSorted[destEntry](p, e.soc, db, destCodec{}, func(d destEntry) uint64 { return d.vlogOff })
+		if err != nil {
+			return err
+		}
+		for _, de := range dents {
+			val, err := vlogWin.read(p, int64(de.vlogOff), int(de.vlen))
+			if err != nil {
+				return err
+			}
+			if err := valBuckets.add(p, de.destOff, vcodec.Encode(nil, valueRec{destOff: de.destOff, value: val})); err != nil {
+				return err
+			}
+		}
+	}
+	if err := valBuckets.finish(p); err != nil {
+		return err
+	}
+	if err := destBuckets.release(p); err != nil {
+		return err
+	}
+
+	sorted := e.zm.NewCluster(ZoneSortedValues)
+	writeBuf := make([]byte, 0, 256<<10)
+	var nextDest uint64
+	var cursor *pidxCursor
+	if onPair != nil {
+		cursor = &pidxCursor{e: e, c: pidx}
+	}
+	for _, vb := range valBuckets.buckets() {
+		vrecs, err := readBucketSorted[valueRec](p, e.soc, vb, valueCodec{}, func(v valueRec) uint64 { return v.destOff })
+		if err != nil {
+			return err
+		}
+		for _, vr := range vrecs {
+			if vr.destOff != nextDest {
+				return fmt.Errorf("core: value sort produced gap: dest %d, want %d", vr.destOff, nextDest)
+			}
+			if onPair != nil {
+				ent, err := cursor.next(p)
+				if err != nil {
+					return err
+				}
+				if ent.vlogOff != vr.destOff {
+					return fmt.Errorf("core: pidx/value streams diverged: %d vs %d", ent.vlogOff, vr.destOff)
+				}
+				if err := onPair(p, ent.key, vr.destOff, vr.value); err != nil {
+					return err
+				}
+			}
+			nextDest += uint64(len(vr.value))
+			writeBuf = append(writeBuf, vr.value...)
+			if len(writeBuf) >= 256<<10 {
+				if err := sorted.Append(p, writeBuf); err != nil {
+					return err
+				}
+				writeBuf = writeBuf[:0]
+			}
+		}
+	}
+	if len(writeBuf) > 0 {
+		if err := sorted.Append(p, writeBuf); err != nil {
+			return err
+		}
+	}
+	if err := sorted.Seal(p); err != nil {
+		return err
+	}
+	if err := valBuckets.release(p); err != nil {
+		return err
+	}
+
+	// Replace the logs with the indexed form.
+	if err := ks.klog.Release(p); err != nil {
+		return err
+	}
+	if err := ks.vlog.Release(p); err != nil {
+		return err
+	}
+	ks.klog, ks.vlog = nil, nil
+	ks.pidx = pidx
+	ks.sorted = sorted
+	ks.sketch = pidxW.sketch
+	ks.count = livePairs
+	ks.state = StateCompacted
+	ks.compactFinish = p.Now()
+	return e.mgr.Persist(p)
+}
+
+// pidxCursor walks PIDX entries in block order (used by consolidated index
+// construction to pair primary keys with the streaming sorted values).
+type pidxCursor struct {
+	e        *Engine
+	c        *Cluster
+	blockIdx int64
+	entries  []pidxEntry
+	pos      int
+}
+
+func (cur *pidxCursor) next(p *sim.Proc) (pidxEntry, error) {
+	for cur.entries == nil || cur.pos >= len(cur.entries) {
+		total := cur.c.Len() / int64(cur.e.cfg.BlockBytes)
+		if cur.blockIdx >= total {
+			return pidxEntry{}, fmt.Errorf("core: pidx cursor exhausted")
+		}
+		entries, err := readIndexBlock(p, cur.c, cur.blockIdx, cur.e.cfg.BlockBytes)
+		if err != nil {
+			return pidxEntry{}, err
+		}
+		cur.blockIdx++
+		cur.entries = entries
+		cur.pos = 0
+	}
+	ent := cur.entries[cur.pos]
+	cur.pos++
+	return ent, nil
+}
+
+// clusterWindow reads byte spans from a cluster through a sliding chunked
+// window, turning mostly-ascending access into sequential chunked reads.
+type clusterWindow struct {
+	c      *Cluster
+	win    []byte
+	winOff int64
+}
+
+// read returns n bytes at offset off (copied).
+func (w *clusterWindow) read(p *sim.Proc, off int64, n int) ([]byte, error) {
+	need := int64(n)
+	if off < w.winOff || off+need > w.winOff+int64(len(w.win)) {
+		chunk := int64(256 << 10)
+		if need > chunk {
+			chunk = need
+		}
+		if rem := w.c.Len() - off; chunk > rem {
+			chunk = rem
+		}
+		if chunk < need {
+			return nil, fmt.Errorf("core: cluster truncated at %d", off)
+		}
+		if int64(cap(w.win)) < chunk {
+			w.win = make([]byte, chunk)
+		}
+		w.win = w.win[:chunk]
+		if err := w.c.ReadAt(p, w.win, off); err != nil {
+			return nil, err
+		}
+		w.winOff = off
+	}
+	o := off - w.winOff
+	return append([]byte(nil), w.win[o:o+need]...), nil
+}
+
+// blockWriter packs length-prefixed entries into fixed-size blocks: each
+// block starts with a u16 entry count, entries never span blocks, and the
+// remainder is zero padding. The first key of each block becomes a sketch
+// pivot.
+type blockWriter struct {
+	cluster   *Cluster
+	blockSize int
+	cur       []byte
+	count     uint16
+	blockIdx  int64
+	sketch    []sketchEntry
+}
+
+func newBlockWriter(c *Cluster, blockSize int) *blockWriter {
+	return &blockWriter{cluster: c, blockSize: blockSize}
+}
+
+// add appends one encoded entry, starting a new block when needed.
+func (w *blockWriter) add(p *sim.Proc, entry []byte, firstKey []byte) error {
+	if len(entry)+2 > w.blockSize {
+		return fmt.Errorf("core: index entry of %d bytes exceeds block size %d", len(entry), w.blockSize)
+	}
+	if len(w.cur) > 0 && len(w.cur)+len(entry) > w.blockSize {
+		if err := w.flush(p); err != nil {
+			return err
+		}
+	}
+	if len(w.cur) == 0 {
+		w.cur = append(w.cur, 0, 0) // count placeholder
+		w.sketch = append(w.sketch, sketchEntry{
+			pivot: append([]byte(nil), firstKey...),
+			block: w.blockIdx,
+		})
+	}
+	w.cur = append(w.cur, entry...)
+	w.count++
+	return nil
+}
+
+func (w *blockWriter) flush(p *sim.Proc) error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint16(w.cur[0:], w.count)
+	padded := make([]byte, w.blockSize)
+	copy(padded, w.cur)
+	if err := w.cluster.Append(p, padded); err != nil {
+		return err
+	}
+	w.cur = w.cur[:0]
+	w.count = 0
+	w.blockIdx++
+	return nil
+}
+
+// finish flushes the last block and seals the cluster.
+func (w *blockWriter) finish(p *sim.Proc) error {
+	if err := w.flush(p); err != nil {
+		return err
+	}
+	return w.cluster.Seal(p)
+}
+
+// readIndexBlock reads and decodes one fixed-size index block (no cache).
+func readIndexBlock(p *sim.Proc, c *Cluster, blockIdx int64, blockSize int) ([]pidxEntry, error) {
+	buf := make([]byte, blockSize)
+	if err := c.ReadAt(p, buf, blockIdx*int64(blockSize)); err != nil {
+		return nil, err
+	}
+	return decodePidxBlock(buf)
+}
+
+// decodePidxBlock parses a count-prefixed PIDX block.
+func decodePidxBlock(buf []byte) ([]pidxEntry, error) {
+	count := int(binary.LittleEndian.Uint16(buf))
+	out := make([]pidxEntry, 0, count)
+	pos := 2
+	codec := klogCodec{}
+	for i := 0; i < count; i++ {
+		rec, n, err := codec.Decode(buf[pos:], true)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// decodeSidxBlock parses a count-prefixed SIDX block.
+func decodeSidxBlock(buf []byte) ([]sidxEntry, error) {
+	count := int(binary.LittleEndian.Uint16(buf))
+	out := make([]sidxEntry, 0, count)
+	pos := 2
+	codec := sidxCodec{}
+	for i := 0; i < count; i++ {
+		rec, n, err := codec.Decode(buf[pos:], true)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		out = append(out, rec)
+	}
+	return out, nil
+}

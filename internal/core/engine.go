@@ -1,0 +1,455 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"kvcsd/internal/host"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+	"kvcsd/internal/stats"
+)
+
+// Errors from engine operations.
+var (
+	ErrKeyTooLarge   = errors.New("core: key too large")
+	ErrValueTooLarge = errors.New("core: value too large")
+	ErrDeleted       = errors.New("core: keyspace is being deleted")
+)
+
+// Engine is the on-SoC key-value store: keyspace manager + zone manager plus
+// the ingest, compaction, indexing, and query machinery. It is what the
+// device runtime dispatches NVMe commands into.
+type Engine struct {
+	cfg Config
+	env *sim.Env
+	soc *host.Host
+	zm  *ZoneManager
+	mgr *Manager
+	st  *stats.IOStats
+
+	dram     *sim.Gauge // SoC DRAM in use (buffers + sort batches)
+	idxCache *indexCache
+
+	// Background job accounting.
+	bgJobs int
+	bgDone []*sim.Proc // waiters for background drain
+	bgErr  error
+	halted bool
+}
+
+// NewEngine builds an engine over a ZNS SSD. soc models the device's ARM
+// cores; st records device-side I/O statistics.
+func NewEngine(env *sim.Env, dev *ssd.Device, soc *host.Host, cfg Config, rng *sim.RNG, st *stats.IOStats) *Engine {
+	cfg = cfg.sanitize()
+	zm := NewZoneManager(dev, cfg, rng)
+	eng := &Engine{
+		cfg:      cfg,
+		env:      env,
+		soc:      soc,
+		zm:       zm,
+		mgr:      NewManager(env, zm, cfg),
+		st:       st,
+		dram:     sim.NewGauge(env),
+		idxCache: newIndexCache(cfg.IndexCacheBytes),
+	}
+	eng.mgr.onRelease = func(id int64) { eng.idxCache.invalidateCluster(id) }
+	return eng
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Manager exposes the keyspace manager (inspection, tools).
+func (e *Engine) Manager() *Manager { return e.mgr }
+
+// ZoneManager exposes the zone manager (inspection, tools).
+func (e *Engine) ZoneManager() *ZoneManager { return e.zm }
+
+// DRAMGauge returns the SoC DRAM usage gauge.
+func (e *Engine) DRAMGauge() *sim.Gauge { return e.dram }
+
+// Recover rebuilds engine state from the metadata zones after a restart.
+func (e *Engine) Recover(p *sim.Proc) error { return e.mgr.Recover(p) }
+
+// BackgroundErr returns any error hit by a background job.
+func (e *Engine) BackgroundErr() error { return e.bgErr }
+
+// --- Keyspace lifecycle ---------------------------------------------------
+
+// CreateKeyspace registers a new keyspace.
+func (e *Engine) CreateKeyspace(p *sim.Proc, name string) error {
+	_, err := e.mgr.Create(p, name)
+	return err
+}
+
+// Keyspace looks up a keyspace by name.
+func (e *Engine) Keyspace(name string) (*Keyspace, error) {
+	ks, ok := e.mgr.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceNotFound, name)
+	}
+	return ks, nil
+}
+
+// DeleteKeyspace removes a keyspace, freeing its zones. Deletion of a
+// keyspace with a running compaction or index build is deferred until the
+// job finishes (paper §IV).
+func (e *Engine) DeleteKeyspace(p *sim.Proc, name string) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	if ks.pendingDelete {
+		return ErrDeleted
+	}
+	ks.pendingDelete = true
+	if ks.state == StateCompacting {
+		p.Wait(ks.compactDone)
+	}
+	for _, si := range ks.secondary {
+		p.Wait(si.done)
+	}
+	return e.mgr.Remove(p, name)
+}
+
+// --- Ingest ---------------------------------------------------------------
+
+// Put inserts one pair into a keyspace.
+func (e *Engine) Put(p *sim.Proc, name string, key, value []byte) error {
+	ks, err := e.writableKeyspace(p, name)
+	if err != nil {
+		return err
+	}
+	e.st.Puts.Add(1)
+	p.Acquire(ks.ingestLock)
+	defer p.Release(ks.ingestLock)
+	return e.ingest(p, ks, key, value, false)
+}
+
+// BulkPut inserts many pairs with one command (paper: bulk puts hide
+// insertion latency; each 128 KiB message carries up to ~2570 pairs).
+func (e *Engine) BulkPut(p *sim.Proc, name string, pairs []bufferedPair) error {
+	ks, err := e.writableKeyspace(p, name)
+	if err != nil {
+		return err
+	}
+	e.st.BulkPuts.Add(1)
+	p.Acquire(ks.ingestLock)
+	defer p.Release(ks.ingestLock)
+	for _, pr := range pairs {
+		if err := e.ingest(p, ks, pr.key, pr.value, pr.tomb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete marks a key deleted: a tombstone lands in the KLOG and the key
+// (with everything older under it) vanishes at compaction (paper §I:
+// "bulk inserts, bulk deletes").
+func (e *Engine) Delete(p *sim.Proc, name string, key []byte) error {
+	ks, err := e.writableKeyspace(p, name)
+	if err != nil {
+		return err
+	}
+	e.st.Deletes.Add(1)
+	p.Acquire(ks.ingestLock)
+	defer p.Release(ks.ingestLock)
+	return e.ingest(p, ks, key, nil, true)
+}
+
+// KVOp is one element of a mixed bulk operation.
+type KVOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// BulkOps applies a mixed batch of puts and deletes with one command.
+func (e *Engine) BulkOps(p *sim.Proc, name string, ops []KVOp) error {
+	ks, err := e.writableKeyspace(p, name)
+	if err != nil {
+		return err
+	}
+	e.st.BulkPuts.Add(1)
+	p.Acquire(ks.ingestLock)
+	defer p.Release(ks.ingestLock)
+	for _, op := range ops {
+		if op.Delete {
+			e.st.Deletes.Add(1)
+		}
+		if err := e.ingest(p, ks, op.Key, op.Value, op.Delete); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkPutKV adapts raw key/value slices to BulkPut.
+func (e *Engine) BulkPutKV(p *sim.Proc, name string, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("core: bulk put keys/values length mismatch")
+	}
+	pairs := make([]bufferedPair, len(keys))
+	for i := range keys {
+		pairs[i] = bufferedPair{key: keys[i], value: values[i]}
+	}
+	return e.BulkPut(p, name, pairs)
+}
+
+func (e *Engine) writableKeyspace(p *sim.Proc, name string) (*Keyspace, error) {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return nil, err
+	}
+	if ks.pendingDelete {
+		return nil, ErrDeleted
+	}
+	switch ks.state {
+	case StateEmpty:
+		ks.state = StateWritable
+		ks.klog = e.zm.NewCluster(ZoneKLOG)
+		ks.vlog = e.zm.NewCluster(ZoneVLOG)
+		if err := e.mgr.Persist(p); err != nil {
+			return nil, err
+		}
+	case StateWritable:
+		// ready
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrKeyspaceState, name, ks.state)
+	}
+	return ks, nil
+}
+
+// ingest stages one pair (or tombstone) in the keyspace's SoC DRAM buffer,
+// flushing to the KLOG/VLOG clusters when the buffer fills (paper: 192 KiB).
+func (e *Engine) ingest(p *sim.Proc, ks *Keyspace, key, value []byte, tomb bool) error {
+	if len(key) > e.cfg.MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(key))
+	}
+	if len(value) > e.cfg.MaxValueLen {
+		return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(value))
+	}
+	k := append([]byte(nil), key...)
+	var v []byte
+	if !tomb {
+		v = append([]byte(nil), value...)
+	}
+	ks.buf = append(ks.buf, bufferedPair{key: k, value: v, tomb: tomb})
+	ks.bufBytes += len(k) + len(v)
+	ks.bytes += int64(len(k) + len(v))
+	if !tomb {
+		ks.count++
+		e.st.AppWrite.Add(int64(len(k) + len(v)))
+		if ks.minKey == nil || bytes.Compare(k, ks.minKey) < 0 {
+			ks.minKey = k
+		}
+		if ks.maxKey == nil || bytes.Compare(k, ks.maxKey) > 0 {
+			ks.maxKey = k
+		}
+	}
+	if ks.bufBytes >= e.cfg.IngestBufferBytes {
+		return e.flushBuffer(p, ks)
+	}
+	return nil
+}
+
+// flushBuffer drains the ingest buffer through the configured layout.
+func (e *Engine) flushBuffer(p *sim.Proc, ks *Keyspace) error {
+	if e.cfg.DisableKVSeparation {
+		return e.flushBufferCombined(p, ks)
+	}
+	return e.flushBufferSeparated(p, ks)
+}
+
+// flushBufferSeparated drains the ingest buffer: values append to VLOG,
+// keys (with value pointers) to KLOG (the paper's key-value separation).
+func (e *Engine) flushBufferSeparated(p *sim.Proc, ks *Keyspace) error {
+	if len(ks.buf) == 0 {
+		return nil
+	}
+	// Per-pair engine CPU on the SoC cores, charged in one burst.
+	e.soc.Compute(p, time.Duration(len(ks.buf))*e.soc.Config().KVOpCost)
+	e.dram.Add(float64(ks.bufBytes))
+
+	var klogBuf, vlogBuf []byte
+	codec := klogCodec{}
+	for _, pr := range ks.buf {
+		if pr.tomb {
+			// Tombstone: key-only record; vlogOff still orders recency.
+			off := uint64(ks.vlog.Len()) + uint64(len(vlogBuf))
+			klogBuf = codec.Encode(klogBuf, klogEntry{key: pr.key, vlen: tombstoneVlen, vlogOff: off})
+			continue
+		}
+		off := uint64(ks.vlog.Len()) + uint64(len(vlogBuf))
+		vlogBuf = append(vlogBuf, pr.value...)
+		klogBuf = codec.Encode(klogBuf, klogEntry{key: pr.key, vlen: uint32(len(pr.value)), vlogOff: off})
+	}
+	if err := ks.vlog.Append(p, vlogBuf); err != nil {
+		return err
+	}
+	if err := ks.klog.Append(p, klogBuf); err != nil {
+		return err
+	}
+	e.dram.Add(-float64(ks.bufBytes))
+	ks.buf = nil
+	ks.bufBytes = 0
+	return nil
+}
+
+// Sync flushes a keyspace's ingest buffer and persists metadata — the
+// explicit "fsync" the paper's write-ahead-logging discussion mentions.
+func (e *Engine) Sync(p *sim.Proc, name string) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	if ks.state == StateWritable {
+		p.Acquire(ks.ingestLock)
+		err := e.flushBuffer(p, ks)
+		p.Release(ks.ingestLock)
+		if err != nil {
+			return err
+		}
+	}
+	return e.mgr.Persist(p)
+}
+
+// --- Background jobs ------------------------------------------------------
+
+// Halt simulates a device controller crash: scheduled background jobs abort
+// before touching the media, and the engine must be replaced by a new one
+// that Recovers from the metadata zones. Test/fault-injection hook.
+func (e *Engine) Halt() { e.halted = true }
+
+// spawnJob runs fn as a device background process on the SoC.
+func (e *Engine) spawnJob(name string, fn func(p *sim.Proc) error) {
+	e.bgJobs++
+	e.env.Go(name, func(p *sim.Proc) {
+		if !e.halted {
+			if err := fn(p); err != nil && e.bgErr == nil {
+				e.bgErr = err
+			}
+		}
+		e.bgJobs--
+		for _, w := range e.bgDone {
+			e.env.Wake(w)
+		}
+		e.bgDone = e.bgDone[:0]
+	})
+}
+
+// WaitBackgroundIdle blocks until no device background jobs remain.
+func (e *Engine) WaitBackgroundIdle(p *sim.Proc) error {
+	for e.bgJobs > 0 {
+		e.bgDone = append(e.bgDone, p)
+		p.Block()
+	}
+	return e.bgErr
+}
+
+// BackgroundJobs returns the number of running background jobs.
+func (e *Engine) BackgroundJobs() int { return e.bgJobs }
+
+// Compact transitions a keyspace to COMPACTING and starts the device-side
+// sort asynchronously; the call returns as soon as the job is scheduled (the
+// paper's deferred compaction). Waiters use WaitCompacted.
+func (e *Engine) Compact(p *sim.Proc, name string) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	if ks.pendingDelete {
+		return ErrDeleted
+	}
+	switch ks.state {
+	case StateWritable:
+	case StateEmpty:
+		// Compacting an empty keyspace trivially succeeds.
+		ks.state = StateCompacted
+		ks.compactDone.Signal()
+		return e.mgr.Persist(p)
+	default:
+		return fmt.Errorf("%w: %s is %s", ErrKeyspaceState, name, ks.state)
+	}
+	ks.state = StateCompacting
+	ks.compactStart = p.Now()
+	if err := e.mgr.Persist(p); err != nil {
+		return err
+	}
+	// The remaining ingest-buffer flush is part of the background job: the
+	// Compact command itself returns immediately (deferred compaction).
+	e.spawnJob("compact-"+name, func(jp *sim.Proc) error {
+		jp.Acquire(ks.ingestLock)
+		err := e.flushBuffer(jp, ks)
+		jp.Release(ks.ingestLock)
+		if err != nil {
+			ks.compactDone.Signal()
+			return err
+		}
+		if e.cfg.DisableKVSeparation {
+			return e.runCompactionCombined(jp, ks)
+		}
+		return e.runCompaction(jp, ks)
+	})
+	return nil
+}
+
+// WaitCompacted blocks until the keyspace's compaction finishes.
+func (e *Engine) WaitCompacted(p *sim.Proc, name string) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	p.Wait(ks.compactDone)
+	return e.bgErr
+}
+
+// BuildSecondaryIndex configures and asynchronously builds a secondary index
+// over a value byte range (paper §V). The keyspace must be COMPACTED or
+// COMPACTING (the build waits for compaction to finish).
+func (e *Engine) BuildSecondaryIndex(p *sim.Proc, name string, spec SecondarySpec) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	if ks.pendingDelete {
+		return ErrDeleted
+	}
+	if ks.state != StateCompacted && ks.state != StateCompacting {
+		return fmt.Errorf("%w: %s is %s", ErrKeyspaceState, name, ks.state)
+	}
+	if spec.Name == "" || spec.Offset < 0 || spec.Length <= 0 {
+		return fmt.Errorf("core: invalid secondary index spec %+v", spec)
+	}
+	if w := spec.Type.Width(); w != 0 && spec.Length != w {
+		return fmt.Errorf("core: secondary type %s needs length %d", spec.Type, w)
+	}
+	if _, ok := ks.secondary[spec.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrIndexExists, spec.Name)
+	}
+	si := &secondaryIndex{spec: spec, done: sim.NewEvent(e.env)}
+	ks.secondary[spec.Name] = si
+	e.spawnJob("sidx-"+name+"-"+spec.Name, func(jp *sim.Proc) error {
+		jp.Wait(ks.compactDone)
+		return e.runIndexBuild(jp, ks, si)
+	})
+	return nil
+}
+
+// WaitIndexBuilt blocks until the named secondary index is ready.
+func (e *Engine) WaitIndexBuilt(p *sim.Proc, name, index string) error {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return err
+	}
+	si, ok := ks.secondary[index]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrIndexNotFound, index)
+	}
+	p.Wait(si.done)
+	return e.bgErr
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/list"
+
+	"kvcsd/internal/sim"
+)
+
+// indexCache is a small SoC-DRAM LRU over PIDX/SIDX index blocks. KV-CSD
+// does not cache application data (paper §VI-B), but keeping recently used
+// *index* blocks in device memory mirrors what the software baseline gets
+// from pinning SSTable index blocks, and keeps a point query at one media
+// read for the value.
+type indexCache struct {
+	capacity int64
+	used     int64
+	ll       *list.List
+	idx      map[idxKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type idxKey struct {
+	cluster int64
+	block   int64
+}
+
+type idxEntry struct {
+	key  idxKey
+	data []byte
+}
+
+func newIndexCache(capacity int64) *indexCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &indexCache{capacity: capacity, ll: list.New(), idx: make(map[idxKey]*list.Element)}
+}
+
+func (c *indexCache) get(cluster, block int64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if el, ok := c.idx[idxKey{cluster, block}]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*idxEntry).data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *indexCache) put(cluster, block int64, data []byte) {
+	if c == nil {
+		return
+	}
+	key := idxKey{cluster, block}
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*idxEntry).data = data
+		return
+	}
+	el := c.ll.PushFront(&idxEntry{key: key, data: data})
+	c.idx[key] = el
+	c.used += int64(len(data))
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		ent := back.Value.(*idxEntry)
+		c.ll.Remove(back)
+		delete(c.idx, ent.key)
+		c.used -= int64(len(ent.data))
+	}
+}
+
+// invalidateCluster drops all cached blocks of a released index cluster.
+func (c *indexCache) invalidateCluster(cluster int64) {
+	if c == nil {
+		return
+	}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*idxEntry)
+		if ent.key.cluster == cluster {
+			c.ll.Remove(el)
+			delete(c.idx, ent.key)
+			c.used -= int64(len(ent.data))
+		}
+		el = next
+	}
+}
+
+// readIndexBlockCached reads a PIDX block through the engine's index cache.
+func (e *Engine) readIndexBlockCached(p *sim.Proc, c *Cluster, blockIdx int64) ([]pidxEntry, error) {
+	if data, ok := e.idxCache.get(c.id, blockIdx); ok {
+		return decodePidxBlock(data)
+	}
+	buf := make([]byte, e.cfg.BlockBytes)
+	if err := c.ReadAt(p, buf, blockIdx*int64(e.cfg.BlockBytes)); err != nil {
+		return nil, err
+	}
+	e.idxCache.put(c.id, blockIdx, buf)
+	return decodePidxBlock(buf)
+}
+
+// readSidxBlockCached reads an SIDX block through the engine's index cache.
+func (e *Engine) readSidxBlockCached(p *sim.Proc, c *Cluster, blockIdx int64) ([]sidxEntry, error) {
+	if data, ok := e.idxCache.get(c.id, blockIdx); ok {
+		return decodeSidxBlock(data)
+	}
+	buf := make([]byte, e.cfg.BlockBytes)
+	if err := c.ReadAt(p, buf, blockIdx*int64(e.cfg.BlockBytes)); err != nil {
+		return nil, err
+	}
+	e.idxCache.put(c.id, blockIdx, buf)
+	return decodeSidxBlock(buf)
+}

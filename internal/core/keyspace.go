@@ -1,0 +1,540 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+)
+
+// KeyspaceState is the paper's keyspace lifecycle (§IV, Keyspace Manager).
+type KeyspaceState uint8
+
+// Keyspace states.
+const (
+	StateEmpty KeyspaceState = iota
+	StateWritable
+	StateCompacting
+	StateCompacted
+)
+
+// String names the state as the paper does.
+func (s KeyspaceState) String() string {
+	switch s {
+	case StateEmpty:
+		return "EMPTY"
+	case StateWritable:
+		return "WRITABLE"
+	case StateCompacting:
+		return "COMPACTING"
+	case StateCompacted:
+		return "COMPACTED"
+	default:
+		return fmt.Sprintf("KeyspaceState(%d)", uint8(s))
+	}
+}
+
+// Errors from keyspace management.
+var (
+	ErrKeyspaceExists   = errors.New("core: keyspace already exists")
+	ErrKeyspaceNotFound = errors.New("core: keyspace not found")
+	ErrKeyspaceState    = errors.New("core: operation invalid in keyspace state")
+	ErrIndexExists      = errors.New("core: secondary index already exists")
+	ErrIndexNotFound    = errors.New("core: secondary index not found")
+	ErrMetaCorrupt      = errors.New("core: metadata zone corrupt")
+)
+
+// sketchEntry is one pivot of a PIDX/SIDX sketch: the first key of a 4 KiB
+// index block plus the block's ordinal (paper §V: "a pivot ... key and a
+// block pointer for every constituent ... data block").
+type sketchEntry struct {
+	pivot []byte
+	block int64
+}
+
+// secondaryIndex holds one built (or building) secondary index.
+type secondaryIndex struct {
+	spec    SecondarySpec
+	cluster *Cluster
+	sketch  []sketchEntry
+	done    *sim.Event // fires when construction completes
+	buildNS time.Duration
+}
+
+// Keyspace is one application keyspace: a container of key-value pairs with
+// its own zone clusters, state, and indexes.
+type Keyspace struct {
+	name  string
+	state KeyspaceState
+
+	// Ingest side.
+	klog, vlog *Cluster
+	buf        []bufferedPair
+	bufBytes   int
+
+	// Compacted side.
+	pidx, sorted *Cluster
+	sketch       []sketchEntry
+
+	count  int64 // live pairs (post-compaction: deduplicated)
+	bytes  int64 // application bytes inserted
+	minKey []byte
+	maxKey []byte
+
+	secondary map[string]*secondaryIndex
+
+	compactDone   *sim.Event
+	compactStart  sim.Time
+	compactFinish sim.Time
+	pendingDelete bool
+
+	// ingestLock serializes buffer and log-cluster mutation: the device may
+	// dispatch commands for one keyspace on several SoC cores at once.
+	ingestLock *sim.Resource
+
+	// combinedSeq numbers insertions in the DisableKVSeparation ablation.
+	combinedSeq uint64
+}
+
+type bufferedPair struct {
+	key   []byte
+	value []byte
+	tomb  bool // deletion marker (paper §I: bulk deletes)
+}
+
+// Name returns the keyspace name.
+func (ks *Keyspace) Name() string { return ks.name }
+
+// State returns the current lifecycle state.
+func (ks *Keyspace) State() KeyspaceState { return ks.state }
+
+// Count returns the number of live pairs.
+func (ks *Keyspace) Count() int64 { return ks.count }
+
+// Bytes returns total application bytes inserted.
+func (ks *Keyspace) Bytes() int64 { return ks.bytes }
+
+// MinKey and MaxKey return the key bounds (nil when empty).
+func (ks *Keyspace) MinKey() []byte { return ks.minKey }
+
+// MaxKey returns the largest key.
+func (ks *Keyspace) MaxKey() []byte { return ks.maxKey }
+
+// SecondaryIndexNames returns the names of built secondary indexes, sorted.
+func (ks *Keyspace) SecondaryIndexNames() []string {
+	var names []string
+	for n, si := range ks.secondary {
+		if si.done.Fired() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CompactionDuration returns how long device-side compaction took (0 until
+// it finishes).
+func (ks *Keyspace) CompactionDuration() time.Duration {
+	if ks.compactFinish == 0 {
+		return 0
+	}
+	return time.Duration(ks.compactFinish - ks.compactStart)
+}
+
+// ZoneCount returns the total zones backing the keyspace.
+func (ks *Keyspace) ZoneCount() int {
+	n := 0
+	for _, c := range []*Cluster{ks.klog, ks.vlog, ks.pidx, ks.sorted} {
+		if c != nil {
+			n += len(c.Zones())
+		}
+	}
+	for _, si := range ks.secondary {
+		if si.cluster != nil {
+			n += len(si.cluster.Zones())
+		}
+	}
+	return n
+}
+
+// Manager is the keyspace manager: the in-memory keyspace table backed by a
+// metadata zone for persistence (paper §IV).
+type Manager struct {
+	cfg   Config
+	zm    *ZoneManager
+	env   *sim.Env
+	table map[string]*Keyspace
+	// onRelease lets the engine invalidate cached index blocks when a
+	// keyspace's clusters are released.
+	onRelease func(clusterID int64)
+
+	metaSeq     uint64
+	activeMeta  int // which metadata zone receives appends
+	persistLock *sim.Resource
+}
+
+// NewManager creates a keyspace manager.
+func NewManager(env *sim.Env, zm *ZoneManager, cfg Config) *Manager {
+	return &Manager{
+		cfg:         cfg,
+		zm:          zm,
+		env:         env,
+		table:       make(map[string]*Keyspace),
+		persistLock: sim.NewResource(env, "meta-persist", 1),
+	}
+}
+
+// Create registers a new EMPTY keyspace and persists the table.
+func (m *Manager) Create(p *sim.Proc, name string) (*Keyspace, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: keyspace needs a name")
+	}
+	if _, ok := m.table[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
+	}
+	ks := &Keyspace{
+		name:        name,
+		state:       StateEmpty,
+		secondary:   make(map[string]*secondaryIndex),
+		compactDone: sim.NewEvent(m.env),
+		ingestLock:  sim.NewResource(m.env, "ingest-"+name, 1),
+	}
+	m.table[name] = ks
+	if err := m.Persist(p); err != nil {
+		delete(m.table, name)
+		return nil, err
+	}
+	return ks, nil
+}
+
+// Get looks up a keyspace.
+func (m *Manager) Get(name string) (*Keyspace, bool) {
+	ks, ok := m.table[name]
+	return ks, ok
+}
+
+// Names returns all keyspace names, sorted.
+func (m *Manager) Names() []string {
+	var out []string
+	for n := range m.table {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a keyspace from the table and releases its zones. Callers
+// (the engine) must ensure no background job is still using it.
+func (m *Manager) Remove(p *sim.Proc, name string) error {
+	ks, ok := m.table[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrKeyspaceNotFound, name)
+	}
+	for _, c := range []*Cluster{ks.klog, ks.vlog, ks.pidx, ks.sorted} {
+		if c != nil {
+			if m.onRelease != nil {
+				m.onRelease(c.id)
+			}
+			if err := c.Release(p); err != nil {
+				return err
+			}
+		}
+	}
+	for _, si := range ks.secondary {
+		if si.cluster != nil {
+			if m.onRelease != nil {
+				m.onRelease(si.cluster.id)
+			}
+			if err := si.cluster.Release(p); err != nil {
+				return err
+			}
+		}
+	}
+	delete(m.table, name)
+	return m.Persist(p)
+}
+
+// --- Metadata persistence ------------------------------------------------
+
+// Persisted snapshot schema (gob).
+type metaSnapshot struct {
+	Seq       uint64
+	Keyspaces []metaKeyspace
+}
+
+type metaKeyspace struct {
+	Name      string
+	State     uint8
+	Count     int64
+	Bytes     int64
+	MinKey    []byte
+	MaxKey    []byte
+	KLOG      *metaCluster
+	VLOG      *metaCluster
+	PIDX      *metaCluster
+	Sorted    *metaCluster
+	Sketch    []metaSketch
+	Secondary []metaSecondary
+}
+
+type metaCluster struct {
+	Type    uint8
+	Stripes [][]int
+	Offset  int
+	Length  int64
+	Sealed  bool
+	Tail    []byte
+}
+
+type metaSketch struct {
+	Pivot []byte
+	Block int64
+}
+
+type metaSecondary struct {
+	Name    string
+	Offset  int
+	Length  int
+	Type    uint8
+	Built   bool
+	Cluster *metaCluster
+	Sketch  []metaSketch
+}
+
+func clusterMeta(c *Cluster) *metaCluster {
+	if c == nil {
+		return nil
+	}
+	return &metaCluster{
+		Type:    uint8(c.typ),
+		Stripes: c.stripes,
+		Offset:  c.offset,
+		Length:  c.length,
+		Sealed:  c.sealed,
+		Tail:    append([]byte(nil), c.tail...),
+	}
+}
+
+func (m *Manager) clusterFromMeta(mc *metaCluster) *Cluster {
+	if mc == nil {
+		return nil
+	}
+	c := m.zm.NewCluster(ZoneType(mc.Type))
+	c.stripes = mc.Stripes
+	c.offset = mc.Offset
+	c.length = mc.Length
+	c.sealed = mc.Sealed
+	c.tail = append([]byte(nil), mc.Tail...)
+	for _, s := range mc.Stripes {
+		for _, z := range s {
+			m.zm.claim(z, ZoneType(mc.Type))
+		}
+	}
+	return c
+}
+
+func sketchMeta(s []sketchEntry) []metaSketch {
+	out := make([]metaSketch, len(s))
+	for i, e := range s {
+		out[i] = metaSketch{Pivot: e.pivot, Block: e.block}
+	}
+	return out
+}
+
+func sketchFromMeta(ms []metaSketch) []sketchEntry {
+	out := make([]sketchEntry, len(ms))
+	for i, e := range ms {
+		out[i] = sketchEntry{pivot: e.Pivot, block: e.Block}
+	}
+	return out
+}
+
+// Persist appends a full-table snapshot to the active metadata zone,
+// switching (and resetting) zones when the active one fills. Concurrent
+// callers serialize so frames and zone switches never interleave.
+func (m *Manager) Persist(p *sim.Proc) error {
+	p.Acquire(m.persistLock)
+	defer p.Release(m.persistLock)
+	m.metaSeq++
+	snap := metaSnapshot{Seq: m.metaSeq}
+	var names []string
+	for n := range m.table {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ks := m.table[n]
+		mk := metaKeyspace{
+			Name:   ks.name,
+			State:  uint8(ks.state),
+			Count:  ks.count,
+			Bytes:  ks.bytes,
+			MinKey: ks.minKey,
+			MaxKey: ks.maxKey,
+			KLOG:   clusterMeta(ks.klog),
+			VLOG:   clusterMeta(ks.vlog),
+			PIDX:   clusterMeta(ks.pidx),
+			Sorted: clusterMeta(ks.sorted),
+			Sketch: sketchMeta(ks.sketch),
+		}
+		var snames []string
+		for sn := range ks.secondary {
+			snames = append(snames, sn)
+		}
+		sort.Strings(snames)
+		for _, sn := range snames {
+			si := ks.secondary[sn]
+			mk.Secondary = append(mk.Secondary, metaSecondary{
+				Name:    si.spec.Name,
+				Offset:  si.spec.Offset,
+				Length:  si.spec.Length,
+				Type:    uint8(si.spec.Type),
+				Built:   si.done.Fired(),
+				Cluster: clusterMeta(si.cluster),
+				Sketch:  sketchMeta(si.sketch),
+			})
+		}
+		snap.Keyspaces = append(snap.Keyspaces, mk)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return fmt.Errorf("core: metadata encode: %w", err)
+	}
+	frame := make([]byte, 12+buf.Len())
+	binary.LittleEndian.PutUint32(frame[0:], uint32(buf.Len()))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(buf.Bytes()))
+	binary.LittleEndian.PutUint32(frame[8:], 0x4b564d44) // "KVMD"
+	copy(frame[12:], buf.Bytes())
+
+	dev := m.zm.dev
+	zi, err := dev.Zone(m.activeMeta)
+	if err != nil {
+		return err
+	}
+	if zi.WritePointer+int64(len(frame)) > dev.ZoneSize() {
+		// Switch to the other metadata zone.
+		m.activeMeta = (m.activeMeta + 1) % m.cfg.MetadataZones
+		if err := dev.ResetZone(p, m.activeMeta); err != nil {
+			return err
+		}
+	}
+	return dev.WriteZone(p, m.activeMeta, frame)
+}
+
+// Recover rebuilds the keyspace table from the metadata zones, using the
+// snapshot with the highest sequence number. Partially written (torn) tail
+// frames are ignored.
+func (m *Manager) Recover(p *sim.Proc) error {
+	var best *metaSnapshot
+	for z := 0; z < m.cfg.MetadataZones; z++ {
+		snap, err := m.scanMetaZone(p, z)
+		if err != nil {
+			return err
+		}
+		if snap != nil && (best == nil || snap.Seq > best.Seq) {
+			best = snap
+			m.activeMeta = z
+		}
+	}
+	m.table = make(map[string]*Keyspace)
+	if best == nil {
+		return nil
+	}
+	m.metaSeq = best.Seq
+	for _, mk := range best.Keyspaces {
+		ks := &Keyspace{
+			name:        mk.Name,
+			ingestLock:  sim.NewResource(m.env, "ingest-"+mk.Name, 1),
+			state:       KeyspaceState(mk.State),
+			count:       mk.Count,
+			bytes:       mk.Bytes,
+			minKey:      mk.MinKey,
+			maxKey:      mk.MaxKey,
+			klog:        m.clusterFromMeta(mk.KLOG),
+			vlog:        m.clusterFromMeta(mk.VLOG),
+			pidx:        m.clusterFromMeta(mk.PIDX),
+			sorted:      m.clusterFromMeta(mk.Sorted),
+			sketch:      sketchFromMeta(mk.Sketch),
+			secondary:   make(map[string]*secondaryIndex),
+			compactDone: sim.NewEvent(m.env),
+		}
+		// A keyspace caught mid-compaction rolls back to WRITABLE: its
+		// KLOG/VLOG are intact, and compaction can simply be reinvoked.
+		if ks.state == StateCompacting {
+			ks.state = StateWritable
+		}
+		if ks.state == StateCompacted {
+			ks.compactDone.Signal()
+		}
+		for _, ms := range mk.Secondary {
+			if !ms.Built {
+				continue // incomplete index builds vanish; reinvoke
+			}
+			si := &secondaryIndex{
+				spec: SecondarySpec{
+					Name:   ms.Name,
+					Offset: ms.Offset,
+					Length: ms.Length,
+					Type:   keyenc.SecondaryType(ms.Type),
+				},
+				cluster: m.clusterFromMeta(ms.Cluster),
+				sketch:  sketchFromMeta(ms.Sketch),
+				done:    sim.NewEvent(m.env),
+			}
+			si.done.Signal()
+			ks.secondary[ms.Name] = si
+		}
+		m.table[mk.Name] = ks
+	}
+	return nil
+}
+
+// scanMetaZone reads frames until the write pointer, returning the last
+// valid snapshot in the zone (nil if none).
+func (m *Manager) scanMetaZone(p *sim.Proc, zone int) (*metaSnapshot, error) {
+	zi, err := m.zm.dev.Zone(zone)
+	if err != nil {
+		return nil, err
+	}
+	var last *metaSnapshot
+	var off int64
+	for off+12 <= zi.WritePointer {
+		hdr, err := m.zm.dev.ReadZone(p, zone, off, 12)
+		if err != nil {
+			if errors.Is(err, ssd.ErrReadBeyondWP) {
+				break
+			}
+			return nil, err
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if binary.LittleEndian.Uint32(hdr[8:]) != 0x4b564d44 {
+			break // unrecognized frame: stop scanning this zone
+		}
+		if off+12+plen > zi.WritePointer {
+			break // torn frame
+		}
+		payload, err := m.zm.dev.ReadZone(p, zone, off+12, int(plen))
+		if err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		var snap metaSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMetaCorrupt, err)
+		}
+		last = &snap
+		off += 12 + plen
+	}
+	return last, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"kvcsd/internal/sim"
+)
+
+// This file implements the DisableKVSeparation ablation path: whole pairs
+// are stored in the KLOG and compaction sorts them directly, so value bytes
+// travel through every external-merge round instead of moving once. It
+// exists to quantify the benefit of the paper's two-step key/value sort.
+
+// pairRec is one combined record: key, value, and an insertion sequence used
+// to keep the newest duplicate.
+type pairRec struct {
+	key   []byte
+	value []byte
+	seq   uint64
+}
+
+// pairCodec serializes combined records:
+// klen u16 | vlen u32 | seq u64 | key | value.
+type pairCodec struct{}
+
+func (pairCodec) Encode(dst []byte, r pairRec) []byte {
+	var hdr [14]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(r.key)))
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(r.value)))
+	binary.LittleEndian.PutUint64(hdr[6:], r.seq)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.key...)
+	return append(dst, r.value...)
+}
+
+func (pairCodec) Decode(data []byte, atEOF bool) (pairRec, int, error) {
+	if len(data) < 14 {
+		if atEOF && len(data) > 0 {
+			return pairRec{}, 0, fmt.Errorf("%w: short pair header", ErrRecordCorrupt)
+		}
+		return pairRec{}, 0, nil
+	}
+	klen := int(binary.LittleEndian.Uint16(data[0:]))
+	vlen := int(binary.LittleEndian.Uint32(data[2:]))
+	if len(data) < 14+klen+vlen {
+		if atEOF {
+			return pairRec{}, 0, fmt.Errorf("%w: short pair body", ErrRecordCorrupt)
+		}
+		return pairRec{}, 0, nil
+	}
+	return pairRec{
+		seq:   binary.LittleEndian.Uint64(data[6:]),
+		key:   append([]byte(nil), data[14:14+klen]...),
+		value: append([]byte(nil), data[14+klen:14+klen+vlen]...),
+	}, 14 + klen + vlen, nil
+}
+
+func (pairCodec) SizeHint(r pairRec) int { return 14 + len(r.key) + len(r.value) + 48 }
+
+// flushBufferCombined writes whole pairs into the KLOG (no VLOG).
+func (e *Engine) flushBufferCombined(p *sim.Proc, ks *Keyspace) error {
+	if len(ks.buf) == 0 {
+		return nil
+	}
+	e.soc.Compute(p, sim.Duration(len(ks.buf))*e.soc.Config().KVOpCost)
+	codec := pairCodec{}
+	var buf []byte
+	for _, pr := range ks.buf {
+		ks.combinedSeq++
+		seq := ks.combinedSeq << 1
+		if pr.tomb {
+			seq |= 1 // low bit marks deletion
+		}
+		buf = codec.Encode(buf, pairRec{key: pr.key, value: pr.value, seq: seq})
+	}
+	if err := ks.klog.Append(p, buf); err != nil {
+		return err
+	}
+	ks.buf = nil
+	ks.bufBytes = 0
+	return nil
+}
+
+// runCompactionCombined sorts combined pair records — one external sort in
+// which every merge round reads and writes the full values.
+func (e *Engine) runCompactionCombined(p *sim.Proc, ks *Keyspace) error {
+	defer ks.compactDone.Signal()
+	if err := ks.klog.Seal(p); err != nil {
+		return err
+	}
+	if err := ks.vlog.Seal(p); err != nil {
+		return err
+	}
+	sorter := NewSorter[pairRec](e.zm, e.soc, e.cfg, pairCodec{}, func(a, b pairRec) bool {
+		c := bytes.Compare(a.key, b.key)
+		if c != 0 {
+			return c < 0
+		}
+		return a.seq>>1 > b.seq>>1
+	})
+
+	pidx := e.zm.NewCluster(ZonePIDX)
+	pidxW := newBlockWriter(pidx, e.cfg.BlockBytes)
+	sorted := e.zm.NewCluster(ZoneSortedValues)
+	codec := klogCodec{}
+	writeBuf := make([]byte, 0, 256<<10)
+	var destOff uint64
+	var livePairs int64
+	var lastKey []byte
+	haveLast := false
+	err := sorter.SortTo(p, newScanner(ks.klog, pairCodec{}, 0), func(sp *sim.Proc, rec pairRec) error {
+		if haveLast && bytes.Equal(rec.key, lastKey) {
+			return nil // older duplicate
+		}
+		lastKey = append(lastKey[:0], rec.key...)
+		haveLast = true
+		if rec.seq&1 == 1 {
+			return nil // newest record is a delete
+		}
+		livePairs++
+		if err := pidxW.add(sp, codec.Encode(nil, pidxEntry{
+			key: rec.key, vlen: uint32(len(rec.value)), vlogOff: destOff,
+		}), rec.key); err != nil {
+			return err
+		}
+		destOff += uint64(len(rec.value))
+		writeBuf = append(writeBuf, rec.value...)
+		if len(writeBuf) >= 256<<10 {
+			if err := sorted.Append(sp, writeBuf); err != nil {
+				return err
+			}
+			writeBuf = writeBuf[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(writeBuf) > 0 {
+		if err := sorted.Append(p, writeBuf); err != nil {
+			return err
+		}
+	}
+	if err := sorted.Seal(p); err != nil {
+		return err
+	}
+	if err := pidxW.finish(p); err != nil {
+		return err
+	}
+	if err := ks.klog.Release(p); err != nil {
+		return err
+	}
+	if err := ks.vlog.Release(p); err != nil {
+		return err
+	}
+	ks.klog, ks.vlog = nil, nil
+	ks.pidx = pidx
+	ks.sorted = sorted
+	ks.sketch = pidxW.sketch
+	ks.count = livePairs
+	ks.state = StateCompacted
+	ks.compactFinish = p.Now()
+	return e.mgr.Persist(p)
+}

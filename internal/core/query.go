@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"kvcsd/internal/sim"
+)
+
+// Pair is one query result.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// queryableKeyspace returns the keyspace if it is COMPACTED (the only state
+// the paper allows queries in).
+func (e *Engine) queryableKeyspace(name string) (*Keyspace, error) {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return nil, err
+	}
+	if ks.pendingDelete {
+		return nil, ErrDeleted
+	}
+	if ks.state != StateCompacted {
+		return nil, fmt.Errorf("%w: %s is %s, queries need COMPACTED", ErrKeyspaceState, name, ks.state)
+	}
+	return ks, nil
+}
+
+// sketchFind returns the index of the last sketch pivot <= key; -1 when key
+// precedes every pivot. Correct for unique keys (PIDX).
+func sketchFind(sketch []sketchEntry, key []byte) int {
+	lo, hi := 0, len(sketch)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(sketch[mid].pivot, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// sketchStart returns the first sketch index whose block can contain entries
+// with key >= lo when duplicate keys may span blocks (SIDX): one before the
+// first pivot >= lo, clamped to 0.
+func sketchStart(sketch []sketchEntry, lo []byte) int {
+	i, hi := 0, len(sketch)
+	for i < hi {
+		mid := (i + hi) / 2
+		if bytes.Compare(sketch[mid].pivot, lo) < 0 {
+			i = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if i > 0 {
+		i--
+	}
+	return i
+}
+
+// Get answers a primary point query: sketch -> one PIDX block -> one value
+// read. All work happens in the device (paper §V, "Query Processing").
+func (e *Engine) Get(p *sim.Proc, name string, key []byte) ([]byte, bool, error) {
+	ks, err := e.queryableKeyspace(name)
+	if err != nil {
+		return nil, false, err
+	}
+	e.st.Gets.Add(1)
+	if ks.count == 0 || bytes.Compare(key, ks.minKey) < 0 || bytes.Compare(key, ks.maxKey) > 0 {
+		return nil, false, nil
+	}
+	bi := sketchFind(ks.sketch, key)
+	if bi < 0 {
+		return nil, false, nil
+	}
+	e.soc.Compares(p, 16) // sketch binary search
+	entries, err := e.readIndexBlockCached(p, ks.pidx, ks.sketch[bi].block)
+	if err != nil {
+		return nil, false, err
+	}
+	e.soc.BlockOp(p, 1)
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, key) >= 0
+	})
+	e.soc.Compares(p, 8)
+	if i >= len(entries) || !bytes.Equal(entries[i].key, key) {
+		return nil, false, nil
+	}
+	val := make([]byte, entries[i].vlen)
+	if err := ks.sorted.ReadAt(p, val, int64(entries[i].vlogOff)); err != nil {
+		return nil, false, err
+	}
+	e.st.AppRead.Add(int64(len(val)))
+	return val, true, nil
+}
+
+// Exist answers a primary existence probe without reading the value.
+func (e *Engine) Exist(p *sim.Proc, name string, key []byte) (bool, error) {
+	ks, err := e.queryableKeyspace(name)
+	if err != nil {
+		return false, err
+	}
+	if ks.count == 0 || bytes.Compare(key, ks.minKey) < 0 || bytes.Compare(key, ks.maxKey) > 0 {
+		return false, nil
+	}
+	bi := sketchFind(ks.sketch, key)
+	if bi < 0 {
+		return false, nil
+	}
+	e.soc.Compares(p, 16)
+	entries, err := e.readIndexBlockCached(p, ks.pidx, ks.sketch[bi].block)
+	if err != nil {
+		return false, err
+	}
+	e.soc.BlockOp(p, 1)
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, key) >= 0
+	})
+	return i < len(entries) && bytes.Equal(entries[i].key, key), nil
+}
+
+// RangePrimary streams pairs with lo <= key < hi (nil bounds open) in key
+// order to fn until fn returns false or limit pairs are emitted (0 = all).
+// Because SORTED_VALUES co-sorts values with keys, the value bytes of a
+// primary range are one contiguous span read sequentially.
+func (e *Engine) RangePrimary(p *sim.Proc, name string, lo, hi []byte, limit int, fn func(Pair) bool) (int, error) {
+	ks, err := e.queryableKeyspace(name)
+	if err != nil {
+		return 0, err
+	}
+	e.st.Scans.Add(1)
+	if ks.count == 0 {
+		return 0, nil
+	}
+	var bi int64
+	if lo != nil {
+		i := sketchFind(ks.sketch, lo)
+		if i > 0 {
+			bi = ks.sketch[i].block
+		}
+		e.soc.Compares(p, 16)
+	}
+	totalBlocks := ks.pidx.Len() / int64(e.cfg.BlockBytes)
+	emitted := 0
+	var win []byte
+	var winOff int64 = -1
+	for ; bi < totalBlocks; bi++ {
+		entries, err := e.readIndexBlockCached(p, ks.pidx, bi)
+		if err != nil {
+			return emitted, err
+		}
+		e.soc.BlockOp(p, 1)
+		for _, ent := range entries {
+			if lo != nil && bytes.Compare(ent.key, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(ent.key, hi) >= 0 {
+				return emitted, nil
+			}
+			start := int64(ent.vlogOff)
+			need := int64(ent.vlen)
+			if winOff < 0 || start < winOff || start+need > winOff+int64(len(win)) {
+				chunk := int64(256 << 10)
+				if need > chunk {
+					chunk = need
+				}
+				if rem := ks.sorted.Len() - start; chunk > rem {
+					chunk = rem
+				}
+				win = make([]byte, chunk)
+				if err := ks.sorted.ReadAt(p, win, start); err != nil {
+					return emitted, err
+				}
+				winOff = start
+			}
+			val := append([]byte(nil), win[start-winOff:start-winOff+need]...)
+			e.st.AppRead.Add(int64(len(val)))
+			if !fn(Pair{Key: append([]byte(nil), ent.key...), Value: val}) {
+				return emitted + 1, nil
+			}
+			emitted++
+			if limit > 0 && emitted >= limit {
+				return emitted, nil
+			}
+		}
+	}
+	return emitted, nil
+}
+
+// RangeSecondary streams pairs whose secondary key is in [lo, hi) to fn in
+// secondary-key order. The device scans SIDX blocks for matches, then
+// fetches the matching values from SORTED_VALUES with reads coalesced in
+// offset order — only results cross back to the host (paper §V-VI).
+func (e *Engine) RangeSecondary(p *sim.Proc, name, index string, lo, hi []byte, limit int, fn func(Pair) bool) (int, error) {
+	ks, err := e.queryableKeyspace(name)
+	if err != nil {
+		return 0, err
+	}
+	si, ok := ks.secondary[index]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrIndexNotFound, index)
+	}
+	if !si.done.Fired() {
+		return 0, fmt.Errorf("%w: index %s still building", ErrKeyspaceState, index)
+	}
+	e.st.Scans.Add(1)
+	if ks.count == 0 || len(si.sketch) == 0 {
+		return 0, nil
+	}
+
+	// Phase 1: collect matching SIDX entries. Duplicate secondary keys may
+	// span blocks, so start one block before the first pivot >= lo.
+	var bi int64
+	if lo != nil {
+		bi = si.sketch[sketchStart(si.sketch, lo)].block
+		e.soc.Compares(p, 16)
+	}
+	totalBlocks := si.cluster.Len() / int64(e.cfg.BlockBytes)
+	var matches []sidxEntry
+	for ; bi < totalBlocks; bi++ {
+		entries, err := e.readSidxBlockCached(p, si.cluster, bi)
+		if err != nil {
+			return 0, err
+		}
+		e.soc.BlockOp(p, 1)
+		done := false
+		for _, ent := range entries {
+			if lo != nil && bytes.Compare(ent.skey, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(ent.skey, hi) >= 0 {
+				done = true
+				break
+			}
+			matches = append(matches, ent)
+			if limit > 0 && len(matches) >= limit {
+				done = true
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if len(matches) == 0 {
+		return 0, nil
+	}
+
+	// Phase 2: fetch values in offset order (coalescing nearby reads), then
+	// emit in secondary-key order.
+	order := make([]int, len(matches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return matches[order[a]].svOff < matches[order[b]].svOff })
+	e.soc.Compute(p, e.soc.SortCost(int64(len(order))))
+	values := make([][]byte, len(matches))
+	const coalesceGap = 64 << 10
+	i := 0
+	for i < len(order) {
+		j := i
+		start := int64(matches[order[i]].svOff)
+		end := start + int64(matches[order[i]].vlen)
+		for j+1 < len(order) {
+			n := int64(matches[order[j+1]].svOff)
+			ne := n + int64(matches[order[j+1]].vlen)
+			if n-end > coalesceGap {
+				break
+			}
+			if ne > end {
+				end = ne
+			}
+			j++
+		}
+		span := make([]byte, end-start)
+		if err := ks.sorted.ReadAt(p, span, start); err != nil {
+			return 0, err
+		}
+		for k := i; k <= j; k++ {
+			m := matches[order[k]]
+			off := int64(m.svOff) - start
+			values[order[k]] = append([]byte(nil), span[off:off+int64(m.vlen)]...)
+		}
+		i = j + 1
+	}
+
+	emitted := 0
+	for idx, m := range matches {
+		e.st.AppRead.Add(int64(len(values[idx])))
+		if !fn(Pair{Key: append([]byte(nil), m.pkey...), Value: values[idx]}) {
+			return emitted + 1, nil
+		}
+		emitted++
+	}
+	return emitted, nil
+}
+
+// GetSecondary answers a secondary point query (all pairs whose secondary
+// key equals key).
+func (e *Engine) GetSecondary(p *sim.Proc, name, index string, key []byte, limit int, fn func(Pair) bool) (int, error) {
+	hi := append(append([]byte(nil), key...), 0) // smallest key > key
+	return e.RangeSecondary(p, name, index, key, hi, limit, fn)
+}
+
+// Info reports the keyspace metadata the keyspace manager tracks.
+type Info struct {
+	Name       string
+	State      KeyspaceState
+	Pairs      int64
+	Bytes      int64
+	MinKey     []byte
+	MaxKey     []byte
+	Secondary  []string
+	ZoneCount  int
+	CompactDur sim.Duration
+}
+
+// KeyspaceInfo returns metadata for one keyspace.
+func (e *Engine) KeyspaceInfo(name string) (Info, error) {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Name:       ks.name,
+		State:      ks.state,
+		Pairs:      ks.count,
+		Bytes:      ks.bytes,
+		MinKey:     ks.minKey,
+		MaxKey:     ks.maxKey,
+		Secondary:  ks.SecondaryIndexNames(),
+		ZoneCount:  ks.ZoneCount(),
+		CompactDur: ks.CompactionDuration(),
+	}, nil
+}

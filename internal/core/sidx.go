@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"kvcsd/internal/sim"
+)
+
+// runIndexBuild constructs one secondary index (paper §V, "Secondary Index
+// Construction"): a full scan of the compacted keyspace extracts the
+// secondary key bytes from every value (paired with the primary key and
+// value location), the pairs are externally sorted by secondary key, and the
+// result is packed into SIDX blocks with a sketch pivot per block.
+func (e *Engine) runIndexBuild(p *sim.Proc, ks *Keyspace, si *secondaryIndex) error {
+	defer si.done.Signal()
+	start := p.Now()
+
+	if ks.count == 0 {
+		si.cluster = e.zm.NewCluster(ZoneSIDX)
+		if err := si.cluster.Seal(p); err != nil {
+			return err
+		}
+		si.buildNS = 0
+		return e.mgr.Persist(p)
+	}
+
+	// Validate the byte range against actual values lazily: the extractor
+	// errors on the first undersized value.
+	src := &sidxSource{
+		e:    e,
+		ks:   ks,
+		spec: si.spec,
+	}
+	sorter := NewSorter[sidxEntry](e.zm, e.soc, e.cfg, sidxCodec{}, func(a, b sidxEntry) bool {
+		c := bytes.Compare(a.skey, b.skey)
+		if c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(a.pkey, b.pkey) < 0
+	})
+	sortedEntries, err := sorter.Sort(p, src)
+	if err != nil {
+		return err
+	}
+
+	// Pack the sorted entries into SIDX blocks.
+	cluster := e.zm.NewCluster(ZoneSIDX)
+	w := newBlockWriter(cluster, e.cfg.BlockBytes)
+	sc := newScanner(sortedEntries, sidxCodec{}, 0)
+	codec := sidxCodec{}
+	for {
+		rec, ok, err := sc.next(p)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.add(p, codec.Encode(nil, rec), rec.skey); err != nil {
+			return err
+		}
+	}
+	if err := w.finish(p); err != nil {
+		return err
+	}
+	if err := sortedEntries.Release(p); err != nil {
+		return err
+	}
+
+	si.cluster = cluster
+	si.sketch = w.sketch
+	si.buildNS = sim.Duration(p.Now() - start)
+	return e.mgr.Persist(p)
+}
+
+// sidxSource streams extraction results: it walks the PIDX blocks in order
+// and reads the co-sorted values sequentially, emitting one sidxEntry per
+// pair. This is the "full scan of the keyspace data" of the paper, fused
+// with run generation so extracted pairs feed the sorter directly.
+type sidxSource struct {
+	e    *Engine
+	ks   *Keyspace
+	spec SecondarySpec
+
+	blockIdx int64
+	entries  []pidxEntry
+	pos      int
+
+	win    []byte
+	winOff int64
+}
+
+func (s *sidxSource) next(p *sim.Proc) (sidxEntry, bool, error) {
+	for s.entries == nil || s.pos >= len(s.entries) {
+		totalBlocks := s.ks.pidx.Len() / int64(s.e.cfg.BlockBytes)
+		if s.blockIdx >= totalBlocks {
+			return sidxEntry{}, false, nil
+		}
+		entries, err := readIndexBlock(p, s.ks.pidx, s.blockIdx, s.e.cfg.BlockBytes)
+		if err != nil {
+			return sidxEntry{}, false, err
+		}
+		s.e.soc.BlockOp(p, 1)
+		s.blockIdx++
+		s.entries = entries
+		s.pos = 0
+	}
+	ent := s.entries[s.pos]
+	s.pos++
+
+	// Read the value (sequential: svOff increases monotonically here).
+	need := int64(ent.vlen)
+	start := int64(ent.vlogOff) // svOff in PIDX entries
+	if start < s.winOff || start+need > s.winOff+int64(len(s.win)) {
+		chunk := int64(256 << 10)
+		if need > chunk {
+			chunk = need
+		}
+		if rem := s.ks.sorted.Len() - start; chunk > rem {
+			chunk = rem
+		}
+		if chunk < need {
+			return sidxEntry{}, false, fmt.Errorf("core: sorted values truncated at %d", start)
+		}
+		if cap(s.win) < int(chunk) {
+			s.win = make([]byte, chunk)
+		}
+		s.win = s.win[:chunk]
+		if err := s.ks.sorted.ReadAt(p, s.win, start); err != nil {
+			return sidxEntry{}, false, err
+		}
+		s.winOff = start
+	}
+	value := s.win[start-s.winOff : start-s.winOff+need]
+	if s.spec.Offset+s.spec.Length > len(value) {
+		return sidxEntry{}, false, fmt.Errorf(
+			"core: secondary byte range [%d,%d) exceeds %d-byte value of key %x",
+			s.spec.Offset, s.spec.Offset+s.spec.Length, len(value), ent.key)
+	}
+	skey, err := s.spec.Type.Normalize(value[s.spec.Offset : s.spec.Offset+s.spec.Length])
+	if err != nil {
+		return sidxEntry{}, false, err
+	}
+	return sidxEntry{
+		skey:  skey,
+		pkey:  append([]byte(nil), ent.key...),
+		svOff: ent.vlogOff,
+		vlen:  ent.vlen,
+	}, true, nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"kvcsd/internal/host"
+	"kvcsd/internal/sim"
+)
+
+// ErrRecordCorrupt reports an undecodable record in a cluster stream.
+var ErrRecordCorrupt = errors.New("core: corrupt record stream")
+
+// Codec serializes records of type T into cluster byte streams.
+type Codec[T any] interface {
+	// Encode appends the record to dst and returns the extended slice.
+	Encode(dst []byte, rec T) []byte
+	// Decode parses one record from data. It returns the record and the
+	// bytes consumed, or n == 0 when data holds an incomplete record (only
+	// possible when atEOF is false).
+	Decode(data []byte, atEOF bool) (rec T, n int, err error)
+	// SizeHint estimates the in-memory bytes of one record (DRAM budget).
+	SizeHint(rec T) int
+}
+
+// recordSource streams records of type T; implemented by cluster scanners
+// and by in-flight generators (the value-sorting pass).
+type recordSource[T any] interface {
+	next(p *sim.Proc) (rec T, ok bool, err error)
+}
+
+// scanner streams records of type T from a cluster.
+type scanner[T any] struct {
+	c     *Cluster
+	codec Codec[T]
+	buf   []byte
+	pos   int   // parse position within buf
+	off   int64 // logical cluster offset of buf[0]
+	chunk int
+}
+
+func newScanner[T any](c *Cluster, codec Codec[T], chunk int) *scanner[T] {
+	if chunk <= 0 {
+		chunk = 256 << 10
+	}
+	return &scanner[T]{c: c, codec: codec, chunk: chunk}
+}
+
+// next returns the next record, or ok=false at end of stream.
+func (s *scanner[T]) next(p *sim.Proc) (rec T, ok bool, err error) {
+	for {
+		atEOF := s.off+int64(len(s.buf)) >= s.c.Len()
+		if s.pos < len(s.buf) {
+			r, n, derr := s.codec.Decode(s.buf[s.pos:], atEOF)
+			if derr != nil {
+				return rec, false, derr
+			}
+			if n > 0 {
+				s.pos += n
+				return r, true, nil
+			}
+			if atEOF {
+				return rec, false, fmt.Errorf("%w: trailing %d bytes", ErrRecordCorrupt, len(s.buf)-s.pos)
+			}
+		} else if atEOF {
+			return rec, false, nil
+		}
+		// Refill: keep the unparsed remainder, read the next chunk.
+		rem := len(s.buf) - s.pos
+		s.off += int64(s.pos)
+		copy(s.buf, s.buf[s.pos:])
+		s.buf = s.buf[:rem]
+		s.pos = 0
+		want := s.chunk
+		if avail := s.c.Len() - (s.off + int64(rem)); int64(want) > avail {
+			want = int(avail)
+		}
+		if want > 0 {
+			start := len(s.buf)
+			s.buf = append(s.buf, make([]byte, want)...)
+			if err := s.c.ReadAt(p, s.buf[start:], s.off+int64(start)); err != nil {
+				return rec, false, err
+			}
+		}
+	}
+}
+
+// Sorter performs a bounded-DRAM external merge sort of record streams —
+// the mechanism behind KV-CSD's deferred compaction ("multiple rounds of
+// merge sorts, depending on available SoC DRAM space", paper §V).
+type Sorter[T any] struct {
+	zm    *ZoneManager
+	soc   *host.Host
+	cfg   Config
+	codec Codec[T]
+	less  func(a, b T) bool
+
+	// Runs and MergePasses record what the last Sort did (ablation metrics).
+	Runs        int
+	MergePasses int
+}
+
+// NewSorter builds a sorter using the engine's zone manager for scratch
+// space and the SoC host for CPU accounting.
+func NewSorter[T any](zm *ZoneManager, soc *host.Host, cfg Config, codec Codec[T], less func(a, b T) bool) *Sorter[T] {
+	return &Sorter[T]{zm: zm, soc: soc, cfg: cfg, codec: codec, less: less}
+}
+
+// SortCluster sorts the records of a cluster (not released — callers own it).
+func (s *Sorter[T]) SortCluster(p *sim.Proc, in *Cluster) (*Cluster, error) {
+	return s.Sort(p, newScanner(in, s.codec, 0))
+}
+
+// Sort consumes a record source and returns a new sealed cluster with the
+// records in ascending order.
+func (s *Sorter[T]) Sort(p *sim.Proc, src recordSource[T]) (*Cluster, error) {
+	runs, err := s.reduce(p, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		out := s.zm.NewCluster(ZoneTemp)
+		return out, out.Seal(p)
+	}
+	if len(runs) > 1 {
+		s.MergePasses++
+		merged, err := s.mergeRuns(p, runs)
+		if err != nil {
+			return nil, err
+		}
+		if err := releaseAll(p, runs); err != nil {
+			return nil, err
+		}
+		return merged, nil
+	}
+	return runs[0], nil
+}
+
+// SortTo sorts the source and streams the ordered records to emit instead of
+// materializing a final cluster — used by the value-sorting pass so sorted
+// values land directly in the SORTED_VALUES cluster.
+func (s *Sorter[T]) SortTo(p *sim.Proc, src recordSource[T], emit func(p *sim.Proc, rec T) error) error {
+	runs, err := s.reduce(p, src)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	s.MergePasses++
+	if err := s.mergeInto(p, runs, emit); err != nil {
+		return err
+	}
+	return releaseAll(p, runs)
+}
+
+// reduce produces at most MergeFanin sorted runs from the source.
+func (s *Sorter[T]) reduce(p *sim.Proc, src recordSource[T]) ([]*Cluster, error) {
+	runs, err := s.makeRuns(p, src)
+	if err != nil {
+		return nil, err
+	}
+	s.Runs = len(runs)
+	s.MergePasses = 0
+	for len(runs) > s.cfg.MergeFanin {
+		s.MergePasses++
+		var next []*Cluster
+		for i := 0; i < len(runs); i += s.cfg.MergeFanin {
+			end := i + s.cfg.MergeFanin
+			if end > len(runs) {
+				end = len(runs)
+			}
+			merged, err := s.mergeRuns(p, runs[i:end])
+			if err != nil {
+				return nil, err
+			}
+			if err := releaseAll(p, runs[i:end]); err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs, nil
+}
+
+func releaseAll(p *sim.Proc, cs []*Cluster) error {
+	for _, c := range cs {
+		if err := c.Release(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// makeRuns splits the input into sorted runs that fit the DRAM budget.
+func (s *Sorter[T]) makeRuns(p *sim.Proc, sc recordSource[T]) ([]*Cluster, error) {
+	var runs []*Cluster
+	var batch []T
+	var batchBytes int
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		s.soc.Compute(p, s.soc.SortCost(int64(len(batch))))
+		sort.SliceStable(batch, func(i, j int) bool { return s.less(batch[i], batch[j]) })
+		run := s.zm.NewCluster(ZoneTemp)
+		buf := make([]byte, 0, 256<<10)
+		for _, rec := range batch {
+			buf = s.codec.Encode(buf, rec)
+			if len(buf) >= 256<<10 {
+				if err := run.Append(p, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if err := run.Append(p, buf); err != nil {
+				return err
+			}
+		}
+		if err := run.Seal(p); err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+
+	for {
+		rec, ok, err := sc.next(p)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, rec)
+		batchBytes += s.codec.SizeHint(rec)
+		if batchBytes >= s.cfg.SortBudgetBytes {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// mergeItem / mergeHeapT implement the k-way merge.
+type mergeItem[T any] struct {
+	rec T
+	src int
+}
+
+type mergeHeapT[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeapT[T]) Len() int { return len(h.items) }
+func (h *mergeHeapT[T]) Less(i, j int) bool {
+	if h.less(h.items[i].rec, h.items[j].rec) {
+		return true
+	}
+	if h.less(h.items[j].rec, h.items[i].rec) {
+		return false
+	}
+	return h.items[i].src < h.items[j].src
+}
+func (h *mergeHeapT[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeapT[T]) Push(x interface{}) { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeapT[T]) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeRuns k-way merges sorted runs into one sorted cluster.
+func (s *Sorter[T]) mergeRuns(p *sim.Proc, runs []*Cluster) (*Cluster, error) {
+	out := s.zm.NewCluster(ZoneTemp)
+	buf := make([]byte, 0, 256<<10)
+	err := s.merge(p, runs, func(mp *sim.Proc, rec T) error {
+		buf = s.codec.Encode(buf, rec)
+		if len(buf) >= 256<<10 {
+			if err := out.Append(mp, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > 0 {
+		if err := out.Append(p, buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, out.Seal(p)
+}
+
+// mergeInto k-way merges runs, streaming records to emit.
+func (s *Sorter[T]) mergeInto(p *sim.Proc, runs []*Cluster, emit func(p *sim.Proc, rec T) error) error {
+	return s.merge(p, runs, emit)
+}
+
+// merge is the k-way merge core.
+func (s *Sorter[T]) merge(p *sim.Proc, runs []*Cluster, emit func(p *sim.Proc, rec T) error) error {
+	scanners := make([]*scanner[T], len(runs))
+	h := &mergeHeapT[T]{less: s.less}
+	for i, r := range runs {
+		scanners[i] = newScanner(r, s.codec, 0)
+		rec, ok, err := scanners[i].next(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem[T]{rec: rec, src: i})
+		}
+	}
+	heap.Init(h)
+
+	logK := int64(1)
+	for k := len(runs); k > 1; k >>= 1 {
+		logK++
+	}
+	var pending int64 // records merged since last CPU charge
+	for h.Len() > 0 {
+		top := h.items[0]
+		if err := emit(p, top.rec); err != nil {
+			return err
+		}
+		pending++
+		if pending >= 4096 {
+			s.soc.Compares(p, pending*logK)
+			pending = 0
+		}
+		rec, ok, err := scanners[top.src].next(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items[0] = mergeItem[T]{rec: rec, src: top.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if pending > 0 {
+		s.soc.Compares(p, pending*logK)
+	}
+	return nil
+}

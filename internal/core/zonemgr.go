@@ -1,0 +1,392 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+)
+
+// Errors from zone and cluster management.
+var (
+	ErrNoZones       = errors.New("core: no free zones")
+	ErrClusterSealed = errors.New("core: cluster sealed")
+	ErrReadBounds    = errors.New("core: read beyond cluster length")
+)
+
+// ZoneType labels what a zone cluster stores (paper Figure 4).
+type ZoneType uint8
+
+// Zone cluster types.
+const (
+	ZoneKLOG ZoneType = iota
+	ZoneVLOG
+	ZonePIDX
+	ZoneSIDX
+	ZoneSortedValues
+	ZoneTemp // intermediate sort runs
+)
+
+// String names the zone type.
+func (t ZoneType) String() string {
+	switch t {
+	case ZoneKLOG:
+		return "KLOG"
+	case ZoneVLOG:
+		return "VLOG"
+	case ZonePIDX:
+		return "PIDX"
+	case ZoneSIDX:
+		return "SIDX"
+	case ZoneSortedValues:
+		return "SORTED_VALUES"
+	case ZoneTemp:
+		return "TEMP"
+	default:
+		return fmt.Sprintf("ZoneType(%d)", uint8(t))
+	}
+}
+
+// ZoneManager allocates and frees zones of the underlying ZNS SSD and builds
+// zone clusters. The first Config.MetadataZones zones are reserved for the
+// keyspace manager's metadata.
+type ZoneManager struct {
+	dev        *ssd.Device
+	cfg        Config
+	rng        *sim.RNG
+	free       []int // free zone indexes, LIFO
+	used       map[int]ZoneType
+	clusterSeq int64
+}
+
+// NewZoneManager creates a manager over all non-reserved zones.
+func NewZoneManager(dev *ssd.Device, cfg Config, rng *sim.RNG) *ZoneManager {
+	zm := &ZoneManager{dev: dev, cfg: cfg, rng: rng, used: make(map[int]ZoneType)}
+	for i := dev.NumZones() - 1; i >= cfg.MetadataZones; i-- {
+		zm.free = append(zm.free, i)
+	}
+	return zm
+}
+
+// Device returns the underlying SSD.
+func (zm *ZoneManager) Device() *ssd.Device { return zm.dev }
+
+// FreeZones returns the number of unallocated zones.
+func (zm *ZoneManager) FreeZones() int { return len(zm.free) }
+
+// UsedZones returns the number of allocated zones.
+func (zm *ZoneManager) UsedZones() int { return len(zm.used) }
+
+// UsedByType counts allocated zones per type (inspection).
+func (zm *ZoneManager) UsedByType() map[ZoneType]int {
+	out := make(map[ZoneType]int)
+	for _, t := range zm.used {
+		out[t]++
+	}
+	return out
+}
+
+// allocStripe takes StripeWidth zones from the free pool.
+func (zm *ZoneManager) allocStripe(t ZoneType) ([]int, error) {
+	w := zm.cfg.StripeWidth
+	if len(zm.free) < w {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNoZones, w, len(zm.free))
+	}
+	stripe := make([]int, w)
+	for i := 0; i < w; i++ {
+		z := zm.free[len(zm.free)-1]
+		zm.free = zm.free[:len(zm.free)-1]
+		zm.used[z] = t
+		stripe[i] = z
+	}
+	return stripe, nil
+}
+
+// claim marks a zone as used (metadata recovery path): it is removed from
+// the free pool without being reset.
+func (zm *ZoneManager) claim(z int, t ZoneType) {
+	if _, ok := zm.used[z]; ok {
+		return
+	}
+	zm.used[z] = t
+	for i, f := range zm.free {
+		if f == z {
+			zm.free = append(zm.free[:i], zm.free[i+1:]...)
+			break
+		}
+	}
+}
+
+// release resets zones and returns them to the pool.
+func (zm *ZoneManager) release(p *sim.Proc, zones []int) error {
+	for _, z := range zones {
+		if err := zm.dev.ResetZone(p, z); err != nil {
+			return err
+		}
+		delete(zm.used, z)
+		zm.free = append(zm.free, z)
+	}
+	return nil
+}
+
+// NewCluster creates an empty zone cluster of the given type. Zones are
+// allocated lazily on first write. The cluster's random stripe offset (paper
+// §IV, Zone Manager) spreads concurrent writers over distinct SSD channels.
+func (zm *ZoneManager) NewCluster(t ZoneType) *Cluster {
+	zm.clusterSeq++
+	return &Cluster{
+		zm:      zm,
+		id:      zm.clusterSeq,
+		typ:     t,
+		offset:  zm.rng.Intn(zm.cfg.StripeWidth),
+		blockSz: zm.cfg.BlockBytes,
+		perZone: int(zm.dev.ZoneSize()) / zm.cfg.BlockBytes,
+	}
+}
+
+// Cluster is a logical append-only byte stream striped over groups of zones.
+// Writes land in BlockBytes granules distributed round-robin (with the
+// cluster's random starting offset) over the zones of the current stripe;
+// reads reassemble the logical stream. A partial tail granule lives in SoC
+// DRAM until enough bytes arrive or the cluster is sealed.
+type Cluster struct {
+	zm      *ZoneManager
+	id      int64
+	typ     ZoneType
+	stripes [][]int
+	offset  int // random starting zone within each stripe
+	blockSz int
+	perZone int // granules per zone
+	length  int64
+	tail    []byte
+	sealed  bool
+}
+
+// Type returns what the cluster stores.
+func (c *Cluster) Type() ZoneType { return c.typ }
+
+// Len returns the logical byte length (including the DRAM tail).
+func (c *Cluster) Len() int64 { return c.length }
+
+// Zones returns all zones backing the cluster, stripe by stripe.
+func (c *Cluster) Zones() []int {
+	var out []int
+	for _, s := range c.stripes {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// granulesPerStripe returns how many granules one stripe holds.
+func (c *Cluster) granulesPerStripe() int {
+	return c.zm.cfg.StripeWidth * c.perZone
+}
+
+// locate maps a granule index to (zone, byte offset inside zone).
+func (c *Cluster) locate(granule int64) (zone int, off int64) {
+	gps := int64(c.granulesPerStripe())
+	stripe := granule / gps
+	gs := granule % gps
+	w := int64(c.zm.cfg.StripeWidth)
+	zone = c.stripes[stripe][(int64(c.offset)+gs)%w]
+	off = (gs / w) * int64(c.blockSz)
+	return zone, off
+}
+
+// ensureStripe allocates stripes until granule fits.
+func (c *Cluster) ensureStripe(granule int64) error {
+	gps := int64(c.granulesPerStripe())
+	for int64(len(c.stripes))*gps <= granule {
+		s, err := c.zm.allocStripe(c.typ)
+		if err != nil {
+			return err
+		}
+		c.stripes = append(c.stripes, s)
+	}
+	return nil
+}
+
+// Append adds data to the logical stream. Full granules are gathered into
+// per-zone write bursts (one large sequential write per zone, issued in
+// parallel across channels); the ragged tail stays buffered.
+func (c *Cluster) Append(p *sim.Proc, data []byte) error {
+	if c.sealed {
+		return ErrClusterSealed
+	}
+	c.tail = append(c.tail, data...)
+	c.length += int64(len(data))
+	for len(c.tail) >= c.blockSz {
+		full := len(c.tail) / c.blockSz
+		first := (c.length - int64(len(c.tail))) / int64(c.blockSz)
+		// Batch at most up to the end of the current stripe so every zone's
+		// burst stays sequential at its write pointer.
+		gps := int64(c.granulesPerStripe())
+		stripeEnd := (first/gps + 1) * gps
+		if first+int64(full) > stripeEnd {
+			full = int(stripeEnd - first)
+		}
+		if err := c.ensureStripe(first + int64(full) - 1); err != nil {
+			return err
+		}
+		// Gather granules by zone (granules of one zone are stride-W apart
+		// in the logical stream but contiguous inside the zone).
+		bufs := make(map[int][]byte)
+		var order []int
+		for g := 0; g < full; g++ {
+			zone, _ := c.locate(first + int64(g))
+			if _, ok := bufs[zone]; !ok {
+				order = append(order, zone)
+			}
+			bufs[zone] = append(bufs[zone], c.tail[g*c.blockSz:(g+1)*c.blockSz]...)
+		}
+		zones := make([]int, len(order))
+		data := make([][]byte, len(order))
+		for i, z := range order {
+			zones[i] = z
+			data[i] = bufs[z]
+		}
+		if err := c.zm.dev.WriteZoneSpans(p, zones, data); err != nil {
+			return err
+		}
+		c.tail = c.tail[full*c.blockSz:]
+	}
+	return nil
+}
+
+// Seal flushes the tail (zero-padded to a granule) and freezes the cluster.
+// The logical length is unchanged; padding is invisible to readers.
+func (c *Cluster) Seal(p *sim.Proc) error {
+	if c.sealed {
+		return nil
+	}
+	if len(c.tail) > 0 {
+		granule := (c.length - int64(len(c.tail))) / int64(c.blockSz)
+		if err := c.ensureStripe(granule); err != nil {
+			return err
+		}
+		zone, _ := c.locate(granule)
+		padded := make([]byte, c.blockSz)
+		copy(padded, c.tail)
+		if err := c.zm.dev.WriteZone(p, zone, padded); err != nil {
+			return err
+		}
+		c.tail = nil
+	}
+	c.sealed = true
+	return nil
+}
+
+// Sealed reports whether the cluster is frozen.
+func (c *Cluster) Sealed() bool { return c.sealed }
+
+// ReadAt fills buf from logical offset off, crossing granule and stripe
+// boundaries as needed. Granules are grouped into one contiguous span per
+// zone and issued as a parallel burst across channels (large-request ZNS
+// reads). Unsealed tails are served from DRAM.
+func (c *Cluster) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > c.length {
+		return ErrReadBounds
+	}
+	flushed := c.length - int64(len(c.tail))
+	n := 0
+	for n < len(buf) {
+		pos := off + int64(n)
+		if pos >= flushed {
+			n += copy(buf[n:], c.tail[pos-flushed:])
+			continue
+		}
+		end := off + int64(len(buf))
+		if end > flushed {
+			end = flushed
+		}
+		if err := c.readFlushed(p, buf[n:n+int(end-pos)], pos); err != nil {
+			return err
+		}
+		n += int(end - pos)
+	}
+	return nil
+}
+
+// granuleRef remembers where each granule's bytes land in the caller buffer.
+type granuleRef struct {
+	granule int64
+	spanIdx int
+	spanOff int64
+}
+
+// readFlushed reads a fully flushed byte range via per-zone span bursts.
+func (c *Cluster) readFlushed(p *sim.Proc, buf []byte, off int64) error {
+	firstG := off / int64(c.blockSz)
+	lastG := (off + int64(len(buf)) - 1) / int64(c.blockSz)
+
+	// Group consecutive granules per zone into spans (contiguous in-zone).
+	type spanAcc struct {
+		zone   int
+		start  int64 // in-zone offset
+		n      int64
+		firstG int64
+	}
+	spans := make(map[int]*spanAcc)
+	var order []int
+	for g := firstG; g <= lastG; g++ {
+		zone, zoff := c.locate(g)
+		if acc, ok := spans[zone]; ok {
+			acc.n += int64(c.blockSz)
+			_ = zoff
+		} else {
+			spans[zone] = &spanAcc{zone: zone, start: zoff, n: int64(c.blockSz), firstG: g}
+			order = append(order, zone)
+		}
+	}
+	req := make([]ssd.ZoneSpan, len(order))
+	for i, z := range order {
+		acc := spans[z]
+		// Clamp the last granule's span to the zone write pointer is not
+		// needed: flushed granules are always whole blocks.
+		req[i] = ssd.ZoneSpan{Zone: acc.zone, Off: acc.start, N: int(acc.n)}
+	}
+	datas, err := c.zm.dev.ReadZoneSpans(p, req)
+	if err != nil {
+		return err
+	}
+	// Scatter span bytes back into the caller buffer.
+	w := int64(c.zm.cfg.StripeWidth)
+	for i, z := range order {
+		acc := spans[z]
+		data := datas[i]
+		// Granules of this zone are acc.firstG, acc.firstG+w, ...
+		for k := int64(0); k*int64(c.blockSz) < int64(len(data)); k++ {
+			g := acc.firstG + k*w
+			gStart := g * int64(c.blockSz) // logical offset of granule start
+			// Intersect [gStart, gStart+blockSz) with [off, off+len(buf)).
+			lo := gStart
+			if lo < off {
+				lo = off
+			}
+			hi := gStart + int64(c.blockSz)
+			if hi > off+int64(len(buf)) {
+				hi = off + int64(len(buf))
+			}
+			if lo >= hi {
+				continue
+			}
+			srcOff := k*int64(c.blockSz) + (lo - gStart)
+			copy(buf[lo-off:hi-off], data[srcOff:srcOff+(hi-lo)])
+		}
+	}
+	return nil
+}
+
+// Release resets the cluster's zones and returns them to the pool.
+func (c *Cluster) Release(p *sim.Proc) error {
+	var zones []int
+	for _, s := range c.stripes {
+		zones = append(zones, s...)
+	}
+	c.stripes = nil
+	c.tail = nil
+	c.length = 0
+	c.sealed = true
+	return c.zm.release(p, zones)
+}

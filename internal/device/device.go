@@ -1,0 +1,295 @@
+// Package device assembles a complete KV-CSD computational storage device:
+// the ZNS SSD, the SoC (4 ARM cores running the core.Engine as a userspace
+// SPDK-style driver), the NVMe queue pair facing the host, and the dispatch
+// loops that execute incoming commands.
+//
+// Dispatch mirrors the prototype's concurrency: one dispatcher per SoC core
+// pops commands from the submission queue and executes them on the engine.
+// Long-running operations — compaction, secondary index construction — are
+// acknowledged immediately and continue as device background jobs, which is
+// what makes them invisible to foreground host threads (paper §V).
+package device
+
+import (
+	"errors"
+
+	"kvcsd/internal/core"
+	"kvcsd/internal/host"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/pcie"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+	"kvcsd/internal/stats"
+)
+
+// Options assembles a device.
+type Options struct {
+	SSD    ssd.Config
+	SoC    host.Config
+	Link   pcie.Config
+	Engine core.Config
+	// QueueDepth is the NVMe submission queue depth.
+	QueueDepth int
+	// Dispatchers is the number of command dispatch loops (default: SoC cores).
+	Dispatchers int
+	// Seed drives all device-internal randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the Table-I-flavoured device.
+func DefaultOptions() Options {
+	return Options{
+		SSD:        ssd.DefaultConfig(),
+		SoC:        host.DefaultSoCConfig(),
+		Link:       pcie.DefaultConfig(),
+		Engine:     core.DefaultConfig(),
+		QueueDepth: 256,
+		Seed:       1,
+	}
+}
+
+// Device is a running KV-CSD instance.
+type Device struct {
+	env    *sim.Env
+	ssd    *ssd.Device
+	soc    *host.Host
+	link   *pcie.Link
+	engine *core.Engine
+	queue  *nvme.QueuePair
+	st     *stats.IOStats
+	closed bool
+}
+
+// New creates and starts a device in the simulation environment. Its
+// dispatch loops run until Shutdown.
+func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Dispatchers <= 0 {
+		// SPDK-style async I/O: each core juggles several outstanding
+		// commands; CPU bursts still contend for the real cores.
+		opts.Dispatchers = opts.SoC.Cores * 4
+	}
+	rng := sim.NewRNG(opts.Seed)
+	dev := ssd.New(env, opts.SSD, st)
+	soc := host.New(env, opts.SoC)
+	d := &Device{
+		env:    env,
+		ssd:    dev,
+		soc:    soc,
+		link:   pcie.New(env, opts.Link, st),
+		engine: core.NewEngine(env, dev, soc, opts.Engine, rng.Fork(1), st),
+		queue:  nvme.NewQueuePair(env, opts.QueueDepth),
+		st:     st,
+	}
+	for i := 0; i < opts.Dispatchers; i++ {
+		env.Go("kvcsd-dispatch", d.dispatchLoop)
+	}
+	return d
+}
+
+// Queue returns the NVMe queue pair clients submit to.
+func (d *Device) Queue() *nvme.QueuePair { return d.queue }
+
+// Link returns the PCIe link clients transfer over.
+func (d *Device) Link() *pcie.Link { return d.link }
+
+// Engine exposes the device engine (tools, tests).
+func (d *Device) Engine() *core.Engine { return d.engine }
+
+// SSD exposes the underlying drive (tools, tests).
+func (d *Device) SSD() *ssd.Device { return d.ssd }
+
+// Stats returns the device's I/O statistics block.
+func (d *Device) Stats() *stats.IOStats { return d.st }
+
+// WaitBackgroundIdle blocks until device background jobs finish.
+func (d *Device) WaitBackgroundIdle(p *sim.Proc) error {
+	return d.engine.WaitBackgroundIdle(p)
+}
+
+// Shutdown closes the command queue: in-flight commands complete, then the
+// dispatch loops exit.
+func (d *Device) Shutdown() {
+	d.closed = true
+	d.queue.Close()
+}
+
+// dispatchLoop pops commands and executes them on the engine.
+func (d *Device) dispatchLoop(p *sim.Proc) {
+	for {
+		cmd, resp := d.queue.Pop(p)
+		if cmd == nil {
+			return // queue closed and drained
+		}
+		d.st.Commands.Add(1)
+		comp := d.execute(p, cmd)
+		resp.Complete(comp)
+	}
+}
+
+// execute runs one command synchronously (background ops return fast and
+// continue as engine jobs).
+func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
+	eng := d.engine
+	switch cmd.Op {
+	case nvme.OpCreateKeyspace:
+		return statusOnly(eng.CreateKeyspace(p, cmd.Keyspace))
+
+	case nvme.OpOpenKeyspace:
+		_, err := eng.Keyspace(cmd.Keyspace)
+		return statusOnly(err)
+
+	case nvme.OpDeleteKeyspace:
+		return statusOnly(eng.DeleteKeyspace(p, cmd.Keyspace))
+
+	case nvme.OpStore:
+		return statusOnly(eng.Put(p, cmd.Keyspace, cmd.Key, cmd.Value))
+
+	case nvme.OpDelete:
+		return statusOnly(eng.Delete(p, cmd.Keyspace, cmd.Key))
+
+	case nvme.OpBulkStore:
+		ops := make([]core.KVOp, len(cmd.Pairs))
+		for i, pr := range cmd.Pairs {
+			ops[i] = core.KVOp{Key: pr.Key, Value: pr.Value, Delete: pr.Tombstone}
+		}
+		return statusOnly(eng.BulkOps(p, cmd.Keyspace, ops))
+
+	case nvme.OpSync:
+		return statusOnly(eng.Sync(p, cmd.Keyspace))
+
+	case nvme.OpCompact:
+		return statusOnly(eng.Compact(p, cmd.Keyspace))
+
+	case nvme.OpCompactWithIndexes:
+		specs := make([]core.SecondarySpec, len(cmd.Indexes))
+		for i, ix := range cmd.Indexes {
+			specs[i] = core.SecondarySpec{Name: ix.Name, Offset: ix.Offset, Length: ix.Length, Type: ix.Type}
+		}
+		return statusOnly(eng.CompactWithIndexes(p, cmd.Keyspace, specs))
+
+	case nvme.OpCompactStatus:
+		ks, err := eng.Keyspace(cmd.Keyspace)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Done: ks.State() == core.StateCompacted}
+
+	case nvme.OpBuildSecondaryIndex:
+		spec := core.SecondarySpec{
+			Name:   cmd.Index.Name,
+			Offset: cmd.Index.Offset,
+			Length: cmd.Index.Length,
+			Type:   cmd.Index.Type,
+		}
+		return statusOnly(eng.BuildSecondaryIndex(p, cmd.Keyspace, spec))
+
+	case nvme.OpIndexStatus:
+		ks, err := eng.Keyspace(cmd.Keyspace)
+		if err != nil {
+			return statusOnly(err)
+		}
+		for _, n := range ks.SecondaryIndexNames() {
+			if n == cmd.Index.Name {
+				return &nvme.Completion{Status: nvme.StatusOK, Done: true}
+			}
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Done: false}
+
+	case nvme.OpRetrieve:
+		v, found, err := eng.Get(p, cmd.Keyspace, cmd.Key)
+		if err != nil {
+			return statusOnly(err)
+		}
+		if !found {
+			return &nvme.Completion{Status: nvme.StatusNotFound}
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Value: v}
+
+	case nvme.OpExist:
+		ok, err := eng.Exist(p, cmd.Keyspace, cmd.Key)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Exists: ok}
+
+	case nvme.OpQueryPrimaryRange, nvme.OpList:
+		var pairs []nvme.KVPair
+		_, err := eng.RangePrimary(p, cmd.Keyspace, cmd.Low, cmd.High, cmd.ResultLimit, func(pr core.Pair) bool {
+			pairs = append(pairs, nvme.KVPair{Key: pr.Key, Value: pr.Value})
+			return true
+		})
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Pairs: pairs}
+
+	case nvme.OpQuerySecondaryRange:
+		var pairs []nvme.KVPair
+		_, err := eng.RangeSecondary(p, cmd.Keyspace, cmd.Index.Name, cmd.Low, cmd.High, cmd.ResultLimit, func(pr core.Pair) bool {
+			pairs = append(pairs, nvme.KVPair{Key: pr.Key, Value: pr.Value})
+			return true
+		})
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Pairs: pairs}
+
+	case nvme.OpQuerySecondaryPoint:
+		var pairs []nvme.KVPair
+		_, err := eng.GetSecondary(p, cmd.Keyspace, cmd.Index.Name, cmd.Key, cmd.ResultLimit, func(pr core.Pair) bool {
+			pairs = append(pairs, nvme.KVPair{Key: pr.Key, Value: pr.Value})
+			return true
+		})
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Pairs: pairs}
+
+	case nvme.OpKeyspaceInfo:
+		info, err := eng.KeyspaceInfo(cmd.Keyspace)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Info: nvme.KeyspaceInfo{
+			Name:       info.Name,
+			State:      info.State.String(),
+			Pairs:      info.Pairs,
+			Bytes:      info.Bytes,
+			MinKey:     info.MinKey,
+			MaxKey:     info.MaxKey,
+			Secondary:  info.Secondary,
+			ZoneCount:  info.ZoneCount,
+			CompactDur: sim.Time(info.CompactDur),
+		}}
+
+	default:
+		return &nvme.Completion{Status: nvme.StatusInvalid}
+	}
+}
+
+// statusOnly maps an engine error to a completion status.
+func statusOnly(err error) *nvme.Completion {
+	return &nvme.Completion{Status: statusOf(err)}
+}
+
+func statusOf(err error) nvme.Status {
+	switch {
+	case err == nil:
+		return nvme.StatusOK
+	case errors.Is(err, core.ErrKeyspaceNotFound), errors.Is(err, core.ErrIndexNotFound):
+		return nvme.StatusNotFound
+	case errors.Is(err, core.ErrKeyspaceExists), errors.Is(err, core.ErrIndexExists):
+		return nvme.StatusExists
+	case errors.Is(err, core.ErrKeyspaceState), errors.Is(err, core.ErrDeleted):
+		return nvme.StatusKeyspaceState
+	case errors.Is(err, core.ErrNoZones), errors.Is(err, ssd.ErrDeviceCapacity):
+		return nvme.StatusNoSpace
+	case errors.Is(err, core.ErrKeyTooLarge), errors.Is(err, core.ErrValueTooLarge):
+		return nvme.StatusInvalid
+	default:
+		return nvme.StatusInternal
+	}
+}

@@ -1,0 +1,136 @@
+// Package host models the compute side of the simulation: a pool of CPU
+// cores plus the cost constants that price software work in virtual time.
+//
+// Two instances appear in every experiment: the host machine (32 EPYC cores
+// in the paper's Table I) that runs applications, the filesystem, and the
+// RocksDB baseline; and the KV-CSD SoC (4 ARM Cortex-A53 cores) that runs the
+// device-side key-value engine. A core pool is a sim.Resource, so when more
+// software threads want CPU than cores exist — or when background compaction
+// competes with foreground inserts — the queueing that the paper measures
+// emerges naturally.
+//
+// The Speed field scales all compute durations: the A53 SoC is configured
+// substantially slower per core than the host's EPYC cores.
+package host
+
+import (
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+// Config prices software work. Durations are for Speed == 1.0 (a host-class
+// core); actual charge = duration / Speed.
+type Config struct {
+	Name  string
+	Cores int
+	Speed float64 // relative per-core speed; 1.0 = host class
+
+	// SyscallCost is the kernel entry/exit plus VFS path cost per system
+	// call — the "host software overhead" the paper's motivation cites.
+	SyscallCost time.Duration
+	// MemBandwidth prices in-memory copies and checksums, bytes/sec.
+	MemBandwidth float64
+	// KVOpCost is the per-key CPU cost of a key-value engine operation
+	// (memtable insert, probe) excluding copies.
+	KVOpCost time.Duration
+	// CompareCost prices one key comparison during sorting/merging.
+	CompareCost time.Duration
+	// BlockOpCost prices assembling or decoding one 4 KiB block.
+	BlockOpCost time.Duration
+}
+
+// DefaultHostConfig models the paper's 32-core AMD EPYC host.
+func DefaultHostConfig() Config {
+	return Config{
+		Name:         "host",
+		Cores:        32,
+		Speed:        1.0,
+		SyscallCost:  2 * time.Microsecond,
+		MemBandwidth: 12e9,
+		KVOpCost:     900 * time.Nanosecond,
+		CompareCost:  40 * time.Nanosecond,
+		BlockOpCost:  2 * time.Microsecond,
+	}
+}
+
+// DefaultSoCConfig models the Fidus SW-100's quad-core ARM Cortex-A53.
+func DefaultSoCConfig() Config {
+	return Config{
+		Name:         "soc",
+		Cores:        4,
+		Speed:        0.45,
+		SyscallCost:  0, // the device engine is a userspace SPDK driver: no kernel in the path
+		MemBandwidth: 6e9,
+		KVOpCost:     120 * time.Nanosecond,
+		CompareCost:  40 * time.Nanosecond,
+		BlockOpCost:  2 * time.Microsecond,
+	}
+}
+
+// Host is a core pool bound to a simulation environment.
+type Host struct {
+	cfg Config
+	cpu *sim.Resource
+}
+
+// New creates a host with cfg.Cores cores.
+func New(env *sim.Env, cfg Config) *Host {
+	if cfg.Cores < 1 {
+		panic("host: need at least one core")
+	}
+	if cfg.Speed <= 0 {
+		panic("host: speed must be positive")
+	}
+	return &Host{cfg: cfg, cpu: sim.NewResource(env, cfg.Name+"-cpu", cfg.Cores)}
+}
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// CPU exposes the core pool for inspection.
+func (h *Host) CPU() *sim.Resource { return h.cpu }
+
+// Compute occupies one core for d (scaled by Speed) of virtual time.
+func (h *Host) Compute(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.Use(h.cpu, time.Duration(float64(d)/h.cfg.Speed))
+}
+
+// Syscall charges one kernel crossing.
+func (h *Host) Syscall(p *sim.Proc) { h.Compute(p, h.cfg.SyscallCost) }
+
+// Copy charges an in-memory move/checksum of n bytes.
+func (h *Host) Copy(p *sim.Proc, n int64) {
+	h.Compute(p, sim.TransferTime(n, h.cfg.MemBandwidth))
+}
+
+// KVOp charges n key-value engine operations.
+func (h *Host) KVOp(p *sim.Proc, n int64) {
+	h.Compute(p, time.Duration(n)*h.cfg.KVOpCost)
+}
+
+// Compares charges n key comparisons (sort/merge work).
+func (h *Host) Compares(p *sim.Proc, n int64) {
+	h.Compute(p, time.Duration(n)*h.cfg.CompareCost)
+}
+
+// BlockOp charges assembling/decoding n blocks.
+func (h *Host) BlockOp(p *sim.Proc, n int64) {
+	h.Compute(p, time.Duration(n)*h.cfg.BlockOpCost)
+}
+
+// SortCost returns the CPU duration for comparison-sorting n keys
+// (n log2 n comparisons), before Speed scaling.
+func (h *Host) SortCost(n int64) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	log2 := 0
+	for v := n; v > 1; v >>= 1 {
+		log2++
+	}
+	return time.Duration(n*int64(log2)) * h.cfg.CompareCost
+}

@@ -1,0 +1,121 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+func TestComputeScalesBySpeed(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultSoCConfig()
+	cfg.Speed = 0.5
+	h := New(env, cfg)
+	var end sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		h.Compute(p, time.Millisecond)
+		end = p.Now()
+	})
+	env.Run()
+	if end != sim.Time(2*time.Millisecond) {
+		t.Fatalf("end %v, want 2ms", end)
+	}
+}
+
+func TestCoreContention(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := DefaultHostConfig()
+	cfg.Cores = 2
+	h := New(env, cfg)
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			h.Compute(p, time.Millisecond)
+			last = p.Now()
+		})
+	}
+	env.Run()
+	// 4 jobs, 2 cores, 1ms each => 2ms.
+	if last != sim.Time(2*time.Millisecond) {
+		t.Fatalf("last %v", last)
+	}
+}
+
+func TestZeroComputeFree(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, DefaultHostConfig())
+	env.Go("w", func(p *sim.Proc) {
+		h.Compute(p, 0)
+		h.Compute(p, -time.Second)
+		if p.Now() != 0 {
+			t.Errorf("time advanced: %v", p.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestChargeHelpers(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := Config{Name: "t", Cores: 1, Speed: 1,
+		SyscallCost: time.Microsecond, MemBandwidth: 1e9,
+		KVOpCost: 100 * time.Nanosecond, CompareCost: 10 * time.Nanosecond,
+		BlockOpCost: time.Microsecond}
+	h := New(env, cfg)
+	var end sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		h.Syscall(p)       // 1µs
+		h.Copy(p, 1000)    // 1µs
+		h.KVOp(p, 10)      // 1µs
+		h.Compares(p, 100) // 1µs
+		h.BlockOp(p, 1)    // 1µs
+		end = p.Now()
+	})
+	env.Run()
+	if end != sim.Time(5*time.Microsecond) {
+		t.Fatalf("end %v, want 5µs", end)
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	h := New(sim.NewEnv(), Config{Name: "t", Cores: 1, Speed: 1, CompareCost: 10 * time.Nanosecond})
+	if h.SortCost(0) != 0 || h.SortCost(1) != 0 {
+		t.Fatal("trivial sorts should be free")
+	}
+	// 1024 keys, log2=10 => 10240 comparisons => 102.4µs
+	if got := h.SortCost(1024); got != 102400*time.Nanosecond {
+		t.Fatalf("SortCost(1024) = %v", got)
+	}
+	if h.SortCost(1<<20) <= h.SortCost(1<<10) {
+		t.Fatal("sort cost not increasing")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "bad", Cores: 0, Speed: 1},
+		{Name: "bad", Cores: 4, Speed: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(sim.NewEnv(), cfg)
+		}()
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	hc, sc := DefaultHostConfig(), DefaultSoCConfig()
+	if hc.Cores != 32 || sc.Cores != 4 {
+		t.Fatal("core counts should match Table I")
+	}
+	if sc.Speed >= hc.Speed {
+		t.Fatal("SoC cores should be slower than host cores")
+	}
+	if sc.SyscallCost != 0 {
+		t.Fatal("SPDK userspace driver should have no syscall cost")
+	}
+}

@@ -1,0 +1,359 @@
+// Package nvme defines the command interface between the KV-CSD client
+// library and the device: the NVMe Key-Value command set (Store, Retrieve,
+// Delete, Exist, List) plus KV-CSD's vendor extensions for operations the
+// standard does not cover — keyspace management, bulk store, compaction,
+// secondary index construction, and offloaded queries (paper §III, "NVMe").
+//
+// Commands travel through a QueuePair: a bounded submission queue drained by
+// the device runtime, with per-command completions the host waits on. Queue
+// interactions happen in virtual time under internal/sim.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/sim"
+)
+
+// Opcode identifies a command. The first group mirrors the NVMe KV command
+// set specification; the second group is KV-CSD vendor-specific.
+type Opcode uint8
+
+// Command opcodes.
+const (
+	// Standard NVMe KV command set.
+	OpStore Opcode = iota
+	OpRetrieve
+	OpDelete
+	OpExist
+	OpList
+
+	// KV-CSD vendor extensions.
+	OpCreateKeyspace
+	OpOpenKeyspace
+	OpDeleteKeyspace
+	OpBulkStore
+	OpCompact
+	OpCompactStatus
+	OpBuildSecondaryIndex
+	OpIndexStatus
+	OpQueryPrimaryRange
+	OpQuerySecondaryPoint
+	OpQuerySecondaryRange
+	OpKeyspaceInfo
+	OpSync
+	OpCompactWithIndexes
+)
+
+var opNames = map[Opcode]string{
+	OpStore:               "Store",
+	OpRetrieve:            "Retrieve",
+	OpDelete:              "Delete",
+	OpExist:               "Exist",
+	OpList:                "List",
+	OpCreateKeyspace:      "CreateKeyspace",
+	OpOpenKeyspace:        "OpenKeyspace",
+	OpDeleteKeyspace:      "DeleteKeyspace",
+	OpBulkStore:           "BulkStore",
+	OpCompact:             "Compact",
+	OpCompactStatus:       "CompactStatus",
+	OpBuildSecondaryIndex: "BuildSecondaryIndex",
+	OpIndexStatus:         "IndexStatus",
+	OpQueryPrimaryRange:   "QueryPrimaryRange",
+	OpQuerySecondaryPoint: "QuerySecondaryPoint",
+	OpQuerySecondaryRange: "QuerySecondaryRange",
+	OpKeyspaceInfo:        "KeyspaceInfo",
+	OpSync:                "Sync",
+	OpCompactWithIndexes:  "CompactWithIndexes",
+}
+
+// String names the opcode.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Status is a command completion status.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusExists
+	StatusInvalid
+	StatusKeyspaceState // operation not valid in the keyspace's current state
+	StatusNoSpace
+	StatusInternal
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NotFound"
+	case StatusExists:
+		return "Exists"
+	case StatusInvalid:
+		return "Invalid"
+	case StatusKeyspaceState:
+		return "KeyspaceState"
+	case StatusNoSpace:
+		return "NoSpace"
+	case StatusInternal:
+		return "Internal"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("nvme: %s", s)
+}
+
+// SecondaryIndexSpec configures a secondary index per the paper: which byte
+// range of the value holds the key and how to interpret it.
+type SecondaryIndexSpec struct {
+	Name   string
+	Offset int // byte offset within the value
+	Length int // byte length of the field
+	Type   keyenc.SecondaryType
+}
+
+// Validate checks spec sanity against a value size (0 = unknown).
+func (s SecondaryIndexSpec) Validate(valueSize int) error {
+	if s.Name == "" {
+		return errors.New("nvme: secondary index needs a name")
+	}
+	if s.Offset < 0 || s.Length <= 0 {
+		return errors.New("nvme: secondary index byte range invalid")
+	}
+	if w := s.Type.Width(); w != 0 && s.Length != w {
+		return fmt.Errorf("nvme: type %s requires length %d, got %d", s.Type, w, s.Length)
+	}
+	if valueSize > 0 && s.Offset+s.Length > valueSize {
+		return fmt.Errorf("nvme: byte range [%d,%d) exceeds value size %d", s.Offset, s.Offset+s.Length, valueSize)
+	}
+	return nil
+}
+
+// KVPair is one key-value record, used in bulk payloads and query results.
+// In bulk store payloads, Tombstone marks a deletion (paper: bulk deletes).
+type KVPair struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Command is a request sent from the host client to the device. Fields are
+// interpreted per opcode; unused fields are zero.
+type Command struct {
+	Op       Opcode
+	Keyspace string
+
+	Key   []byte
+	Value []byte
+
+	// Bulk store payload (OpBulkStore).
+	Pairs []KVPair
+
+	// Range bounds (OpQueryPrimaryRange / OpQuerySecondaryRange), inclusive
+	// low, exclusive high; nil means open.
+	Low, High []byte
+
+	// Secondary index operations.
+	Index SecondaryIndexSpec
+	// Indexes declares several secondary indexes at compaction time
+	// (OpCompactWithIndexes, the consolidated construction extension).
+	Indexes []SecondaryIndexSpec
+
+	// ResultLimit caps query results (0 = unlimited).
+	ResultLimit int
+}
+
+// WireSize approximates the bytes the command occupies crossing PCIe: a fixed
+// 64 B NVMe submission entry plus key/value/bulk payloads.
+func (c *Command) WireSize() int64 {
+	n := int64(64)
+	n += int64(len(c.Key) + len(c.Value) + len(c.Low) + len(c.High))
+	for _, p := range c.Pairs {
+		n += int64(len(p.Key) + len(p.Value) + 8) // per-pair length headers
+	}
+	return n
+}
+
+// Completion is the device's response to a command.
+type Completion struct {
+	Status Status
+	// Value holds a single result (OpRetrieve).
+	Value []byte
+	// Pairs holds streamed query results.
+	Pairs []KVPair
+	// Exists answers OpExist.
+	Exists bool
+	// Info carries keyspace metadata (OpKeyspaceInfo / status ops).
+	Info KeyspaceInfo
+	// Done reports background-operation completion for status polls.
+	Done bool
+}
+
+// WireSize approximates the completion's size on the return path: a 16 B
+// completion entry plus any returned data.
+func (c *Completion) WireSize() int64 {
+	n := int64(16 + len(c.Value))
+	for _, p := range c.Pairs {
+		n += int64(len(p.Key) + len(p.Value) + 8)
+	}
+	return n
+}
+
+// KeyspaceInfo mirrors the keyspace-manager metadata the paper describes:
+// state, pair count, key bounds.
+type KeyspaceInfo struct {
+	Name       string
+	State      string
+	Pairs      int64
+	Bytes      int64
+	MinKey     []byte
+	MaxKey     []byte
+	Secondary  []string // names of built secondary indexes
+	ZoneCount  int
+	CompactDur sim.Time // device-side compaction duration, once finished
+}
+
+// submission couples a command with its completion rendezvous.
+type submission struct {
+	cmd  *Command
+	comp *Completion
+	done *sim.Event
+}
+
+// QueuePair is a bounded NVMe submission/completion queue between one or more
+// host submitters and the device dispatch loop.
+type QueuePair struct {
+	env       *sim.Env
+	depth     int
+	queue     []*submission
+	popWait   []*sim.Proc // device dispatchers waiting for work
+	pushWait  []*sim.Proc // submitters waiting for queue space
+	closed    bool
+	submitted int64
+	completed int64
+}
+
+// NewQueuePair creates a queue pair with the given submission-queue depth.
+func NewQueuePair(env *sim.Env, depth int) *QueuePair {
+	if depth < 1 {
+		panic("nvme: queue depth must be >= 1")
+	}
+	return &QueuePair{env: env, depth: depth}
+}
+
+// Depth returns the configured queue depth.
+func (q *QueuePair) Depth() int { return q.depth }
+
+// Pending returns the number of commands waiting in the submission queue.
+func (q *QueuePair) Pending() int { return len(q.queue) }
+
+// Submitted returns the total number of commands ever submitted.
+func (q *QueuePair) Submitted() int64 { return q.submitted }
+
+// Completed returns the total number of commands completed.
+func (q *QueuePair) Completed() int64 { return q.completed }
+
+// wake moves one waiting process from list to runnable.
+func (q *QueuePair) wake(list *[]*sim.Proc) {
+	if len(*list) == 0 {
+		return
+	}
+	p := (*list)[0]
+	copy(*list, (*list)[1:])
+	*list = (*list)[:len(*list)-1]
+	q.env.Wake(p)
+}
+
+// Close marks the queue closed: once drained, Pop returns (nil, nil) to all
+// current and future dispatchers. Submitting to a closed queue panics.
+func (q *QueuePair) Close() {
+	q.closed = true
+	for _, w := range q.popWait {
+		q.env.Wake(w)
+	}
+	q.popWait = q.popWait[:0]
+}
+
+// Closed reports whether Close was called.
+func (q *QueuePair) Closed() bool { return q.closed }
+
+// Submit enqueues cmd, blocking while the queue is full, and returns a
+// handle the caller can Wait on for the completion.
+func (q *QueuePair) Submit(p *sim.Proc, cmd *Command) *Handle {
+	if q.closed {
+		panic("nvme: submit on closed queue")
+	}
+	for len(q.queue) >= q.depth {
+		q.pushWait = append(q.pushWait, p)
+		p.Block()
+	}
+	sub := &submission{cmd: cmd, comp: &Completion{}, done: sim.NewEvent(q.env)}
+	q.queue = append(q.queue, sub)
+	q.submitted++
+	q.wake(&q.popWait)
+	return &Handle{sub: sub}
+}
+
+// Pop removes the oldest submission, blocking while the queue is empty.
+// Called by the device dispatch loop. Returns (nil, nil) once the queue is
+// closed and drained.
+func (q *QueuePair) Pop(p *sim.Proc) (*Command, *Responder) {
+	for len(q.queue) == 0 {
+		if q.closed {
+			return nil, nil
+		}
+		q.popWait = append(q.popWait, p)
+		p.Block()
+	}
+	sub := q.queue[0]
+	copy(q.queue, q.queue[1:])
+	q.queue = q.queue[:len(q.queue)-1]
+	q.wake(&q.pushWait)
+	return sub.cmd, &Responder{q: q, sub: sub}
+}
+
+// Handle lets a submitter wait for its command's completion.
+type Handle struct {
+	sub *submission
+}
+
+// Wait blocks until the device completes the command and returns the
+// completion.
+func (h *Handle) Wait(p *sim.Proc) *Completion {
+	p.Wait(h.sub.done)
+	return h.sub.comp
+}
+
+// Ready reports whether the completion has been posted.
+func (h *Handle) Ready() bool { return h.sub.done.Fired() }
+
+// Responder posts the completion for a popped command.
+type Responder struct {
+	q   *QueuePair
+	sub *submission
+}
+
+// Complete fills in the completion and wakes the submitter.
+func (r *Responder) Complete(comp *Completion) {
+	*r.sub.comp = *comp
+	r.q.completed++
+	r.sub.done.Signal()
+}

@@ -1,0 +1,111 @@
+// Package pcie models the host <-> device PCIe link that KV-CSD commands and
+// DMA transfers cross.
+//
+// The link is full duplex: host-to-device and device-to-host directions are
+// independent capacity-1 resources with their own bandwidth. Each message
+// pays a fixed latency (doorbell + DMA setup) plus a size-proportional
+// transfer time. Bytes crossing the link are the quantity Figures 7b and 10b
+// account as host-device data movement.
+package pcie
+
+import (
+	"time"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+// Direction of a transfer.
+type Direction int
+
+// Transfer directions.
+const (
+	HostToDevice Direction = iota
+	DeviceToHost
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "host->device"
+	}
+	return "device->host"
+}
+
+// Config sizes the link. Defaults approximate PCIe Gen3 x16 (the paper's
+// host link; Table I) at protocol efficiency ~85%.
+type Config struct {
+	BandwidthH2D float64       // bytes/sec host->device
+	BandwidthD2H float64       // bytes/sec device->host
+	MsgLatency   time.Duration // fixed per-message cost (doorbell, DMA setup)
+	Lanes        int           // informational
+}
+
+// DefaultConfig returns a Gen3 x16 link model.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthH2D: 13.5e9,
+		BandwidthD2H: 13.5e9,
+		MsgLatency:   3 * time.Microsecond,
+		Lanes:        16,
+	}
+}
+
+// NVMeOFConfig models remote access to the device over NVMe-over-Fabrics on
+// a 100 GbE RDMA network — the paper's envisioned deployment (§II, Figure 2:
+// "nothing fundamental prevents us from extending it to NVMeOF for remote
+// access"). Bandwidth drops to the NIC's and each message pays fabric
+// round-trip latency.
+func NVMeOFConfig() Config {
+	return Config{
+		BandwidthH2D: 11.5e9, // ~100GbE payload rate
+		BandwidthD2H: 11.5e9,
+		MsgLatency:   15 * time.Microsecond, // RDMA fabric RTT share
+		Lanes:        0,                     // not a PCIe link
+	}
+}
+
+// Link is a simulated PCIe connection.
+type Link struct {
+	cfg Config
+	h2d *sim.Resource
+	d2h *sim.Resource
+	st  *stats.IOStats
+}
+
+// New creates a link; traffic is recorded into st.
+func New(env *sim.Env, cfg Config, st *stats.IOStats) *Link {
+	return &Link{
+		cfg: cfg,
+		h2d: sim.NewResource(env, "pcie-h2d", 1),
+		d2h: sim.NewResource(env, "pcie-d2h", 1),
+		st:  st,
+	}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Transfer moves n bytes across the link in the given direction, blocking
+// the calling process for latency + n/bandwidth while holding the
+// directional channel. Zero-byte transfers still pay message latency
+// (commands and completions are small but not free).
+func (l *Link) Transfer(p *sim.Proc, dir Direction, n int64) {
+	if n < 0 {
+		n = 0
+	}
+	switch dir {
+	case HostToDevice:
+		p.Use(l.h2d, l.cfg.MsgLatency+sim.TransferTime(n, l.cfg.BandwidthH2D))
+		l.st.HostToDevice.Add(n)
+	case DeviceToHost:
+		p.Use(l.d2h, l.cfg.MsgLatency+sim.TransferTime(n, l.cfg.BandwidthD2H))
+		l.st.DeviceToHost.Add(n)
+	}
+}
+
+// BusyH2D returns accumulated busy time in the host-to-device direction.
+func (l *Link) BusyH2D() time.Duration { return l.h2d.BusyTime() }
+
+// BusyD2H returns accumulated busy time in the device-to-host direction.
+func (l *Link) BusyD2H() time.Duration { return l.d2h.BusyTime() }

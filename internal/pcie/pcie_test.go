@@ -1,0 +1,116 @@
+package pcie
+
+import (
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+func TestTransferTiming(t *testing.T) {
+	cfg := Config{BandwidthH2D: 1e9, BandwidthD2H: 2e9, MsgLatency: 5 * time.Microsecond}
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	l := New(env, cfg, st)
+	var end sim.Time
+	env.Go("xfer", func(p *sim.Proc) {
+		l.Transfer(p, HostToDevice, 1000)
+		end = p.Now()
+	})
+	env.Run()
+	want := sim.Time(5*time.Microsecond) + sim.Time(sim.TransferTime(1000, 1e9))
+	if end != want {
+		t.Fatalf("end %v, want %v", end, want)
+	}
+	if st.HostToDevice.Value() != 1000 {
+		t.Fatalf("h2d bytes %d", st.HostToDevice.Value())
+	}
+}
+
+func TestDuplexDirectionsIndependent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MsgLatency = 0
+	env := sim.NewEnv()
+	l := New(env, cfg, stats.NewIOStats())
+	n := int64(13.5e6) // ~1ms in each direction
+	var e1, e2 sim.Time
+	env.Go("up", func(p *sim.Proc) { l.Transfer(p, HostToDevice, n); e1 = p.Now() })
+	env.Go("down", func(p *sim.Proc) { l.Transfer(p, DeviceToHost, n); e2 = p.Now() })
+	env.Run()
+	if e1 != e2 {
+		t.Fatalf("duplex transfers should overlap: %v vs %v", e1, e2)
+	}
+}
+
+func TestSameDirectionSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MsgLatency = 0
+	env := sim.NewEnv()
+	l := New(env, cfg, stats.NewIOStats())
+	n := int64(13.5e6)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		env.Go("up", func(p *sim.Proc) {
+			l.Transfer(p, HostToDevice, n)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run()
+	if len(ends) != 2 || ends[1] < 2*ends[0]-sim.Time(time.Microsecond) {
+		t.Fatalf("same-direction transfers should serialize: %v", ends)
+	}
+}
+
+func TestZeroByteTransferPaysLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	l := New(env, cfg, st)
+	var end sim.Time
+	env.Go("cmd", func(p *sim.Proc) {
+		l.Transfer(p, DeviceToHost, 0)
+		end = p.Now()
+	})
+	env.Run()
+	if end != sim.Time(cfg.MsgLatency) {
+		t.Fatalf("end %v, want %v", end, cfg.MsgLatency)
+	}
+	if st.DeviceToHost.Value() != 0 {
+		t.Fatal("zero transfer should add no bytes")
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	l := New(env, DefaultConfig(), st)
+	env.Go("x", func(p *sim.Proc) { l.Transfer(p, HostToDevice, -100) })
+	env.Run()
+	if st.HostToDevice.Value() != 0 {
+		t.Fatal("negative transfer recorded bytes")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	cfg := Config{BandwidthH2D: 1e9, BandwidthD2H: 1e9, MsgLatency: 0}
+	env := sim.NewEnv()
+	l := New(env, cfg, stats.NewIOStats())
+	env.Go("x", func(p *sim.Proc) {
+		l.Transfer(p, HostToDevice, 1e9) // 1s
+		l.Transfer(p, DeviceToHost, 5e8) // 0.5s
+	})
+	env.Run()
+	if l.BusyH2D() != time.Second {
+		t.Fatalf("h2d busy %v", l.BusyH2D())
+	}
+	if l.BusyD2H() != 500*time.Millisecond {
+		t.Fatalf("d2h busy %v", l.BusyD2H())
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "host->device" || DeviceToHost.String() != "device->host" {
+		t.Fatal("direction strings wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package rocks
+
+// bloomFilter is a LevelDB-style bloom filter: k probes derived from a
+// double-hashed 64-bit key fingerprint.
+type bloomFilter struct {
+	bits []byte
+	k    uint8
+}
+
+// bloomHash is FNV-1a over the key, mixed for double hashing.
+func bloomHash(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// newBloomFilter builds a filter for keys with bitsPerKey bits per key.
+func newBloomFilter(keys [][]byte, bitsPerKey int) *bloomFilter {
+	if bitsPerKey <= 0 || len(keys) == 0 {
+		return nil
+	}
+	// k = bitsPerKey * ln2, clamped like LevelDB.
+	k := uint8(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(keys) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	f := &bloomFilter{bits: make([]byte, nBytes), k: k}
+	for _, key := range keys {
+		h := bloomHash(key)
+		delta := h>>33 | h<<31
+		for i := uint8(0); i < k; i++ {
+			pos := h % uint64(nBits)
+			f.bits[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return f
+}
+
+// mayContain reports whether key was possibly added (no false negatives).
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if f == nil || len(f.bits) == 0 {
+		return true
+	}
+	nBits := uint64(len(f.bits) * 8)
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := uint8(0); i < f.k; i++ {
+		pos := h % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// marshal serializes the filter: bits then k.
+func (f *bloomFilter) marshal() []byte {
+	if f == nil {
+		return nil
+	}
+	out := make([]byte, len(f.bits)+1)
+	copy(out, f.bits)
+	out[len(f.bits)] = f.k
+	return out
+}
+
+// unmarshalBloom reconstructs a filter from marshal's output.
+func unmarshalBloom(data []byte) *bloomFilter {
+	if len(data) < 2 {
+		return nil
+	}
+	return &bloomFilter{bits: data[:len(data)-1], k: data[len(data)-1]}
+}
+
+// sizeBytes returns the serialized size.
+func (f *bloomFilter) sizeBytes() int64 {
+	if f == nil {
+		return 0
+	}
+	return int64(len(f.bits) + 1)
+}

@@ -1,0 +1,297 @@
+package rocks
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/vfs"
+)
+
+// compactionJob describes one unit of background work: either a memtable
+// flush or a table-merging compaction.
+type compactionJob struct {
+	flush      *memtable // non-nil for flush jobs
+	flushWAL   string    // WAL file to delete once the flush lands
+	level      int       // input level for merge jobs
+	inputs     []*tableHandle
+	overlaps   []*tableHandle // inputs from level+1
+	output     int            // destination level
+	everything bool           // full-DB single-pass compaction (deferred mode)
+}
+
+// levelTargetBytes returns the size target for a level (L1 = base).
+func (db *DB) levelTargetBytes(level int) int64 {
+	if level < 1 {
+		return 0
+	}
+	t := db.opts.BaseLevelBytes
+	for i := 1; i < level; i++ {
+		t *= int64(db.opts.LevelMultiplier)
+	}
+	return t
+}
+
+// pickCompaction chooses the highest-priority merge job, or nil.
+func (db *DB) pickCompaction() *compactionJob {
+	// L0 by file count.
+	if len(db.levels.files[0]) >= db.opts.L0CompactionTrigger {
+		inputs := append([]*tableHandle(nil), db.levels.files[0]...)
+		lo, hi := keyRangeOf(inputs)
+		overlaps := db.levels.overlapping(1, lo, hi)
+		return &compactionJob{level: 0, inputs: inputs, overlaps: overlaps, output: 1}
+	}
+	// Deeper levels by size score.
+	for level := 1; level < db.opts.Levels-1; level++ {
+		if db.levels.levelBytes(level) <= db.levelTargetBytes(level) {
+			continue
+		}
+		if len(db.levels.files[level]) == 0 {
+			continue
+		}
+		// Round-robin through the level.
+		idx := db.compactPtr[level] % len(db.levels.files[level])
+		db.compactPtr[level]++
+		in := db.levels.files[level][idx]
+		overlaps := db.levels.overlapping(level+1, in.meta.smallest, in.meta.largest)
+		return &compactionJob{level: level, inputs: []*tableHandle{in}, overlaps: overlaps, output: level + 1}
+	}
+	return nil
+}
+
+func keyRangeOf(tables []*tableHandle) (lo, hi []byte) {
+	for _, t := range tables {
+		if lo == nil || bytes.Compare(t.meta.smallest, lo) < 0 {
+			lo = t.meta.smallest
+		}
+		if hi == nil || bytes.Compare(t.meta.largest, hi) > 0 {
+			hi = t.meta.largest
+		}
+	}
+	return lo, hi
+}
+
+// runFlush writes an immutable memtable out as an L0 table.
+func (db *DB) runFlush(p *sim.Proc, job *compactionJob) error {
+	mem := job.flush
+	if !mem.empty() {
+		meta, err := db.buildTable(p, mem.iterator(), 0, false)
+		if err != nil {
+			return err
+		}
+		db.levels.addL0(meta)
+		db.metrics.Flushes++
+	}
+	// Drop the flushed memtable and its WAL.
+	for i, m := range db.imms {
+		if m == mem {
+			db.imms = append(db.imms[:i:i], db.imms[i+1:]...)
+			break
+		}
+	}
+	if job.flushWAL != "" && db.fs.Exists(job.flushWAL) {
+		if err := db.fs.Remove(p, job.flushWAL); err != nil {
+			return err
+		}
+	}
+	return db.saveManifest(p)
+}
+
+// runCompaction merges job inputs into the output level.
+func (db *DB) runCompaction(p *sim.Proc, job *compactionJob) error {
+	all := append(append([]*tableHandle(nil), job.inputs...), job.overlaps...)
+	var iters []internalIterator
+	var inBytes int64
+	for _, t := range all {
+		r, err := t.open(p, db)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, r.iterator(p))
+		inBytes += t.meta.size
+	}
+	db.metrics.CompactReadBytes += inBytes
+
+	merged := newMergingIter(iters...)
+	merged.SeekToFirst()
+
+	// Tombstones may be dropped only when nothing deeper can hold the key.
+	bottom := job.output >= db.opts.Levels-1 || job.everything
+	if !bottom {
+		deeperEmpty := true
+		for l := job.output + 1; l < db.opts.Levels; l++ {
+			if len(db.levels.files[l]) > 0 {
+				deeperEmpty = false
+				break
+			}
+		}
+		bottom = deeperEmpty
+	}
+
+	outputs, err := db.writeMerged(p, merged, bottom)
+	if err != nil {
+		return err
+	}
+
+	// Install: remove inputs, add outputs, persist.
+	if job.everything {
+		for l := range db.levels.files {
+			db.levels.files[l] = nil
+		}
+	} else {
+		for _, t := range job.inputs {
+			db.levels.remove(job.level, t.meta.fileNum)
+		}
+		for _, t := range job.overlaps {
+			db.levels.remove(job.output, t.meta.fileNum)
+		}
+	}
+	for _, t := range outputs {
+		if job.output == 0 {
+			db.levels.addL0(t)
+		} else {
+			db.levels.addSorted(job.output, t)
+		}
+		db.metrics.CompactWriteBytes += t.meta.size
+	}
+	db.metrics.Compactions++
+	for _, t := range all {
+		db.obsolete = append(db.obsolete, t.meta.fileNum)
+	}
+	db.deleteObsolete(p)
+	return db.saveManifest(p)
+}
+
+// writeMerged drains a merging iterator into size-capped output tables,
+// dropping shadowed versions and (at the bottom) tombstones.
+func (db *DB) writeMerged(p *sim.Proc, merged *mergingIter, bottom bool) ([]*tableHandle, error) {
+	var outputs []*tableHandle
+	var builder *tableBuilder
+	var f interface{ Close() error }
+	var curNum uint64
+	var curSmallest []byte
+	var curEntries int64
+	var lastKey []byte
+
+	finish := func() error {
+		if builder == nil {
+			return nil
+		}
+		size, err := builder.finish(p)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, &tableHandle{meta: tableMeta{
+			fileNum:  curNum,
+			size:     size,
+			entries:  curEntries,
+			smallest: curSmallest,
+			largest:  append([]byte(nil), builder.largest...),
+		}})
+		_ = f.Close()
+		builder = nil
+		return nil
+	}
+
+	for merged.Valid() {
+		key, value, kind, seq := merged.Key(), merged.Value(), merged.Kind(), merged.Seq()
+		db.h.Compares(p, 10) // heap sift + decode + re-encode per merged entry
+		if lastKey != nil && bytes.Equal(key, lastKey) {
+			merged.Next()
+			continue // shadowed older version
+		}
+		lastKey = append(lastKey[:0], key...)
+		if kind == kindDelete && bottom {
+			merged.Next()
+			continue // tombstone reached the bottom: drop
+		}
+		if builder == nil {
+			curNum = db.nextFileNum
+			db.nextFileNum++
+			file, err := db.fs.Create(p, db.fileName(curNum))
+			if err != nil {
+				return nil, err
+			}
+			builder = newTableBuilder(file, db.h, &db.opts)
+			f = file
+			curSmallest = append([]byte(nil), key...)
+			curEntries = 0
+		}
+		if err := builder.add(p, key, value, kind, seq); err != nil {
+			return nil, err
+		}
+		curEntries++
+		if builder.offset+int64(len(builder.blockBuf)) >= db.opts.TargetFileBytes {
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		}
+		merged.Next()
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// buildTable writes a whole memtable (or iterator) as one table file on the
+// given level and returns its handle.
+func (db *DB) buildTable(p *sim.Proc, it internalIterator, level int, seeked bool) (*tableHandle, error) {
+	if !seeked {
+		it.SeekToFirst()
+	}
+	num := db.nextFileNum
+	db.nextFileNum++
+	file, err := db.fs.Create(p, db.fileName(num))
+	if err != nil {
+		return nil, err
+	}
+	builder := newTableBuilder(file, db.h, &db.opts)
+	var smallest []byte
+	var entries int64
+	for it.Valid() {
+		if smallest == nil {
+			smallest = append([]byte(nil), it.Key()...)
+		}
+		if err := builder.add(p, it.Key(), it.Value(), it.Kind(), it.Seq()); err != nil {
+			return nil, err
+		}
+		entries++
+		it.Next()
+	}
+	size, err := builder.finish(p)
+	if err != nil {
+		return nil, err
+	}
+	db.metrics.FlushBytes += size
+	_ = file.Close()
+	_ = level
+	return &tableHandle{meta: tableMeta{
+		fileNum:  num,
+		size:     size,
+		entries:  entries,
+		smallest: smallest,
+		largest:  append([]byte(nil), builder.largest...),
+	}}, nil
+}
+
+// deleteObsolete removes replaced table files when no iterators are live.
+// The batch is detached first because vfs.Remove can yield (syscall cost),
+// letting other processes queue more obsolete files or call this again.
+func (db *DB) deleteObsolete(p *sim.Proc) {
+	if db.activeIters > 0 || len(db.obsolete) == 0 {
+		return
+	}
+	batch := db.obsolete
+	db.obsolete = nil
+	for _, num := range batch {
+		name := db.fileName(num)
+		if db.fs.Exists(name) {
+			if err := db.fs.Remove(p, name); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+				panic(fmt.Sprintf("rocks: delete obsolete %s: %v", name, err))
+			}
+		}
+		db.cache.evictFile(num)
+	}
+}

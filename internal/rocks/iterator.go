@@ -1,0 +1,105 @@
+package rocks
+
+import "container/heap"
+
+// internalIterator walks entries in internal-key order (user key ascending,
+// sequence descending). Implemented by skiplistIter and tableIter.
+type internalIterator interface {
+	SeekToFirst()
+	Seek(userKey []byte)
+	Valid() bool
+	Next()
+	Key() []byte
+	Value() []byte
+	Kind() entryKind
+	Seq() uint64
+}
+
+// mergingIter merges several internalIterators. Sources must be given
+// newest-first: when two sources hold identical internal keys (which cannot
+// happen for distinct seqs) the lower source index wins.
+type mergingIter struct {
+	iters []internalIterator
+	h     mergeHeap
+}
+
+type mergeItem struct {
+	it  internalIterator
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := compareInternal(h[i].it.Key(), h[i].it.Seq(), h[j].it.Key(), h[j].it.Seq())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newMergingIter(iters ...internalIterator) *mergingIter {
+	return &mergingIter{iters: iters}
+}
+
+func (m *mergingIter) rebuild() {
+	m.h = m.h[:0]
+	for i, it := range m.iters {
+		if it.Valid() {
+			m.h = append(m.h, mergeItem{it: it, src: i})
+		}
+	}
+	heap.Init(&m.h)
+}
+
+// SeekToFirst positions all sources at their start.
+func (m *mergingIter) SeekToFirst() {
+	for _, it := range m.iters {
+		it.SeekToFirst()
+	}
+	m.rebuild()
+}
+
+// Seek positions at the first entry with user key >= target.
+func (m *mergingIter) Seek(target []byte) {
+	for _, it := range m.iters {
+		it.Seek(target)
+	}
+	m.rebuild()
+}
+
+// Valid reports whether an entry is available.
+func (m *mergingIter) Valid() bool { return len(m.h) > 0 }
+
+// Next advances past the current smallest entry.
+func (m *mergingIter) Next() {
+	top := m.h[0]
+	top.it.Next()
+	if top.it.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// Key returns the current user key.
+func (m *mergingIter) Key() []byte { return m.h[0].it.Key() }
+
+// Value returns the current value.
+func (m *mergingIter) Value() []byte { return m.h[0].it.Value() }
+
+// Kind returns the current entry kind.
+func (m *mergingIter) Kind() entryKind { return m.h[0].it.Kind() }
+
+// Seq returns the current sequence number.
+func (m *mergingIter) Seq() uint64 { return m.h[0].it.Seq() }

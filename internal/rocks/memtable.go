@@ -1,0 +1,46 @@
+package rocks
+
+import "kvcsd/internal/sim"
+
+// memtable is the in-memory write buffer: a skiplist plus size accounting.
+type memtable struct {
+	list *skiplist
+}
+
+func newMemtable(rng *sim.RNG) *memtable {
+	return &memtable{list: newSkiplist(rng)}
+}
+
+// add inserts a put or delete.
+func (m *memtable) add(key, value []byte, kind entryKind, seq uint64) {
+	k := append([]byte(nil), key...)
+	var v []byte
+	if kind == kindValue {
+		v = append([]byte(nil), value...)
+	}
+	m.list.insert(k, v, kind, seq)
+}
+
+// get returns (value, found, deleted) for the newest visible entry.
+func (m *memtable) get(key []byte, snapshot uint64) ([]byte, bool, bool) {
+	n, ok := m.list.get(key, snapshot)
+	if !ok {
+		return nil, false, false
+	}
+	if n.kind == kindDelete {
+		return nil, true, true
+	}
+	return n.value, true, false
+}
+
+// approximateBytes returns the memory footprint.
+func (m *memtable) approximateBytes() int64 { return m.list.bytes }
+
+// count returns the number of entries (including shadowed versions).
+func (m *memtable) count() int { return m.list.count }
+
+// empty reports whether the memtable holds no entries.
+func (m *memtable) empty() bool { return m.list.count == 0 }
+
+// iterator walks entries in internal-key order.
+func (m *memtable) iterator() *skiplistIter { return m.list.iterator() }

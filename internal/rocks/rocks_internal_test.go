@@ -1,0 +1,377 @@
+package rocks
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kvcsd/internal/sim"
+)
+
+// --- bloom filter --------------------------------------------------------
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		bf := newBloomFilter(keys, 10)
+		for _, k := range keys {
+			if !bf.mayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%08d", i)))
+	}
+	bf := newBloomFilter(keys, 10)
+	fp := 0
+	probes := 10000
+	for i := 0; i < probes; i++ {
+		if bf.mayContain([]byte(fmt.Sprintf("absent-%08d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key should give ~1% FPR; allow generous slack.
+	if rate := float64(fp) / float64(probes); rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	bf := newBloomFilter(keys, 10)
+	re := unmarshalBloom(bf.marshal())
+	for _, k := range keys {
+		if !re.mayContain(k) {
+			t.Fatalf("unmarshaled filter lost key %q", k)
+		}
+	}
+	if bf.sizeBytes() != int64(len(bf.marshal())) {
+		t.Fatal("sizeBytes mismatch")
+	}
+}
+
+func TestBloomNilSafety(t *testing.T) {
+	var bf *bloomFilter
+	if !bf.mayContain([]byte("x")) {
+		t.Fatal("nil filter must not reject")
+	}
+	if bf.marshal() != nil || bf.sizeBytes() != 0 {
+		t.Fatal("nil filter marshal should be empty")
+	}
+	if newBloomFilter(nil, 10) != nil {
+		t.Fatal("empty key set should produce nil filter")
+	}
+	if newBloomFilter([][]byte{[]byte("k")}, 0) != nil {
+		t.Fatal("0 bits per key should disable the filter")
+	}
+	if unmarshalBloom([]byte{1}) != nil {
+		t.Fatal("too-short data should produce nil filter")
+	}
+}
+
+// --- skiplist ------------------------------------------------------------
+
+func TestSkiplistSortedOrder(t *testing.T) {
+	rng := sim.NewRNG(1)
+	s := newSkiplist(rng)
+	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for i, k := range keys {
+		s.insert([]byte(k), []byte("v"), kindValue, uint64(i+1))
+	}
+	it := s.iterator()
+	it.SeekToFirst()
+	var got []string
+	for it.Valid() {
+		got = append(got, string(it.Key()))
+		it.Next()
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if s.count != 5 {
+		t.Fatalf("count %d", s.count)
+	}
+}
+
+func TestSkiplistVersionOrdering(t *testing.T) {
+	s := newSkiplist(sim.NewRNG(2))
+	s.insert([]byte("k"), []byte("old"), kindValue, 1)
+	s.insert([]byte("k"), []byte("new"), kindValue, 5)
+	// Snapshot 10 sees the newest version.
+	n, ok := s.get([]byte("k"), 10)
+	if !ok || string(n.value) != "new" {
+		t.Fatalf("got %+v ok=%v", n, ok)
+	}
+	// Snapshot 3 sees only the old version.
+	n, ok = s.get([]byte("k"), 3)
+	if !ok || string(n.value) != "old" {
+		t.Fatalf("snapshot read got %q", n.value)
+	}
+}
+
+func TestSkiplistSeek(t *testing.T) {
+	s := newSkiplist(sim.NewRNG(3))
+	for i := 0; i < 100; i += 10 {
+		s.insert([]byte(fmt.Sprintf("%03d", i)), nil, kindValue, uint64(i+1))
+	}
+	it := s.iterator()
+	it.Seek([]byte("045"))
+	if !it.Valid() || string(it.Key()) != "050" {
+		t.Fatalf("seek landed on %q", it.Key())
+	}
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+}
+
+func TestSkiplistPropertySorted(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		s := newSkiplist(sim.NewRNG(4))
+		for i, k := range keys {
+			s.insert(append([]byte(nil), k...), nil, kindValue, uint64(i+1))
+		}
+		it := s.iterator()
+		it.SeekToFirst()
+		var prev []byte
+		var prevSeq uint64
+		for it.Valid() {
+			if prev != nil && compareInternal(prev, prevSeq, it.Key(), it.Seq()) > 0 {
+				return false
+			}
+			prev = append([]byte(nil), it.Key()...)
+			prevSeq = it.Seq()
+			it.Next()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- merging iterator ----------------------------------------------------
+
+func TestMergingIterInterleaves(t *testing.T) {
+	a := newSkiplist(sim.NewRNG(5))
+	b := newSkiplist(sim.NewRNG(6))
+	for i := 0; i < 10; i += 2 {
+		a.insert([]byte(fmt.Sprintf("%02d", i)), []byte("a"), kindValue, uint64(100+i))
+	}
+	for i := 1; i < 10; i += 2 {
+		b.insert([]byte(fmt.Sprintf("%02d", i)), []byte("b"), kindValue, uint64(100+i))
+	}
+	m := newMergingIter(a.iterator(), b.iterator())
+	m.SeekToFirst()
+	for i := 0; i < 10; i++ {
+		if !m.Valid() {
+			t.Fatalf("iterator exhausted at %d", i)
+		}
+		if string(m.Key()) != fmt.Sprintf("%02d", i) {
+			t.Fatalf("at %d got %q", i, m.Key())
+		}
+		m.Next()
+	}
+	if m.Valid() {
+		t.Fatal("iterator should be exhausted")
+	}
+}
+
+func TestMergingIterNewestVersionFirst(t *testing.T) {
+	older := newSkiplist(sim.NewRNG(7))
+	newer := newSkiplist(sim.NewRNG(8))
+	older.insert([]byte("k"), []byte("old"), kindValue, 1)
+	newer.insert([]byte("k"), []byte("new"), kindValue, 9)
+	m := newMergingIter(newer.iterator(), older.iterator())
+	m.SeekToFirst()
+	if string(m.Value()) != "new" || m.Seq() != 9 {
+		t.Fatalf("first version %q seq=%d", m.Value(), m.Seq())
+	}
+	m.Next()
+	if string(m.Value()) != "old" {
+		t.Fatalf("second version %q", m.Value())
+	}
+}
+
+func TestMergingIterSeek(t *testing.T) {
+	a := newSkiplist(sim.NewRNG(9))
+	for i := 0; i < 20; i++ {
+		a.insert([]byte(fmt.Sprintf("%02d", i)), nil, kindValue, uint64(i+1))
+	}
+	m := newMergingIter(a.iterator())
+	m.Seek([]byte("07"))
+	if string(m.Key()) != "07" {
+		t.Fatalf("seek got %q", m.Key())
+	}
+}
+
+// --- internal key comparison --------------------------------------------
+
+func TestCompareInternal(t *testing.T) {
+	if compareInternal([]byte("a"), 5, []byte("b"), 1) >= 0 {
+		t.Fatal("user key should dominate")
+	}
+	if compareInternal([]byte("a"), 5, []byte("a"), 1) >= 0 {
+		t.Fatal("higher seq should sort first")
+	}
+	if compareInternal([]byte("a"), 5, []byte("a"), 5) != 0 {
+		t.Fatal("identical internal keys should compare equal")
+	}
+}
+
+func TestCompareInternalTotalOrderProperty(t *testing.T) {
+	f := func(a, b []byte, sa, sb uint64) bool {
+		c1 := compareInternal(a, sa, b, sb)
+		c2 := compareInternal(b, sb, a, sa)
+		if c1 == 0 {
+			return c2 == 0 && bytes.Equal(a, b) && sa == sb
+		}
+		return (c1 < 0) == (c2 > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- block cache ---------------------------------------------------------
+
+func TestBlockCacheLRU(t *testing.T) {
+	c := newBlockCache(100)
+	c.put(1, 0, make([]byte, 40))
+	c.put(1, 1, make([]byte, 40))
+	if _, ok := c.get(1, 0); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.put(1, 2, make([]byte, 40)) // evicts LRU = block 1
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("block 1 should have been evicted")
+	}
+	if _, ok := c.get(1, 0); !ok {
+		t.Fatal("recently used block 0 should survive")
+	}
+}
+
+func TestBlockCacheEvictFile(t *testing.T) {
+	c := newBlockCache(1000)
+	c.put(1, 0, make([]byte, 10))
+	c.put(2, 0, make([]byte, 10))
+	c.evictFile(1)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("file 1 blocks should be gone")
+	}
+	if _, ok := c.get(2, 0); !ok {
+		t.Fatal("file 2 blocks should remain")
+	}
+}
+
+func TestBlockCacheNilSafe(t *testing.T) {
+	var c *blockCache
+	if _, ok := c.get(1, 1); ok {
+		t.Fatal("nil cache get should miss")
+	}
+	c.put(1, 1, nil) // must not panic
+	c.evictFile(1)
+	c.clear()
+	if newBlockCache(0) != nil {
+		t.Fatal("0-capacity cache should be nil")
+	}
+}
+
+func TestBlockCacheUpdateInPlace(t *testing.T) {
+	c := newBlockCache(100)
+	c.put(1, 0, make([]byte, 10))
+	c.put(1, 0, make([]byte, 30))
+	if c.used != 30 {
+		t.Fatalf("used %d after update", c.used)
+	}
+}
+
+// --- options -------------------------------------------------------------
+
+func TestSanitizeFillsDefaults(t *testing.T) {
+	o := Options{}.sanitize()
+	d := DefaultOptions()
+	if o.MemtableBytes != d.MemtableBytes || o.Levels != d.Levels ||
+		o.CompactionWorkers != d.CompactionWorkers {
+		t.Fatalf("sanitize left zeros: %+v", o)
+	}
+}
+
+func TestCompactionModeString(t *testing.T) {
+	if CompactionAuto.String() != "auto" || CompactionDeferred.String() != "deferred" ||
+		CompactionDisabled.String() != "disabled" || CompactionMode(9).String() != "unknown" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// --- levels --------------------------------------------------------------
+
+func TestLevelsSortedInsertAndOverlap(t *testing.T) {
+	l := newLevels(3)
+	mk := func(num uint64, lo, hi string) *tableHandle {
+		return &tableHandle{meta: tableMeta{fileNum: num, size: 10, smallest: []byte(lo), largest: []byte(hi)}}
+	}
+	l.addSorted(1, mk(2, "m", "r"))
+	l.addSorted(1, mk(1, "a", "f"))
+	l.addSorted(1, mk(3, "s", "z"))
+	if l.files[1][0].meta.fileNum != 1 || l.files[1][2].meta.fileNum != 3 {
+		t.Fatal("level not sorted by smallest key")
+	}
+	ov := l.overlapping(1, []byte("e"), []byte("n"))
+	if len(ov) != 2 {
+		t.Fatalf("overlap count %d", len(ov))
+	}
+	if c := l.candidateForKey(1, []byte("t")); c == nil || c.meta.fileNum != 3 {
+		t.Fatal("candidate lookup failed")
+	}
+	if c := l.candidateForKey(1, []byte("g")); c != nil {
+		t.Fatal("gap key should have no candidate")
+	}
+	l.remove(1, 2)
+	if len(l.files[1]) != 2 {
+		t.Fatal("remove failed")
+	}
+	if l.levelBytes(1) != 20 {
+		t.Fatalf("level bytes %d", l.levelBytes(1))
+	}
+	if l.totalTables() != 2 {
+		t.Fatalf("total tables %d", l.totalTables())
+	}
+}
+
+func TestKeyRangeOf(t *testing.T) {
+	tables := []*tableHandle{
+		{meta: tableMeta{smallest: []byte("g"), largest: []byte("m")}},
+		{meta: tableMeta{smallest: []byte("a"), largest: []byte("e")}},
+		{meta: tableMeta{smallest: []byte("p"), largest: []byte("z")}},
+	}
+	lo, hi := keyRangeOf(tables)
+	if string(lo) != "a" || string(hi) != "z" {
+		t.Fatalf("range %q..%q", lo, hi)
+	}
+}
+
+// --- sorted check helper used by other tests -----------------------------
+
+func assertSorted(t *testing.T, keys [][]byte) {
+	t.Helper()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 }) {
+		t.Fatal("keys not sorted")
+	}
+}

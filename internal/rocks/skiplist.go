@@ -1,0 +1,136 @@
+package rocks
+
+import (
+	"bytes"
+
+	"kvcsd/internal/sim"
+)
+
+const skiplistMaxHeight = 12
+
+// entryKind distinguishes live values from tombstones inside the LSM.
+type entryKind uint8
+
+// Entry kinds.
+const (
+	kindValue entryKind = iota
+	kindDelete
+)
+
+// skipNode is one skiplist node. Keys are internal keys: user key plus a
+// descending sequence number so newer writes for the same user key sort
+// first.
+type skipNode struct {
+	key   []byte
+	value []byte
+	kind  entryKind
+	seq   uint64
+	next  []*skipNode
+}
+
+// skiplist is a deterministic (seeded) skiplist keyed by (userKey asc, seq
+// desc). It is single-writer under the DES, so no synchronization is needed.
+type skiplist struct {
+	head   *skipNode
+	height int
+	rng    *sim.RNG
+	count  int
+	bytes  int64
+}
+
+func newSkiplist(rng *sim.RNG) *skiplist {
+	return &skiplist{
+		head:   &skipNode{next: make([]*skipNode, skiplistMaxHeight)},
+		height: 1,
+		rng:    rng,
+	}
+}
+
+// compareInternal orders by user key ascending then sequence descending.
+func compareInternal(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1
+	case aSeq < bSeq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < skiplistMaxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// insert adds an entry; duplicate (key, seq) pairs are not expected.
+func (s *skiplist) insert(key, value []byte, kind entryKind, seq uint64) {
+	var prev [skiplistMaxHeight]*skipNode
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && compareInternal(x.next[level].key, x.next[level].seq, key, seq) < 0 {
+			x = x.next[level]
+		}
+		prev[level] = x
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	n := &skipNode{key: key, value: value, kind: kind, seq: seq, next: make([]*skipNode, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	s.count++
+	s.bytes += int64(len(key) + len(value) + 24)
+}
+
+// seekGE returns the first node with internal key >= (key, seq).
+func (s *skiplist) seekGE(key []byte, seq uint64) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && compareInternal(x.next[level].key, x.next[level].seq, key, seq) < 0 {
+			x = x.next[level]
+		}
+	}
+	return x.next[0]
+}
+
+// get returns the newest entry for key visible at snapshot seq.
+func (s *skiplist) get(key []byte, seq uint64) (*skipNode, bool) {
+	n := s.seekGE(key, seq) // seq desc: first node with seq <= snapshot
+	if n != nil && bytes.Equal(n.key, key) {
+		return n, true
+	}
+	return nil, false
+}
+
+// first returns the lowest node.
+func (s *skiplist) first() *skipNode { return s.head.next[0] }
+
+// skiplistIter walks the list in internal-key order.
+type skiplistIter struct {
+	list *skiplist
+	node *skipNode
+}
+
+func (s *skiplist) iterator() *skiplistIter { return &skiplistIter{list: s} }
+
+func (it *skiplistIter) SeekToFirst()    { it.node = it.list.first() }
+func (it *skiplistIter) Seek(key []byte) { it.node = it.list.seekGE(key, ^uint64(0)) }
+func (it *skiplistIter) Valid() bool     { return it.node != nil }
+func (it *skiplistIter) Next()           { it.node = it.node.next[0] }
+func (it *skiplistIter) Key() []byte     { return it.node.key }
+func (it *skiplistIter) Value() []byte   { return it.node.value }
+func (it *skiplistIter) Kind() entryKind { return it.node.kind }
+func (it *skiplistIter) Seq() uint64     { return it.node.seq }

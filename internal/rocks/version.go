@@ -1,0 +1,210 @@
+package rocks
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"kvcsd/internal/sim"
+)
+
+// tableHandle couples a table's metadata with its (lazily opened) reader.
+type tableHandle struct {
+	meta   tableMeta
+	reader *tableReader
+}
+
+// open returns the table's reader, opening it on first use.
+func (t *tableHandle) open(p *sim.Proc, db *DB) (*tableReader, error) {
+	if t.reader != nil {
+		return t.reader, nil
+	}
+	f, err := db.fs.Open(p, db.fileName(t.meta.fileNum))
+	if err != nil {
+		return nil, err
+	}
+	r, err := openTable(p, f, db.h, db.cache, t.meta)
+	if err != nil {
+		return nil, err
+	}
+	t.reader = r
+	return r, nil
+}
+
+// levels is the LSM shape: levels[0] holds overlapping L0 tables newest
+// first; deeper levels hold disjoint tables sorted by smallest key.
+type levels struct {
+	files [][]*tableHandle
+}
+
+func newLevels(n int) *levels {
+	return &levels{files: make([][]*tableHandle, n)}
+}
+
+// addL0 prepends a fresh flush output (newest first).
+func (l *levels) addL0(t *tableHandle) {
+	l.files[0] = append([]*tableHandle{t}, l.files[0]...)
+}
+
+// addSorted inserts a table into a deeper level, keeping smallest-key order.
+func (l *levels) addSorted(level int, t *tableHandle) {
+	fs := l.files[level]
+	i := sort.Search(len(fs), func(i int) bool {
+		return bytes.Compare(fs[i].meta.smallest, t.meta.smallest) >= 0
+	})
+	fs = append(fs, nil)
+	copy(fs[i+1:], fs[i:])
+	fs[i] = t
+	l.files[level] = fs
+}
+
+// remove deletes a table from a level by file number.
+func (l *levels) remove(level int, fileNum uint64) {
+	fs := l.files[level]
+	for i, t := range fs {
+		if t.meta.fileNum == fileNum {
+			l.files[level] = append(fs[:i:i], fs[i+1:]...)
+			return
+		}
+	}
+}
+
+// levelBytes returns a level's total size.
+func (l *levels) levelBytes(level int) int64 {
+	var n int64
+	for _, t := range l.files[level] {
+		n += t.meta.size
+	}
+	return n
+}
+
+// totalTables returns the number of live tables.
+func (l *levels) totalTables() int {
+	n := 0
+	for _, fs := range l.files {
+		n += len(fs)
+	}
+	return n
+}
+
+// overlapping returns tables in level whose key range intersects [lo, hi].
+func (l *levels) overlapping(level int, lo, hi []byte) []*tableHandle {
+	var out []*tableHandle
+	for _, t := range l.files[level] {
+		if bytes.Compare(t.meta.largest, lo) < 0 || bytes.Compare(t.meta.smallest, hi) > 0 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// candidateForKey returns the single table in a sorted level that could hold
+// key, or nil.
+func (l *levels) candidateForKey(level int, key []byte) *tableHandle {
+	fs := l.files[level]
+	i := sort.Search(len(fs), func(i int) bool {
+		return bytes.Compare(fs[i].meta.largest, key) >= 0
+	})
+	if i < len(fs) && bytes.Compare(fs[i].meta.smallest, key) <= 0 {
+		return fs[i]
+	}
+	return nil
+}
+
+// manifestState is the durable form of the version state.
+type manifestState struct {
+	NextFileNum uint64
+	LastSeq     uint64
+	Levels      [][]manifestTable
+}
+
+type manifestTable struct {
+	FileNum  uint64
+	Size     int64
+	Entries  int64
+	Smallest []byte
+	Largest  []byte
+}
+
+// saveManifest rewrites the manifest atomically (write temp + rename).
+// Concurrent callers serialize on the manifest lock; each write uses a unique
+// temp name so an interrupted writer cannot clobber another's file.
+func (db *DB) saveManifest(p *sim.Proc) error {
+	p.Acquire(db.manifestLock)
+	defer p.Release(db.manifestLock)
+	state := manifestState{NextFileNum: db.nextFileNum, LastSeq: db.seq}
+	state.Levels = make([][]manifestTable, len(db.levels.files))
+	for i, fs := range db.levels.files {
+		for _, t := range fs {
+			state.Levels[i] = append(state.Levels[i], manifestTable{
+				FileNum:  t.meta.fileNum,
+				Size:     t.meta.size,
+				Entries:  t.meta.entries,
+				Smallest: t.meta.smallest,
+				Largest:  t.meta.largest,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&state); err != nil {
+		return fmt.Errorf("rocks: manifest encode: %w", err)
+	}
+	db.manifestSeq++
+	tmp := fmt.Sprintf("%s/MANIFEST.%06d.tmp", db.name, db.manifestSeq)
+	f, err := db.fs.Create(p, tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Append(p, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := f.Sync(p); err != nil {
+		return err
+	}
+	return db.fs.Rename(p, tmp, db.name+"/MANIFEST")
+}
+
+// loadManifest restores version state; returns false if no manifest exists.
+func (db *DB) loadManifest(p *sim.Proc) (bool, error) {
+	name := db.name + "/MANIFEST"
+	if !db.fs.Exists(name) {
+		return false, nil
+	}
+	f, err := db.fs.Open(p, name)
+	if err != nil {
+		return false, err
+	}
+	data := make([]byte, f.Size())
+	if err := f.ReadAt(p, data, 0); err != nil {
+		return false, err
+	}
+	var state manifestState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&state); err != nil {
+		return false, fmt.Errorf("rocks: manifest decode: %w", err)
+	}
+	db.nextFileNum = state.NextFileNum
+	db.seq = state.LastSeq
+	db.levels = newLevels(db.opts.Levels)
+	for i, fs := range state.Levels {
+		if i >= db.opts.Levels {
+			break
+		}
+		for _, mt := range fs {
+			h := &tableHandle{meta: tableMeta{
+				fileNum:  mt.FileNum,
+				size:     mt.Size,
+				entries:  mt.Entries,
+				smallest: mt.Smallest,
+				largest:  mt.Largest,
+			}}
+			if i == 0 {
+				db.levels.files[0] = append(db.levels.files[0], h)
+			} else {
+				db.levels.addSorted(i, h)
+			}
+		}
+	}
+	return true, nil
+}

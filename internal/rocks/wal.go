@@ -1,0 +1,105 @@
+package rocks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/vfs"
+)
+
+// WAL record layout:
+//
+//	crc32(payload) uint32 | payloadLen uint32 | payload
+//	payload: kind uint8 | seq uint64 | keyLen uint32 | key | valLen uint32 | val
+//
+// A torn or corrupt tail record terminates replay without error, matching
+// the recovery semantics of LevelDB's log reader.
+
+// ErrWALCorrupt reports a mid-log checksum failure (not a clean torn tail).
+var ErrWALCorrupt = errors.New("rocks: WAL corrupt")
+
+type walWriter struct {
+	f *vfs.File
+}
+
+func newWALWriter(f *vfs.File) *walWriter { return &walWriter{f: f} }
+
+// append writes one record.
+func (w *walWriter) append(p *sim.Proc, kind entryKind, seq uint64, key, value []byte) error {
+	payload := make([]byte, 1+8+4+len(key)+4+len(value))
+	payload[0] = byte(kind)
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(len(key)))
+	copy(payload[13:], key)
+	off := 13 + len(key)
+	binary.LittleEndian.PutUint32(payload[off:], uint32(len(value)))
+	copy(payload[off+4:], value)
+
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec, crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
+	copy(rec[8:], payload)
+	return w.f.Append(p, rec)
+}
+
+// sync flushes the log to stable storage.
+func (w *walWriter) sync(p *sim.Proc) error { return w.f.Sync(p) }
+
+// walRecord is one recovered entry.
+type walRecord struct {
+	kind  entryKind
+	seq   uint64
+	key   []byte
+	value []byte
+}
+
+// replayWAL reads all intact records from a WAL file. A short or
+// checksum-failing tail ends replay silently; corruption before the tail
+// returns ErrWALCorrupt.
+func replayWAL(p *sim.Proc, f *vfs.File) ([]walRecord, error) {
+	size := f.Size()
+	var out []walRecord
+	var off int64
+	hdr := make([]byte, 8)
+	for off+8 <= size {
+		if err := f.ReadAt(p, hdr, off); err != nil {
+			return nil, fmt.Errorf("rocks: WAL read: %w", err)
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr)
+		plen := int64(binary.LittleEndian.Uint32(hdr[4:]))
+		if off+8+plen > size {
+			return out, nil // torn tail
+		}
+		payload := make([]byte, plen)
+		if err := f.ReadAt(p, payload, off+8); err != nil {
+			return nil, fmt.Errorf("rocks: WAL read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			if off+8+plen == size {
+				return out, nil // corrupt tail record: treated as torn
+			}
+			return out, ErrWALCorrupt
+		}
+		if plen < 17 {
+			return out, ErrWALCorrupt
+		}
+		kind := entryKind(payload[0])
+		seq := binary.LittleEndian.Uint64(payload[1:])
+		klen := int64(binary.LittleEndian.Uint32(payload[9:]))
+		if 13+klen+4 > plen {
+			return out, ErrWALCorrupt
+		}
+		key := append([]byte(nil), payload[13:13+klen]...)
+		vlen := int64(binary.LittleEndian.Uint32(payload[13+klen:]))
+		if 13+klen+4+vlen != plen {
+			return out, ErrWALCorrupt
+		}
+		value := append([]byte(nil), payload[13+klen+4:]...)
+		out = append(out, walRecord{kind: kind, seq: seq, key: key, value: value})
+		off += 8 + plen
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReserveSerializesOnOneServer(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "ch", 1)
+	e.Go("p", func(p *Proc) {
+		d1 := r.Reserve(10 * time.Millisecond)
+		d2 := r.Reserve(10 * time.Millisecond)
+		if d1 != Time(10*time.Millisecond) || d2 != Time(20*time.Millisecond) {
+			t.Errorf("reservations %v %v", d1, d2)
+		}
+		p.SleepUntil(d2)
+		if p.Now() != d2 {
+			t.Errorf("woke at %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestReserveParallelAcrossServers(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "chs", 4)
+	e.Go("p", func(p *Proc) {
+		var latest Time
+		for i := 0; i < 4; i++ {
+			if d := r.Reserve(time.Millisecond); d > latest {
+				latest = d
+			}
+		}
+		// Four reservations over four servers complete together.
+		if latest != Time(time.Millisecond) {
+			t.Errorf("latest %v, want 1ms", latest)
+		}
+		// A fifth queues behind the earliest.
+		if d := r.Reserve(time.Millisecond); d != Time(2*time.Millisecond) {
+			t.Errorf("fifth reservation %v", d)
+		}
+	})
+	e.Run()
+}
+
+func TestReservePicksEarliestServer(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 2)
+	e.Go("p", func(p *Proc) {
+		r.Reserve(10 * time.Millisecond) // server A busy till 10ms
+		r.Reserve(2 * time.Millisecond)  // server B till 2ms
+		// Next reservation should land on B.
+		if d := r.Reserve(time.Millisecond); d != Time(3*time.Millisecond) {
+			t.Errorf("reservation %v, want 3ms", d)
+		}
+	})
+	e.Run()
+}
+
+func TestReserveAccountsBusyTime(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	e.Go("p", func(p *Proc) {
+		r.Reserve(time.Second)
+		r.Reserve(time.Second)
+	})
+	e.Run()
+	if r.BusyTime() != 2*time.Second {
+		t.Fatalf("busy %v", r.BusyTime())
+	}
+	if r.Acquires() != 2 {
+		t.Fatalf("acquires %d", r.Acquires())
+	}
+}
+
+func TestReserveNegativeClamped(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	e.Go("p", func(p *Proc) {
+		if d := r.Reserve(-time.Second); d != 0 {
+			t.Errorf("negative reserve %v", d)
+		}
+	})
+	e.Run()
+}
+
+func TestSleepUntilPastIsNoop(t *testing.T) {
+	e := NewEnv()
+	e.Go("p", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		p.SleepUntil(Time(time.Millisecond)) // already past
+		if p.Now() != Time(5*time.Millisecond) {
+			t.Errorf("now %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestReserveAfterTimeAdvances(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	e.Go("p", func(p *Proc) {
+		p.Sleep(100 * time.Millisecond)
+		// Server was idle; reservation starts now, not at 0.
+		if d := r.Reserve(time.Millisecond); d != Time(101*time.Millisecond) {
+			t.Errorf("reservation %v", d)
+		}
+	})
+	e.Run()
+}

@@ -1,0 +1,495 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator provides virtual time, cooperatively scheduled processes,
+// capacity-limited FIFO resources, and one-shot events. Exactly one process
+// runs at a time: a process executes real Go code (building blocks, sorting
+// keys, moving bytes) and yields to the scheduler whenever it needs virtual
+// time to pass — sleeping, acquiring a busy resource, or waiting on an event.
+// Events with equal timestamps fire in the order they were scheduled, so every
+// run of a simulation is fully deterministic.
+//
+// All timing in the KV-CSD reproduction flows through this package: host CPU
+// cores, SoC CPU cores, SSD channels and the PCIe link are Resources, and the
+// virtual-time critical path through them is what the benchmark harness
+// reports as "time".
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is deliberately the
+// same base type as time.Duration so the helpers in this package interoperate
+// with untyped constants like 5 * time.Microsecond.
+type Duration = time.Duration
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+// String formats a Time using time.Duration notation (e.g. "1.5ms").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the timestamp expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	proc *Proc
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: an event queue, a virtual clock, and the
+// set of live processes. An Env must be driven by Run from the goroutine that
+// created it.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventQueue
+	yield   chan struct{} // running process -> scheduler
+	live    int           // processes spawned and not yet finished
+	procs   map[int]*Proc // live processes, for deadlock diagnostics
+	procSeq int
+	running *Proc
+	panicV  interface{} // panic propagated out of a process
+	didRun  bool
+}
+
+// NewEnv creates an empty simulation environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{}), procs: make(map[int]*Proc)}
+}
+
+// Now returns the current virtual time. Outside Run it reports the time the
+// clock stopped at.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues a wake-up for p at time at.
+func (e *Env) schedule(p *Proc, at Time) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, proc: p})
+}
+
+// Proc is a simulation process. Each process runs on its own goroutine but is
+// scheduled cooperatively: it owns the simulation until it blocks via Sleep,
+// Acquire, Wait, or returns.
+type Proc struct {
+	env    *Env
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	doneEv *Event // fired when the process body returns
+}
+
+// Go spawns a new process that begins at the current virtual time. The
+// returned Proc can be waited on via its Done event.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		id:     e.procSeq,
+		resume: make(chan struct{}),
+	}
+	p.doneEv = NewEvent(e)
+	e.live++
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if e.panicV == nil {
+					e.panicV = fmt.Sprintf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.done = true
+			e.live--
+			delete(e.procs, p.id)
+			p.doneEv.Signal()
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// Run drives the simulation until no events remain. It panics if a process
+// panicked (propagating the message) and returns the final virtual time.
+func (e *Env) Run() Time {
+	if e.didRun {
+		panic("sim: Env.Run called twice")
+	}
+	e.didRun = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.proc.done {
+			continue
+		}
+		e.now = ev.at
+		e.running = ev.proc
+		ev.proc.resume <- struct{}{}
+		<-e.yield
+		e.running = nil
+		if e.panicV != nil {
+			panic(e.panicV)
+		}
+	}
+	if e.live > 0 {
+		var names []string
+		for _, p := range e.procs {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) blocked with no pending events: %v", e.live, names))
+	}
+	return e.now
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event that fires when the process body has returned.
+func (p *Proc) Done() *Event { return p.doneEv }
+
+// block hands control back to the scheduler without scheduling a wake-up;
+// some other process must wake us via env.schedule(p, ...).
+func (p *Proc) block() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Block parks the process with no scheduled wake-up; some other process must
+// call Env.Wake(p). This is the primitive for building custom queues and
+// condition variables (e.g. the NVMe submission queue).
+func (p *Proc) Block() { p.block() }
+
+// Wake schedules a parked process to resume at the current virtual time.
+func (e *Env) Wake(p *Proc) { e.schedule(p, e.now) }
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero. Sleep(0) still yields, letting same-time events interleave
+// in FIFO order.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now.Add(d))
+	p.block()
+}
+
+// Yield lets other runnable processes at the current instant proceed.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Resource is a FIFO resource with a fixed number of interchangeable servers
+// (e.g. CPU cores, an SSD channel, a DMA engine). Acquire blocks until a
+// server is free; waiters are granted strictly in arrival order.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// freeAt holds per-server completion times for Reserve-mode resources.
+	freeAt []Time
+
+	// accounting
+	busy        Duration // total server-busy virtual time
+	acquires    int64
+	lastChange  Time
+	utilWeight  float64 // integral of inUse over time, for Utilization
+	createdAt   Time
+	maxObserved int
+}
+
+// NewResource creates a resource with the given server count (capacity >= 1).
+func NewResource(e *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, name: name, capacity: capacity, createdAt: e.now, lastChange: e.now}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held servers.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes blocked waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) accumulate() {
+	now := r.env.now
+	r.utilWeight += float64(r.inUse) * float64(now-r.lastChange)
+	r.lastChange = now
+}
+
+// Acquire obtains one server, blocking in FIFO order until one is available.
+func (p *Proc) Acquire(r *Resource) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.accumulate()
+		r.inUse++
+		if r.inUse > r.maxObserved {
+			r.maxObserved = r.inUse
+		}
+		r.acquires++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+	// Release granted us the server before waking us.
+}
+
+// Release returns one server to the resource and wakes the oldest waiter.
+func (p *Proc) Release(r *Resource) {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		// Hand the server directly to the next waiter: inUse stays constant.
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.acquires++
+		r.env.schedule(next, r.env.now)
+		return
+	}
+	r.accumulate()
+	r.inUse--
+}
+
+// Reserve books the earliest-available server for d of virtual time without
+// blocking the caller, returning the completion timestamp. This is the
+// queue-depth model for device channels: a caller can reserve several
+// channels at once and SleepUntil the latest completion, getting parallel
+// I/O across channels. A resource must be used either exclusively through
+// Acquire/Use or exclusively through Reserve — mixing the two would let
+// reservations jump the FIFO queue.
+func (r *Resource) Reserve(d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	if r.freeAt == nil {
+		r.freeAt = make([]Time, r.capacity)
+	}
+	best := 0
+	for i := 1; i < r.capacity; i++ {
+		if r.freeAt[i] < r.freeAt[best] {
+			best = i
+		}
+	}
+	start := r.env.now
+	if r.freeAt[best] > start {
+		start = r.freeAt[best]
+	}
+	r.freeAt[best] = start.Add(d)
+	r.busy += d
+	r.acquires++
+	return r.freeAt[best]
+}
+
+// SleepUntil suspends the process until the given virtual timestamp (no-op
+// if it is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.Sleep(Duration(t - p.env.now))
+}
+
+// Use acquires a server, holds it for d of virtual time, and releases it.
+// This is the workhorse for charging CPU or channel busy time.
+func (p *Proc) Use(r *Resource, d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.Acquire(r)
+	r.busy += d
+	p.Sleep(d)
+	p.Release(r)
+}
+
+// BusyTime returns the total virtual time servers of r have been held via Use.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Acquires returns the number of grants performed.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// MaxInUse returns the high-water mark of concurrently held servers.
+func (r *Resource) MaxInUse() int { return r.maxObserved }
+
+// Utilization reports mean busy servers / capacity over the resource lifetime.
+func (r *Resource) Utilization() float64 {
+	r.accumulate()
+	elapsed := float64(r.env.now - r.createdAt)
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.utilWeight / (elapsed * float64(r.capacity))
+}
+
+// Event is a one-shot broadcast: processes Wait on it; Signal wakes all
+// current and future waiters (waiting on an already-signalled event returns
+// immediately).
+type Event struct {
+	env     *Env
+	fired   bool
+	at      Time
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(e *Env) *Event { return &Event{env: e} }
+
+// Fired reports whether Signal has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// FiredAt returns the virtual time Signal was called; valid only if Fired.
+func (ev *Event) FiredAt() Time { return ev.at }
+
+// Signal fires the event, waking every waiter at the current virtual time.
+// Signalling twice is a no-op.
+func (ev *Event) Signal() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.at = ev.env.now
+	for _, w := range ev.waiters {
+		ev.env.schedule(w, ev.env.now)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the process until the event fires. Returns immediately if it
+// already has.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block()
+}
+
+// WaitAll blocks until every event in evs has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Join waits for all given processes to finish.
+func (p *Proc) Join(procs ...*Proc) {
+	for _, q := range procs {
+		p.Wait(q.Done())
+	}
+}
+
+// Gauge tracks a time-weighted value (e.g. queue depth, DRAM in use) for
+// reporting mean and max over a run.
+type Gauge struct {
+	env    *Env
+	val    float64
+	max    float64
+	weight float64
+	last   Time
+	start  Time
+}
+
+// NewGauge creates a gauge starting at zero.
+func NewGauge(e *Env) *Gauge { return &Gauge{env: e, last: e.now, start: e.now} }
+
+// Set records a new instantaneous value.
+func (g *Gauge) Set(v float64) {
+	now := g.env.now
+	g.weight += g.val * float64(now-g.last)
+	g.last = now
+	g.val = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add increments the current value by delta.
+func (g *Gauge) Add(delta float64) { g.Set(g.val + delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.val }
+
+// Max returns the maximum value observed.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Mean returns the time-weighted mean value since creation.
+func (g *Gauge) Mean() float64 {
+	elapsed := float64(g.env.now - g.start)
+	if elapsed <= 0 {
+		return g.val
+	}
+	return (g.weight + g.val*float64(g.env.now-g.last)) / elapsed
+}
+
+// TransferTime returns the virtual time needed to move n bytes over a link
+// with the given bandwidth in bytes/second, rounded up to whole nanoseconds.
+func TransferTime(n int64, bytesPerSec float64) Duration {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	ns := float64(n) / bytesPerSec * 1e9
+	return Duration(math.Ceil(ns))
+}
+
+// SortedResourceNames is a test helper: returns names sorted, for stable output.
+func SortedResourceNames(rs []*Resource) []string {
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		at = p.Now()
+	})
+	end := e.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+	if end != at {
+		t.Fatalf("Run returned %v, want %v", end, at)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := "a1,b1,a2"
+	if got := fmt.Sprint(order[0], ",", order[1], ",", order[2]); got != want {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	e.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestEqualTimeEventsFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestResourceSerializesUse(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "cpu", 1)
+	ends := make([]Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Use(r, 10*time.Millisecond)
+			ends[i] = p.Now()
+		})
+	}
+	e.Run()
+	if ends[0] != Time(10*time.Millisecond) || ends[1] != Time(20*time.Millisecond) {
+		t.Fatalf("ends = %v, want [10ms 20ms]", ends)
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "cpu", 4)
+	var finish Time
+	done := 0
+	for i := 0; i < 8; i++ {
+		e.Go("w", func(p *Proc) {
+			p.Use(r, 10*time.Millisecond)
+			done++
+			finish = p.Now()
+		})
+	}
+	e.Run()
+	if done != 8 {
+		t.Fatalf("done = %d", done)
+	}
+	// 8 jobs, 4 servers, 10ms each => 2 waves => 20ms.
+	if finish != Time(20*time.Millisecond) {
+		t.Fatalf("finish = %v, want 20ms", finish)
+	}
+	if r.MaxInUse() != 4 {
+		t.Fatalf("max in use %d, want 4", r.MaxInUse())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "chan", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i) * time.Microsecond) // stagger arrivals
+			p.Use(r, time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order %v not FIFO by arrival", order)
+		}
+	}
+}
+
+func TestResourceHandoffKeepsUtilization(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) { p.Use(r, time.Second) })
+	}
+	e.Run()
+	if got := r.Utilization(); got < 0.999 || got > 1.001 {
+		t.Fatalf("utilization %v, want ~1.0", got)
+	}
+	if r.BusyTime() != 3*time.Second {
+		t.Fatalf("busy time %v", r.BusyTime())
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	e.Go("p", func(p *Proc) { p.Release(r) })
+	e.Run()
+}
+
+func TestEventBroadcast(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			p.Wait(ev)
+			woke++
+			if p.Now() != Time(7*time.Millisecond) {
+				t.Errorf("woke at %v", p.Now())
+			}
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		ev.Signal()
+	})
+	e.Run()
+	if woke != 3 {
+		t.Fatalf("woke = %d", woke)
+	}
+}
+
+func TestWaitOnFiredEventReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	e.Go("s", func(p *Proc) { ev.Signal() })
+	e.Go("w", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		before := p.Now()
+		p.Wait(ev)
+		if p.Now() != before {
+			t.Error("wait on fired event advanced time")
+		}
+	})
+	e.Run()
+	if !ev.Fired() || ev.FiredAt() != 0 {
+		t.Fatalf("fired=%v at=%v", ev.Fired(), ev.FiredAt())
+	}
+}
+
+func TestDoubleSignalNoop(t *testing.T) {
+	e := NewEnv()
+	ev := NewEvent(e)
+	e.Go("s", func(p *Proc) {
+		ev.Signal()
+		p.Sleep(time.Millisecond)
+		ev.Signal()
+		if ev.FiredAt() != 0 {
+			t.Error("second signal changed FiredAt")
+		}
+	})
+	e.Run()
+}
+
+func TestJoin(t *testing.T) {
+	e := NewEnv()
+	var children []*Proc
+	e.Go("parent", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			d := Duration(i) * time.Second
+			children = append(children, e.Go("child", func(c *Proc) { c.Sleep(d) }))
+		}
+		p.Join(children...)
+		if p.Now() != Time(3*time.Second) {
+			t.Errorf("join finished at %v, want 3s", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEnv()
+	ev := NewEvent(e)
+	e.Go("stuck", func(p *Proc) { p.Wait(ev) })
+	e.Run()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected propagated panic")
+		}
+	}()
+	e := NewEnv()
+	e.Go("bad", func(p *Proc) { panic("boom") })
+	e.Run()
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	e := NewEnv()
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	e.Run()
+}
+
+func TestGaugeTimeWeightedMean(t *testing.T) {
+	e := NewEnv()
+	var g *Gauge
+	e.Go("g", func(p *Proc) {
+		g = NewGauge(e)
+		g.Set(10)
+		p.Sleep(time.Second)
+		g.Set(20)
+		p.Sleep(time.Second)
+		g.Set(0)
+	})
+	e.Run()
+	if g.Max() != 20 {
+		t.Fatalf("max %v", g.Max())
+	}
+	if m := g.Mean(); m < 14.99 || m > 15.01 {
+		t.Fatalf("mean %v, want 15", m)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	cases := []struct {
+		n    int64
+		bw   float64
+		want Duration
+	}{
+		{0, 1e9, 0},
+		{-5, 1e9, 0},
+		{1e9, 1e9, time.Second},
+		{4096, 1e9, 4096 * time.Nanosecond},
+		{1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.bw); got != c.want {
+			t.Errorf("TransferTime(%d, %v) = %v, want %v", c.n, c.bw, got, c.want)
+		}
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(x, 1e8) <= TransferTime(y, 1e8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEnv()
+		cpu := NewResource(e, "cpu", 2)
+		ch := NewResource(e, "ch", 1)
+		rng := NewRNG(42)
+		var times []Time
+		for i := 0; i < 20; i++ {
+			d := Duration(rng.Intn(1000)+1) * time.Microsecond
+			e.Go("w", func(p *Proc) {
+				p.Use(cpu, d)
+				p.Use(ch, d/2)
+				times = append(times, p.Now())
+			})
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(1)
+	a := g.Fork(1)
+	b := g.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) == b.Intn(1000) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("forked streams look identical (%d/100 equal)", same)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds() = %v", tm.Seconds())
+	}
+	if tm.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Fatalf("Add failed")
+	}
+	if tm.String() != "1.5s" {
+		t.Fatalf("String() = %q", tm.String())
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	e := NewEnv()
+	cpu := NewResource(e, "cpu", 8)
+	n := 500
+	finished := 0
+	for i := 0; i < n; i++ {
+		e.Go("w", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Use(cpu, time.Microsecond)
+			}
+			finished++
+		})
+	}
+	e.Run()
+	if finished != n {
+		t.Fatalf("finished %d/%d", finished, n)
+	}
+	if cpu.Acquires() != int64(n*5) {
+		t.Fatalf("acquires %d", cpu.Acquires())
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	e := NewEnv()
+	r := NewResource(e, "x", 1)
+	e.Go("holder", func(p *Proc) {
+		p.Acquire(r)
+		p.Sleep(time.Second)
+		if r.QueueLen() != 2 {
+			t.Errorf("queue len %d, want 2", r.QueueLen())
+		}
+		p.Release(r)
+	})
+	for i := 0; i < 2; i++ {
+		e.Go("waiter", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			p.Acquire(r)
+			p.Release(r)
+		})
+	}
+	e.Run()
+}

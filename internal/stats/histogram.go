@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records latency samples with exact quantile computation. Runs in
+// the discrete-event simulator are modest in sample count, so we keep raw
+// samples; Quantile sorts lazily.
+type Histogram struct {
+	name    string
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram creates an empty named histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxInt64}
+}
+
+// Name returns the histogram name.
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Samples returns the raw samples (not sorted; callers must not mutate).
+func (h *Histogram) Samples() []time.Duration { return h.samples }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples; 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if len(h.samples) == 0 {
+		return fmt.Sprintf("%s: empty", h.name)
+	}
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p99=%v max=%v",
+		h.name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// PhaseTimer records named phase durations in insertion order — used for the
+// Figure 11 write-phase breakdown (insert / compact / secondary index).
+type PhaseTimer struct {
+	names []string
+	durs  map[string]time.Duration
+}
+
+// NewPhaseTimer creates an empty phase timer.
+func NewPhaseTimer() *PhaseTimer {
+	return &PhaseTimer{durs: make(map[string]time.Duration)}
+}
+
+// Record adds (or extends) a named phase.
+func (t *PhaseTimer) Record(name string, d time.Duration) {
+	if _, ok := t.durs[name]; !ok {
+		t.names = append(t.names, name)
+	}
+	t.durs[name] += d
+}
+
+// Get returns the accumulated duration for a phase (0 if absent).
+func (t *PhaseTimer) Get(name string) time.Duration { return t.durs[name] }
+
+// Phases returns phase names in first-recorded order.
+func (t *PhaseTimer) Phases() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Total returns the sum of all phases.
+func (t *PhaseTimer) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.durs {
+		sum += d
+	}
+	return sum
+}
+
+// String renders "name=dur" pairs in order.
+func (t *PhaseTimer) String() string {
+	s := ""
+	for i, n := range t.names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", n, t.durs[n])
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+// Package stats collects the I/O and timing statistics the KV-CSD paper
+// reports: bytes moved between host and device, bytes read and written at the
+// storage media, operation counts, and latency histograms. Figures 7b and 10b
+// are rendered directly from these counters.
+//
+// All collection happens inside a single-threaded discrete-event simulation,
+// so counters are plain fields without atomics.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count of events or bytes.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter; negative deltas panic.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("stats: negative add to counter " + c.name)
+	}
+	c.v += n
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Name returns the counter name.
+func (c *Counter) Name() string { return c.name }
+
+// IOStats aggregates the storage-traffic counters for one engine run. The
+// split mirrors the paper's Figure 7b / 10b axes.
+type IOStats struct {
+	// Media traffic: bytes actually read from / written to the SSD NAND.
+	MediaRead  Counter
+	MediaWrite Counter
+	// Host link traffic: bytes crossing the host<->device PCIe boundary.
+	HostToDevice Counter
+	DeviceToHost Counter
+	// Logical application traffic for computing amplification factors.
+	AppWrite Counter // bytes the application asked to store
+	AppRead  Counter // bytes the application asked to read back
+	// Operation counts.
+	Puts        Counter
+	Gets        Counter
+	Scans       Counter
+	Deletes     Counter
+	BulkPuts    Counter
+	Commands    Counter // device commands issued (KV-CSD only)
+	FSReads     Counter // filesystem-level read calls (baseline only)
+	FSWrites    Counter
+	CacheHits   Counter
+	CacheMisses Counter
+}
+
+// NewIOStats creates a named, zeroed stats block.
+func NewIOStats() *IOStats {
+	s := &IOStats{}
+	s.MediaRead.name = "media_read_bytes"
+	s.MediaWrite.name = "media_write_bytes"
+	s.HostToDevice.name = "host_to_device_bytes"
+	s.DeviceToHost.name = "device_to_host_bytes"
+	s.AppWrite.name = "app_write_bytes"
+	s.AppRead.name = "app_read_bytes"
+	s.Puts.name = "puts"
+	s.Gets.name = "gets"
+	s.Scans.name = "scans"
+	s.Deletes.name = "deletes"
+	s.BulkPuts.name = "bulk_puts"
+	s.Commands.name = "commands"
+	s.FSReads.name = "fs_reads"
+	s.FSWrites.name = "fs_writes"
+	s.CacheHits.name = "cache_hits"
+	s.CacheMisses.name = "cache_misses"
+	return s
+}
+
+// WriteAmplification returns media-written bytes divided by app-written
+// bytes, or 0 when nothing was written.
+func (s *IOStats) WriteAmplification() float64 {
+	if s.AppWrite.v == 0 {
+		return 0
+	}
+	return float64(s.MediaWrite.v) / float64(s.AppWrite.v)
+}
+
+// ReadInflation returns media-read bytes divided by app-read bytes — the
+// paper's "read inflation" (Fig 10b), where a software store reads whole file
+// blocks to return small values.
+func (s *IOStats) ReadInflation() float64 {
+	if s.AppRead.v == 0 {
+		return 0
+	}
+	return float64(s.MediaRead.v) / float64(s.AppRead.v)
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s *IOStats) CacheHitRate() float64 {
+	total := s.CacheHits.v + s.CacheMisses.v
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits.v) / float64(total)
+}
+
+// Snapshot returns all counters as a sorted name->value map for reporting.
+func (s *IOStats) Snapshot() map[string]int64 {
+	m := make(map[string]int64, 16)
+	for _, c := range s.counters() {
+		m[c.name] = c.v
+	}
+	return m
+}
+
+func (s *IOStats) counters() []*Counter {
+	return []*Counter{
+		&s.MediaRead, &s.MediaWrite, &s.HostToDevice, &s.DeviceToHost,
+		&s.AppWrite, &s.AppRead, &s.Puts, &s.Gets, &s.Scans, &s.Deletes,
+		&s.BulkPuts, &s.Commands, &s.FSReads, &s.FSWrites,
+		&s.CacheHits, &s.CacheMisses,
+	}
+}
+
+// String renders the non-zero counters, sorted by name.
+func (s *IOStats) String() string {
+	type kv struct {
+		k string
+		v int64
+	}
+	var rows []kv
+	for _, c := range s.counters() {
+		if c.v != 0 {
+			rows = append(rows, kv{c.name, c.v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", r.k, r.v)
+	}
+	return b.String()
+}
+
+// HumanBytes formats a byte count with a binary-prefix unit.
+func HumanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterAdd(t *testing.T) {
+	s := NewIOStats()
+	s.MediaRead.Add(100)
+	s.MediaRead.Add(50)
+	if s.MediaRead.Value() != 150 {
+		t.Fatalf("value = %d", s.MediaRead.Value())
+	}
+	if s.MediaRead.Name() != "media_read_bytes" {
+		t.Fatalf("name = %q", s.MediaRead.Name())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewIOStats()
+	s.Puts.Add(-1)
+}
+
+func TestWriteAmplification(t *testing.T) {
+	s := NewIOStats()
+	if s.WriteAmplification() != 0 {
+		t.Fatal("empty WA should be 0")
+	}
+	s.AppWrite.Add(100)
+	s.MediaWrite.Add(450)
+	if wa := s.WriteAmplification(); wa != 4.5 {
+		t.Fatalf("WA = %v", wa)
+	}
+}
+
+func TestReadInflation(t *testing.T) {
+	s := NewIOStats()
+	if s.ReadInflation() != 0 {
+		t.Fatal("empty inflation should be 0")
+	}
+	s.AppRead.Add(48)
+	s.MediaRead.Add(4096)
+	want := 4096.0 / 48.0
+	if got := s.ReadInflation(); got != want {
+		t.Fatalf("inflation = %v, want %v", got, want)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	s := NewIOStats()
+	if s.CacheHitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	s.CacheHits.Add(3)
+	s.CacheMisses.Add(1)
+	if r := s.CacheHitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v", r)
+	}
+}
+
+func TestSnapshotContainsAllCounters(t *testing.T) {
+	s := NewIOStats()
+	s.Gets.Add(7)
+	m := s.Snapshot()
+	if len(m) != 16 {
+		t.Fatalf("snapshot has %d entries", len(m))
+	}
+	if m["gets"] != 7 {
+		t.Fatalf("gets = %d", m["gets"])
+	}
+}
+
+func TestStringOnlyNonZeroSorted(t *testing.T) {
+	s := NewIOStats()
+	s.Puts.Add(2)
+	s.Gets.Add(1)
+	got := s.String()
+	if got != "gets=1 puts=2" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1.0KiB"},
+		{1536, "1.5KiB"},
+		{1 << 20, "1.0MiB"},
+		{1 << 30, "1.0GiB"},
+		{3 << 40, "3.0TiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.n); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	if h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 50*time.Millisecond {
+		t.Fatalf("p50 %v", q)
+	}
+	if q := h.Quantile(0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 %v", q)
+	}
+	if q := h.Quantile(0); q != time.Millisecond {
+		t.Fatalf("p0 %v", q)
+	}
+	if q := h.Quantile(1); q != 100*time.Millisecond {
+		t.Fatalf("p100 %v", q)
+	}
+}
+
+func TestHistogramRecordAfterQuantile(t *testing.T) {
+	h := NewHistogram("x")
+	h.Record(5 * time.Millisecond)
+	_ = h.Quantile(0.5)
+	h.Record(time.Millisecond) // must re-sort
+	if q := h.Quantile(0); q != time.Millisecond {
+		t.Fatalf("p0 after re-record = %v", q)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram("q")
+	for i := 0; i < 37; i++ {
+		h.Record(time.Duration((i*7919)%1000) * time.Microsecond)
+	}
+	f := func(a, b float64) bool {
+		qa, qb := a-float64(int(a)), b-float64(int(b)) // into [0,1)
+		if qa < 0 {
+			qa = -qa
+		}
+		if qb < 0 {
+			qb = -qb
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram("lat")
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatalf("empty string %q", h.String())
+	}
+	h.Record(time.Second)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("string %q", h.String())
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	pt := NewPhaseTimer()
+	pt.Record("insert", 2*time.Second)
+	pt.Record("compact", 3*time.Second)
+	pt.Record("insert", time.Second) // accumulate
+	if got := pt.Get("insert"); got != 3*time.Second {
+		t.Fatalf("insert %v", got)
+	}
+	if pt.Total() != 6*time.Second {
+		t.Fatalf("total %v", pt.Total())
+	}
+	ph := pt.Phases()
+	if len(ph) != 2 || ph[0] != "insert" || ph[1] != "compact" {
+		t.Fatalf("phases %v", ph)
+	}
+	if pt.Get("missing") != 0 {
+		t.Fatal("missing phase should be 0")
+	}
+	if pt.String() != "insert=3s compact=3s" {
+		t.Fatalf("String() = %q", pt.String())
+	}
+}

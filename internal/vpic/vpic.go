@@ -1,0 +1,126 @@
+// Package vpic generates a synthetic stand-in for the paper's macro
+// benchmark dataset: a partial VPIC particle-in-cell simulation dump.
+//
+// The paper's dataset is 256M particles in 16 binary files; each particle is
+// 48 bytes — a 16-byte particle ID and a 32-byte payload of 8 numeric
+// attributes, one of which (kinetic energy) drives secondary index
+// construction and selective queries. The real dump is not redistributable,
+// so we synthesize particles with the same record schema and an
+// exponentially distributed energy attribute, which makes the paper's
+// selectivity levels (0.1%..20%) reproducible via closed-form thresholds:
+// P(E > t) = exp(-t).
+package vpic
+
+import (
+	"encoding/binary"
+	"math"
+
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/sim"
+)
+
+// ParticleSize is the record size: 16 B ID + 32 B payload.
+const ParticleSize = 48
+
+// PayloadSize is the value portion of a particle record.
+const PayloadSize = 32
+
+// EnergyOffset locates the float32 kinetic energy inside the payload (the
+// last of the 8 numeric attributes).
+const EnergyOffset = 28
+
+// Particle is one simulation particle.
+type Particle struct {
+	ID      uint64
+	Payload [PayloadSize]byte
+}
+
+// Key returns the particle's 16-byte primary key.
+func (pt *Particle) Key() []byte {
+	k := keyenc.MakeFixedKey16(pt.ID)
+	return append([]byte(nil), k.Bytes()...)
+}
+
+// Energy decodes the particle's kinetic energy attribute.
+func (pt *Particle) Energy() float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(pt.Payload[EnergyOffset:]))
+}
+
+// File is one synthetic particle dump file.
+type File struct {
+	Index     int
+	Particles []Particle
+}
+
+// Dataset is a full synthetic dump: NumFiles files of PerFile particles.
+type Dataset struct {
+	Files []File
+}
+
+// Generate builds a deterministic dataset. Particle IDs are unique across
+// files (file f holds IDs f*perFile .. (f+1)*perFile-1, bit-mixed so key
+// order is not insertion order); the first seven attributes are uniform
+// noise and the energy attribute is Exp(1)-distributed.
+func Generate(seed int64, numFiles, perFile int) *Dataset {
+	ds := &Dataset{}
+	for f := 0; f < numFiles; f++ {
+		rng := sim.NewRNG(seed).Fork(int64(f + 1))
+		file := File{Index: f, Particles: make([]Particle, perFile)}
+		for i := 0; i < perFile; i++ {
+			pt := &file.Particles[i]
+			pt.ID = mix64(uint64(f*perFile + i))
+			for a := 0; a < 7; a++ {
+				binary.LittleEndian.PutUint32(pt.Payload[a*4:], uint32(rng.Uint64()))
+			}
+			energy := float32(rng.ExpFloat64())
+			binary.LittleEndian.PutUint32(pt.Payload[EnergyOffset:], math.Float32bits(energy))
+		}
+		ds.Files = append(ds.Files, file)
+	}
+	return ds
+}
+
+// mix64 is a splitmix64 finalizer: spreads sequential IDs over the key space
+// so insertion order is not already sorted.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TotalParticles returns the dataset size.
+func (ds *Dataset) TotalParticles() int {
+	n := 0
+	for _, f := range ds.Files {
+		n += len(f.Particles)
+	}
+	return n
+}
+
+// EnergyThreshold returns the energy cutoff t such that a fraction sel of
+// particles (in expectation) satisfies energy > t, using the Exp(1)
+// distribution: t = -ln(sel).
+func EnergyThreshold(sel float64) float32 {
+	if sel <= 0 {
+		return math.MaxFloat32
+	}
+	if sel >= 1 {
+		return 0
+	}
+	return float32(-math.Log(sel))
+}
+
+// CountAbove returns how many particles in the dataset exceed the threshold
+// (ground truth for query validation).
+func (ds *Dataset) CountAbove(t float32) int {
+	n := 0
+	for _, f := range ds.Files {
+		for i := range f.Particles {
+			if f.Particles[i].Energy() > t {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package vpic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(1, 4, 1000)
+	if len(ds.Files) != 4 || ds.TotalParticles() != 4000 {
+		t.Fatalf("files=%d total=%d", len(ds.Files), ds.TotalParticles())
+	}
+	for i, f := range ds.Files {
+		if f.Index != i || len(f.Particles) != 1000 {
+			t.Fatalf("file %d malformed", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 2, 100)
+	b := Generate(7, 2, 100)
+	for f := range a.Files {
+		for i := range a.Files[f].Particles {
+			if a.Files[f].Particles[i] != b.Files[f].Particles[i] {
+				t.Fatal("same seed produced different datasets")
+			}
+		}
+	}
+	c := Generate(8, 2, 100)
+	if a.Files[0].Particles[0] == c.Files[0].Particles[0] {
+		t.Fatal("different seeds produced identical particles")
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	ds := Generate(3, 4, 2000)
+	seen := make(map[uint64]bool, 8000)
+	for _, f := range ds.Files {
+		for i := range f.Particles {
+			id := f.Particles[i].ID
+			if seen[id] {
+				t.Fatalf("duplicate particle ID %x", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestKeyEncodesID(t *testing.T) {
+	pt := Particle{ID: 0xCAFEBABE}
+	k := pt.Key()
+	if len(k) != 16 {
+		t.Fatalf("key length %d", len(k))
+	}
+	var got uint64
+	for _, b := range k[8:] {
+		got = got<<8 | uint64(b)
+	}
+	if got != 0xCAFEBABE {
+		t.Fatalf("decoded ID %x", got)
+	}
+}
+
+func TestEnergyDistribution(t *testing.T) {
+	ds := Generate(11, 1, 100000)
+	var sum float64
+	for i := range ds.Files[0].Particles {
+		e := float64(ds.Files[0].Particles[i].Energy())
+		if e < 0 {
+			t.Fatal("negative energy")
+		}
+		sum += e
+	}
+	mean := sum / 100000
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("energy mean %v, want ~1 (Exp(1))", mean)
+	}
+}
+
+func TestEnergyThreshold(t *testing.T) {
+	if EnergyThreshold(1) != 0 {
+		t.Fatal("sel=1 should be threshold 0")
+	}
+	if EnergyThreshold(0) != math.MaxFloat32 {
+		t.Fatal("sel=0 should be max threshold")
+	}
+	// t = -ln(0.5) ~ 0.693
+	if got := EnergyThreshold(0.5); math.Abs(float64(got)-0.693) > 0.001 {
+		t.Fatalf("threshold(0.5) = %v", got)
+	}
+}
+
+func TestSelectivityMatchesThreshold(t *testing.T) {
+	ds := Generate(5, 2, 50000)
+	total := float64(ds.TotalParticles())
+	for _, sel := range []float64{0.001, 0.01, 0.05, 0.20} {
+		got := float64(ds.CountAbove(EnergyThreshold(sel))) / total
+		// Expect within a factor of ~1.5 plus small-sample noise.
+		if got < sel*0.6 || got > sel*1.6 {
+			t.Errorf("selectivity %v -> measured %v", sel, got)
+		}
+	}
+}
+
+func TestSelectivityMonotoneProperty(t *testing.T) {
+	ds := Generate(9, 1, 20000)
+	f := func(a, b float64) bool {
+		sa := math.Abs(math.Mod(a, 1))
+		sb := math.Abs(math.Mod(b, 1))
+		if sa == 0 || sb == 0 {
+			return true
+		}
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		// Lower selectivity -> higher threshold -> fewer matches.
+		return ds.CountAbove(EnergyThreshold(sa)) <= ds.CountAbove(EnergyThreshold(sb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/rocks"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+	"kvcsd/internal/stats"
+	"kvcsd/internal/vfs"
+)
+
+// rig assembles one experiment environment: a host plus either a KV-CSD
+// device or an fs+rocks stack.
+type rig struct {
+	env *sim.Env
+	h   *host.Host
+	st  *stats.IOStats
+}
+
+func newRig(cores int) *rig {
+	env := sim.NewEnv()
+	hcfg := host.DefaultHostConfig()
+	if cores > 0 {
+		hcfg.Cores = cores
+	}
+	return &rig{env: env, h: host.New(env, hcfg), st: stats.NewIOStats()}
+}
+
+func (r *rig) kvcsdTarget() (*KVCSDTarget, *device.Device) {
+	opts := device.DefaultOptions()
+	opts.SSD.ZoneSize = 256 << 10
+	opts.SSD.NumZones = 4096
+	opts.Engine.IngestBufferBytes = 32 << 10
+	opts.Engine.SortBudgetBytes = 128 << 10
+	opts.Engine.StripeWidth = 2
+	dev := device.New(r.env, opts, r.st)
+	return NewKVCSDTarget(r.h, dev), dev
+}
+
+func (r *rig) rocksTarget(mode rocks.CompactionMode) *RocksTarget {
+	scfg := ssd.DefaultConfig()
+	scfg.ConvBlocks = 1 << 20
+	dev := ssd.New(r.env, scfg, r.st)
+	fsys := vfs.New(dev, r.h, vfs.DefaultConfig(), r.st)
+	opts := rocks.DefaultOptions()
+	opts.MemtableBytes = 64 << 10
+	opts.BaseLevelBytes = 256 << 10
+	opts.TargetFileBytes = 128 << 10
+	opts.CompactionMode = mode
+	return NewRocksTarget(r.h, fsys, sim.NewRNG(5), opts)
+}
+
+func smallInsert(shared, bulk bool) InsertConfig {
+	return InsertConfig{
+		Threads:        4,
+		KeysPerThread:  500,
+		KeySize:        16,
+		ValueSize:      32,
+		SharedKeyspace: shared,
+		Bulk:           bulk,
+		Seed:           42,
+		KeyspacePrefix: "w",
+	}
+}
+
+func TestInsertAndGetKVCSD(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		r := newRig(8)
+		tgt, dev := r.kvcsdTarget()
+		r.env.Go("main", func(p *sim.Proc) {
+			defer dev.Shutdown()
+			cfg := smallInsert(shared, true)
+			res, err := RunInsert(p, tgt, cfg)
+			if err != nil {
+				t.Errorf("shared=%v: %v", shared, err)
+				return
+			}
+			if res.Keys != 2000 || res.WriteTime <= 0 {
+				t.Errorf("shared=%v result %+v", shared, res)
+				return
+			}
+			// KV-CSD: write time excludes device compaction, ready includes it.
+			if res.ReadyTime <= res.WriteTime {
+				t.Errorf("shared=%v: device compaction window missing: %+v", shared, res)
+			}
+			qres, err := RunRandomGets(p, tgt, GetConfig{
+				Threads: 4, QueriesPerThread: 50, KeysPerThread: cfg.KeysPerThread,
+				KeySize: 16, Seed: 42, QuerySeed: 99,
+				SharedKeyspace: shared, KeyspacePrefix: "w",
+			})
+			if err != nil {
+				t.Errorf("gets: %v", err)
+				return
+			}
+			if qres.Found != qres.Queries {
+				t.Errorf("shared=%v: found %d of %d", shared, qres.Found, qres.Queries)
+			}
+			if qres.Latency.Count() != int(qres.Queries) {
+				t.Errorf("latency samples %d", qres.Latency.Count())
+			}
+		})
+		r.env.Run()
+	}
+}
+
+func TestInsertAndGetRocksAllModes(t *testing.T) {
+	for _, mode := range []rocks.CompactionMode{
+		rocks.CompactionAuto, rocks.CompactionDeferred, rocks.CompactionDisabled,
+	} {
+		r := newRig(8)
+		tgt := r.rocksTarget(mode)
+		r.env.Go("main", func(p *sim.Proc) {
+			cfg := smallInsert(false, false)
+			res, err := RunInsert(p, tgt, cfg)
+			if err != nil {
+				t.Errorf("mode %v: %v", mode, err)
+				return
+			}
+			if res.Keys != 2000 {
+				t.Errorf("mode %v: keys %d", mode, res.Keys)
+			}
+			// RocksDB write time includes compaction; ready adds nothing.
+			if res.ReadyTime != res.WriteTime {
+				t.Errorf("mode %v: ready != write (%v vs %v)", mode, res.ReadyTime, res.WriteTime)
+			}
+			qres, err := RunRandomGets(p, tgt, GetConfig{
+				Threads: 4, QueriesPerThread: 50, KeysPerThread: cfg.KeysPerThread,
+				KeySize: 16, Seed: 42, QuerySeed: 7, KeyspacePrefix: "w",
+			})
+			if err != nil {
+				t.Errorf("mode %v gets: %v", mode, err)
+				return
+			}
+			if qres.Found != qres.Queries {
+				t.Errorf("mode %v: found %d of %d", mode, qres.Found, qres.Queries)
+			}
+			// Close DBs so worker processes exit.
+			for i := 0; i < 4; i++ {
+				_ = tgt.DB(InsertConfig{KeyspacePrefix: "w"}.keyspaceName(i)).Close(p)
+			}
+		})
+		r.env.Run()
+	}
+}
+
+func TestKeyGenerationDeterministic(t *testing.T) {
+	a := keyAt(1, 2, 3, 16)
+	b := keyAt(1, 2, 3, 16)
+	if !bytes.Equal(a, b) {
+		t.Fatal("keyAt not deterministic")
+	}
+	if bytes.Equal(keyAt(1, 2, 3, 16), keyAt(1, 2, 4, 16)) {
+		t.Fatal("adjacent keys identical")
+	}
+	if len(keyAt(1, 0, 0, 4)) != 8 {
+		t.Fatal("minimum key size not enforced")
+	}
+	v := valueAt(9, 1, 1, 100)
+	if len(v) != 100 {
+		t.Fatalf("value size %d", len(v))
+	}
+	if !bytes.Equal(v, valueAt(9, 1, 1, 100)) {
+		t.Fatal("valueAt not deterministic")
+	}
+}
+
+func TestKeyspaceNaming(t *testing.T) {
+	shared := InsertConfig{SharedKeyspace: true, KeyspacePrefix: "x"}
+	if shared.keyspaceName(0) != "x" || shared.keyspaceName(5) != "x" {
+		t.Fatal("shared naming wrong")
+	}
+	per := InsertConfig{KeyspacePrefix: "x"}
+	if per.keyspaceName(3) != "x-3" {
+		t.Fatalf("per-thread naming %q", per.keyspaceName(3))
+	}
+	def := InsertConfig{}
+	if def.keyspaceName(0) != "ks-0" {
+		t.Fatalf("default naming %q", def.keyspaceName(0))
+	}
+}
+
+func TestTargetNames(t *testing.T) {
+	r := newRig(4)
+	tgt, dev := r.kvcsdTarget()
+	if tgt.Name() != "kvcsd" {
+		t.Fatalf("name %q", tgt.Name())
+	}
+	dev.Shutdown()
+	for mode, want := range map[rocks.CompactionMode]string{
+		rocks.CompactionAuto:     "rocksdb-auto",
+		rocks.CompactionDeferred: "rocksdb-deferred",
+		rocks.CompactionDisabled: "rocksdb-disabled",
+	} {
+		r2 := newRig(4)
+		if got := r2.rocksTarget(mode).Name(); got != want {
+			t.Fatalf("name %q, want %q", got, want)
+		}
+	}
+	r.env.Run()
+}
+
+func TestResultsConsistentAcrossEngines(t *testing.T) {
+	// Same workload through both engines returns the same data.
+	key := keyAt(42, 0, 123, 16)
+	want := valueAt(42, 0, 123, 32)
+
+	r1 := newRig(8)
+	tgt1, dev := r1.kvcsdTarget()
+	var got1 []byte
+	r1.env.Go("main", func(p *sim.Proc) {
+		defer dev.Shutdown()
+		cfg := smallInsert(false, true)
+		cfg.Threads = 1
+		if _, err := RunInsert(p, tgt1, cfg); err != nil {
+			t.Error(err)
+			return
+		}
+		ks, _ := tgt1.OpenKeyspace(p, "w-0")
+		got1, _, _ = ks.Get(p, key)
+	})
+	r1.env.Run()
+
+	r2 := newRig(8)
+	tgt2 := r2.rocksTarget(rocks.CompactionAuto)
+	var got2 []byte
+	r2.env.Go("main", func(p *sim.Proc) {
+		cfg := smallInsert(false, false)
+		cfg.Threads = 1
+		if _, err := RunInsert(p, tgt2, cfg); err != nil {
+			t.Error(err)
+			return
+		}
+		ks, _ := tgt2.OpenKeyspace(p, "w-0")
+		got2, _, _ = ks.Get(p, key)
+		_ = tgt2.DB("w-0").Close(p)
+	})
+	r2.env.Run()
+
+	if !bytes.Equal(got1, want) || !bytes.Equal(got2, want) {
+		t.Fatalf("engines disagree: kvcsd=%x rocks=%x want=%x", got1, got2, want)
+	}
+}

@@ -1,0 +1,124 @@
+// Package kvcsd is a simulation-backed reproduction of KV-CSD, the
+// hardware-accelerated key-value store for data-intensive applications
+// described in Park et al., IEEE CLUSTER 2023.
+//
+// The package assembles a complete simulated system — a ZNS SSD, the SoC
+// running the device-side LSM engine, the PCIe link, and a host — inside a
+// deterministic discrete-event simulator, and exposes the client library
+// applications use to talk to the device:
+//
+//	sys := kvcsd.New(nil)
+//	err := sys.Run(func(p *kvcsd.Proc) error {
+//		ks, _ := sys.Client.CreateKeyspace(p, "particles")
+//		_ = ks.BulkPut(p, key, value)
+//		_ = ks.Compact(p)          // returns immediately; device sorts async
+//		_ = ks.WaitCompacted(p)
+//		v, ok, _ := ks.Get(p, key) // served by the device's PIDX
+//		...
+//	})
+//
+// All operations run in virtual time: every example, test, and benchmark is
+// deterministic and reports device-accurate timing and I/O statistics. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the paper's
+// evaluation reproduced on this simulator.
+package kvcsd
+
+import (
+	"kvcsd/internal/client"
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+// Proc is a simulation process handle; all store operations take one.
+type Proc = sim.Proc
+
+// Keyspace is a client-side handle to one device keyspace.
+type Keyspace = client.Keyspace
+
+// Client is the host-side KV-CSD client library.
+type Client = client.Client
+
+// IndexSpec configures a secondary index over a value byte range.
+type IndexSpec = client.IndexSpec
+
+// Options assembles the simulated system (SSD geometry, SoC, link, engine).
+type Options = device.Options
+
+// DefaultOptions returns the paper's Table-I-flavoured device configuration.
+func DefaultOptions() Options { return device.DefaultOptions() }
+
+// Secondary index key types (order-preserving encodings).
+const (
+	TypeBytes   = keyenc.TypeBytes
+	TypeUint32  = keyenc.TypeUint32
+	TypeInt32   = keyenc.TypeInt32
+	TypeUint64  = keyenc.TypeUint64
+	TypeInt64   = keyenc.TypeInt64
+	TypeFloat32 = keyenc.TypeFloat32
+	TypeFloat64 = keyenc.TypeFloat64
+)
+
+// Float32Key encodes a float32 as an order-preserving secondary query bound.
+func Float32Key(v float32) []byte { return keyenc.PutFloat32(v) }
+
+// Float64Key encodes a float64 as an order-preserving secondary query bound.
+func Float64Key(v float64) []byte { return keyenc.PutFloat64(v) }
+
+// Uint64Key encodes a uint64 as an order-preserving key.
+func Uint64Key(v uint64) []byte { return keyenc.PutUint64(v) }
+
+// System is a ready-to-use simulated deployment: one host with one KV-CSD
+// device attached, plus the client library binding them.
+type System struct {
+	Env    *sim.Env
+	Host   *host.Host
+	Device *device.Device
+	Client *client.Client
+	Stats  *stats.IOStats
+}
+
+// New builds a simulated system. Pass nil for defaults.
+func New(opts *Options) *System {
+	o := device.DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	h := host.New(env, host.DefaultHostConfig())
+	dev := device.New(env, o, st)
+	return &System{
+		Env:    env,
+		Host:   h,
+		Device: dev,
+		Client: client.New(h, dev),
+		Stats:  st,
+	}
+}
+
+// Run executes fn as the main application process, drives the simulation to
+// completion, and shuts the device down. It returns fn's error. Spawn
+// additional concurrent processes with sys.Go.
+func (s *System) Run(fn func(p *Proc) error) error {
+	var err error
+	s.Env.Go("main", func(p *sim.Proc) {
+		err = fn(p)
+		if e := s.Device.WaitBackgroundIdle(p); err == nil && e != nil {
+			err = e
+		}
+		s.Device.Shutdown()
+	})
+	s.Env.Run()
+	return err
+}
+
+// Go spawns a concurrent application process (a "thread" of the workload).
+func (s *System) Go(name string, fn func(p *Proc)) *sim.Proc {
+	return s.Env.Go(name, fn)
+}
+
+// Elapsed returns the current virtual time of the simulation.
+func (s *System) Elapsed() sim.Time { return s.Env.Now() }

@@ -1,0 +1,136 @@
+package kvcsd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := New(nil)
+	err := sys.Run(func(p *Proc) error {
+		ks, err := sys.Client.CreateKeyspace(p, "demo")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 1000; i++ {
+			if err := ks.BulkPut(p, Uint64Key(uint64(i)), []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+				return err
+			}
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		if err := ks.WaitCompacted(p); err != nil {
+			return err
+		}
+		v, ok, err := ks.Get(p, Uint64Key(42))
+		if err != nil || !ok || !bytes.Equal(v, []byte("value-0042")) {
+			return fmt.Errorf("get: ok=%v err=%v v=%q", ok, err, v)
+		}
+		pairs, err := ks.Scan(p, Uint64Key(10), Uint64Key(20), 0)
+		if err != nil || len(pairs) != 10 {
+			return fmt.Errorf("scan: %d pairs, err=%v", len(pairs), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Elapsed() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if sys.Stats.Puts.Value() == 0 && sys.Stats.BulkPuts.Value() == 0 {
+		t.Fatal("no puts recorded")
+	}
+}
+
+func TestFacadeConcurrentThreads(t *testing.T) {
+	sys := New(nil)
+	err := sys.Run(func(p *Proc) error {
+		errs := make([]error, 4)
+		var procs []*Proc
+		for w := 0; w < 4; w++ {
+			w := w
+			procs = append(procs, sys.Go(fmt.Sprintf("w%d", w), func(wp *Proc) {
+				ks, err := sys.Client.CreateKeyspace(wp, fmt.Sprintf("ks-%d", w))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for i := 0; i < 200; i++ {
+					if err := ks.BulkPut(wp, Uint64Key(uint64(i)), []byte{byte(w)}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				errs[w] = ks.Compact(wp)
+			}))
+		}
+		p.Join(procs...)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() int64 {
+		sys := New(nil)
+		_ = sys.Run(func(p *Proc) error {
+			ks, _ := sys.Client.CreateKeyspace(p, "d")
+			for i := 0; i < 500; i++ {
+				_ = ks.BulkPut(p, Uint64Key(uint64(i*7919%1000)), make([]byte, 32))
+			}
+			_ = ks.Compact(p)
+			return ks.WaitCompacted(p)
+		})
+		return int64(sys.Elapsed())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestFacadeSecondaryIndex(t *testing.T) {
+	sys := New(nil)
+	err := sys.Run(func(p *Proc) error {
+		ks, _ := sys.Client.CreateKeyspace(p, "s")
+		for i := 0; i < 500; i++ {
+			v := make([]byte, 8)
+			copy(v[4:], Float32Key(0)) // placeholder tail
+			v[0] = byte(i % 10)
+			if err := ks.BulkPut(p, Uint64Key(uint64(i)), v); err != nil {
+				return err
+			}
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		if err := ks.BuildSecondaryIndex(p, IndexSpec{
+			Name: "tag", Offset: 0, Length: 1, Type: TypeBytes,
+		}); err != nil {
+			return err
+		}
+		if err := ks.WaitIndexBuilt(p, "tag"); err != nil {
+			return err
+		}
+		pairs, err := ks.QuerySecondaryPoint(p, "tag", []byte{3}, 0)
+		if err != nil {
+			return err
+		}
+		if len(pairs) != 50 {
+			return fmt.Errorf("tag query matched %d, want 50", len(pairs))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
