@@ -7,13 +7,22 @@
 //	kvcsd-bench -fig 7a -scale 8    # Figure 7a with 8x larger datasets
 //	kvcsd-bench -fig ablations      # the design-choice ablations
 //	kvcsd-bench -config             # print the simulated hardware (Table I)
+//
+// Observability (runs an instrumented bulk-insert + compaction + foreground
+// session instead of a figure unless -fig is given explicitly):
+//
+//	kvcsd-bench -trace=out.json     # Chrome trace of every command (Perfetto)
+//	kvcsd-bench -metrics            # stage histograms, gauges, counters
+//	kvcsd-bench -sample-interval=1ms -sample-csv=series.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"kvcsd/internal/bench"
 )
@@ -22,6 +31,10 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	traceFile := flag.String("trace", "", "write a Chrome trace of an instrumented run to FILE (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry of an instrumented run")
+	sampleInterval := flag.Duration("sample-interval", 0, "virtual-time sampling period for the instrumented run (default 250µs)")
+	sampleCSV := flag.String("sample-csv", "", "write the sampler time series to FILE (- for stdout)")
 	flag.Parse()
 
 	s := bench.DefaultScale().Multiply(*scale)
@@ -31,6 +44,22 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "kvcsd-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	obsRequested := *traceFile != "" || *metrics || *sampleInterval > 0 || *sampleCSV != ""
+	figRequested := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figRequested = true
+		}
+	})
+	if obsRequested {
+		if err := runObserve(s, out, *traceFile, *metrics, *sampleInterval, *sampleCSV); err != nil {
+			fail(err)
+		}
+		if !figRequested {
+			return
+		}
 	}
 
 	want := func(names ...string) bool {
@@ -119,4 +148,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all)\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// runObserve executes the instrumented session and writes whichever outputs
+// were requested.
+func runObserve(s bench.Scale, out io.Writer, traceFile string, metrics bool, sampleInterval time.Duration, sampleCSV string) error {
+	res, err := bench.Observe(s, bench.ObserveConfig{
+		SampleInterval: sampleInterval,
+		Trace:          true, // the stage-breakdown summary needs spans
+	})
+	if err != nil {
+		return err
+	}
+	res.Summary.Print(out)
+	if metrics {
+		fmt.Fprintf(out, "\n== Metrics registry ==\n")
+		if err := res.Registry.Dump(out); err != nil {
+			return err
+		}
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := res.Tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(out, "\ntrace written to %s (open in https://ui.perfetto.dev)\n", traceFile)
+	}
+	if sampleCSV != "" {
+		w := out
+		if sampleCSV != "-" {
+			f, err := os.Create(sampleCSV)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		} else {
+			fmt.Fprintf(out, "\n== Sampler time series ==\n")
+		}
+		if err := res.Sampler.WriteCSV(w); err != nil {
+			return fmt.Errorf("write sampler csv: %w", err)
+		}
+		if sampleCSV != "-" {
+			fmt.Fprintf(out, "\nsampler time series written to %s\n", sampleCSV)
+		}
+	}
+	return nil
 }

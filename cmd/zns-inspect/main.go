@@ -25,15 +25,28 @@ func main() {
 	keys := flag.Int("keys", 50000, "keys to insert")
 	secondary := flag.Bool("secondary", false, "also build a secondary index")
 	compact := flag.Bool("compact", true, "invoke compaction")
+	traceFile := flag.String("trace", "", "write a Chrome trace of the session to FILE (load in Perfetto)")
 	flag.Parse()
 
-	sys := kvcsd.New(nil)
+	opts := kvcsd.DefaultOptions()
+	opts.Metrics = true
+	opts.Trace = *traceFile != ""
+	sys := kvcsd.New(&opts)
 	eng := sys.Device.Engine()
+	reg := sys.Registry()
 
 	dump := func(label string) {
 		fmt.Printf("--- %s (t=%v) ---\n", label, sys.Env.Now())
 		zm := eng.ZoneManager()
 		fmt.Printf("zones: %d used / %d free\n", zm.UsedZones(), zm.FreeZones())
+		// Zone write-pointer/utilization view, published by the SSD into the
+		// metrics registry as it transitions zone states.
+		open := reg.Gauge("ssd/zones_open").Value()
+		full := reg.Gauge("ssd/zones_full").Value()
+		wp := reg.Gauge("ssd/wp_bytes").Value()
+		cap := float64(sys.Device.SSD().NumZones()) * float64(sys.Device.SSD().ZoneSize())
+		fmt.Printf("zone states: %g open, %g full; write pointers at %s (%.2f%% of namespace)\n",
+			open, full, stats.HumanBytes(int64(wp)), 100*wp/cap)
 		byType := zm.UsedByType()
 		for _, ty := range []core.ZoneType{
 			core.ZoneKLOG, core.ZoneVLOG, core.ZonePIDX,
@@ -114,4 +127,19 @@ func main() {
 		stats.HumanBytes(sys.Stats.MediaWrite.Value()),
 		stats.HumanBytes(sys.Stats.MediaRead.Value()),
 		sys.Elapsed())
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zns-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sys.Tracer().WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zns-inspect: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceFile)
+	}
 }

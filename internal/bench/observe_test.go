@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveStageSumsAndSampler(t *testing.T) {
+	s := DefaultScale()
+	s.Fig9KeysPerKeyspace = 2048
+	res, err := Observe(s, ObserveConfig{
+		ForegroundOps:  128,
+		SampleInterval: 500 * time.Microsecond,
+		Trace:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: every command's stages sum to its client-observed
+	// latency within 1%. The attribution model is exact, so in practice this
+	// is 0 — anything above the bar is a real regression.
+	if res.MaxStageErr > 0.01 {
+		t.Errorf("stage attribution off by %.2f%% (worst command)", res.MaxStageErr*100)
+	}
+	if len(res.Summary.Rows) < 4 {
+		t.Errorf("summary covers only %d opcodes", len(res.Summary.Rows))
+	}
+
+	// The sampler must have recorded a timeline spanning the compaction, and
+	// the bg_jobs column must show the background job coming and going.
+	rows := res.Sampler.Rows()
+	if len(rows) < 5 {
+		t.Fatalf("sampler recorded only %d rows", len(rows))
+	}
+	bgCol := -1
+	for i, c := range res.Sampler.Header() {
+		if c == "bg_jobs" {
+			bgCol = i
+		}
+	}
+	if bgCol < 0 {
+		t.Fatalf("no bg_jobs column in %v", res.Sampler.Header())
+	}
+	sawBusy, sawIdle := false, false
+	for _, r := range rows {
+		if r[bgCol] > 0 {
+			sawBusy = true
+		} else {
+			sawIdle = true
+		}
+	}
+	if !sawBusy || !sawIdle {
+		t.Errorf("bg_jobs timeline never transitioned (busy=%v idle=%v)", sawBusy, sawIdle)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Sampler.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_s,cmds_per_s,") {
+		t.Errorf("csv header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}

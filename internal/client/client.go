@@ -17,6 +17,7 @@ import (
 	"kvcsd/internal/host"
 	"kvcsd/internal/keyenc"
 	"kvcsd/internal/nvme"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/pcie"
 	"kvcsd/internal/sim"
 )
@@ -36,23 +37,40 @@ type Client struct {
 	h     *host.Host
 	link  *pcie.Link
 	queue *nvme.QueuePair
+	tr    *obs.Tracer // device tracer; nil when tracing is off
 }
 
 // New binds a client to a device using the host's CPU for packing costs.
 func New(h *host.Host, dev *device.Device) *Client {
-	return &Client{h: h, link: dev.Link(), queue: dev.Queue()}
+	return &Client{h: h, link: dev.Link(), queue: dev.Queue(), tr: dev.Tracer()}
 }
 
 // roundTrip sends one command and waits for its completion, charging packing
-// CPU and both PCIe directions.
+// CPU and both PCIe directions. With tracing on, the whole round trip becomes
+// one root span whose stage children (prep + transfers = link, queue-wait =
+// queue, dispatch = service, channel time = media) partition the
+// client-observed latency exactly.
 func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, error) {
+	span := c.tr.StartRoot(p, "cmd:"+cmd.Op.String(), cmd.Op.String())
+	if span != nil {
+		cmd.Span = span
+		c.tr.Push(p, span)
+	}
+	// Host-side packing CPU and the staging copy count as link time: they are
+	// the host's cost of getting bytes onto the wire.
+	prep := span.Child("prep", obs.StageLink)
 	c.h.Compute(p, perCommandCost)
 	size := cmd.WireSize()
 	c.h.Copy(p, size-64) // payload staging copy (command header is free)
+	prep.End()
 	c.link.Transfer(p, pcie.HostToDevice, size)
 	handle := c.queue.Submit(p, cmd)
 	comp := handle.Wait(p)
 	c.link.Transfer(p, pcie.DeviceToHost, comp.WireSize())
+	if span != nil {
+		c.tr.Pop(p)
+		span.End()
+	}
 	return comp, comp.Status.Err()
 }
 

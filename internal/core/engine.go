@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kvcsd/internal/host"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/ssd"
 	"kvcsd/internal/stats"
@@ -32,6 +33,10 @@ type Engine struct {
 
 	dram     *sim.Gauge // SoC DRAM in use (buffers + sort batches)
 	idxCache *indexCache
+
+	// Observability (optional).
+	tr      *obs.Tracer
+	gBgJobs *sim.Gauge
 
 	// Background job accounting.
 	bgJobs int
@@ -70,6 +75,19 @@ func (e *Engine) ZoneManager() *ZoneManager { return e.zm }
 
 // DRAMGauge returns the SoC DRAM usage gauge.
 func (e *Engine) DRAMGauge() *sim.Gauge { return e.dram }
+
+// SetObs attaches observability: background jobs become root "job" spans and
+// the engine publishes its DRAM and background-job gauges into reg. Either
+// argument may be nil.
+func (e *Engine) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	e.tr = tr
+	if reg == nil {
+		return
+	}
+	reg.AddGauge("engine/dram", e.dram)
+	e.gBgJobs = reg.Gauge("engine/bg_jobs")
+	e.gBgJobs.Set(float64(e.bgJobs))
+}
 
 // Recover rebuilds engine state from the metadata zones after a restart.
 func (e *Engine) Recover(p *sim.Proc) error { return e.mgr.Recover(p) }
@@ -325,16 +343,32 @@ func (e *Engine) Sync(p *sim.Proc, name string) error {
 // that Recovers from the metadata zones. Test/fault-injection hook.
 func (e *Engine) Halt() { e.halted = true }
 
-// spawnJob runs fn as a device background process on the SoC.
+// spawnJob runs fn as a device background process on the SoC. With tracing
+// on, the job runs under a root "job:" span so its media operations get stage
+// attribution like foreground commands.
 func (e *Engine) spawnJob(name string, fn func(p *sim.Proc) error) {
 	e.bgJobs++
+	if e.gBgJobs != nil {
+		e.gBgJobs.Add(1)
+	}
 	e.env.Go(name, func(p *sim.Proc) {
+		sp := e.tr.StartRoot(p, "job:"+name, "job")
+		if sp != nil {
+			e.tr.Push(p, sp)
+		}
 		if !e.halted {
 			if err := fn(p); err != nil && e.bgErr == nil {
 				e.bgErr = err
 			}
 		}
+		if sp != nil {
+			e.tr.Pop(p)
+			sp.End()
+		}
 		e.bgJobs--
+		if e.gBgJobs != nil {
+			e.gBgJobs.Add(-1)
+		}
 		for _, w := range e.bgDone {
 			e.env.Wake(w)
 		}

@@ -12,10 +12,12 @@ package device
 
 import (
 	"errors"
+	"time"
 
 	"kvcsd/internal/core"
 	"kvcsd/internal/host"
 	"kvcsd/internal/nvme"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/pcie"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/ssd"
@@ -34,6 +36,12 @@ type Options struct {
 	Dispatchers int
 	// Seed drives all device-internal randomness.
 	Seed int64
+	// Trace enables command/job span tracing (internal/obs). Off by default;
+	// when off the hot path pays only nil checks.
+	Trace bool
+	// Metrics enables the metrics registry: stage histograms per opcode plus
+	// device gauges (zones, DRAM, background jobs).
+	Metrics bool
 }
 
 // DefaultOptions returns the Table-I-flavoured device.
@@ -58,6 +66,11 @@ type Device struct {
 	queue  *nvme.QueuePair
 	st     *stats.IOStats
 	closed bool
+
+	// Observability (nil unless enabled in Options).
+	tr       *obs.Tracer
+	reg      *obs.Registry
+	samplers []*obs.Sampler
 }
 
 // New creates and starts a device in the simulation environment. Its
@@ -83,6 +96,19 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 		queue:  nvme.NewQueuePair(env, opts.QueueDepth),
 		st:     st,
 	}
+	if opts.Trace || opts.Metrics {
+		if opts.Metrics {
+			d.reg = obs.NewRegistry(env)
+			d.reg.AttachIOStats(st)
+		}
+		if opts.Trace {
+			d.tr = obs.NewTracer(env)
+			d.tr.SetRegistry(d.reg)
+		}
+		d.ssd.SetObs(d.tr, d.reg)
+		d.engine.SetObs(d.tr, d.reg)
+		d.link.SetTracer(d.tr)
+	}
 	for i := 0; i < opts.Dispatchers; i++ {
 		env.Go("kvcsd-dispatch", d.dispatchLoop)
 	}
@@ -104,16 +130,75 @@ func (d *Device) SSD() *ssd.Device { return d.ssd }
 // Stats returns the device's I/O statistics block.
 func (d *Device) Stats() *stats.IOStats { return d.st }
 
+// Tracer returns the device tracer, or nil when tracing is disabled.
+func (d *Device) Tracer() *obs.Tracer { return d.tr }
+
+// Registry returns the metrics registry, or nil when metrics are disabled.
+func (d *Device) Registry() *obs.Registry { return d.reg }
+
+// SamplerColumns are the per-interval rates and instantaneous levels a
+// device sampler records. Rates are averaged over the sampling interval;
+// levels are read at the sample instant.
+var SamplerColumns = []string{
+	"cmds_per_s",    // completed commands per second
+	"app_write_Bps", // application bytes ingested per second
+	"media_read_Bps",
+	"media_write_Bps",
+	"h2d_Bps",     // PCIe host->device bytes per second
+	"d2h_Bps",     // PCIe device->host bytes per second
+	"outstanding", // commands submitted but not completed
+	"open_zones",
+	"bg_jobs", // running background jobs (compaction, index builds)
+}
+
+// StartSampler begins recording a device time-series every interval of
+// virtual time. The sampler is stopped automatically at Shutdown (or earlier
+// via its own Stop). Rows follow SamplerColumns.
+func (d *Device) StartSampler(interval time.Duration) *obs.Sampler {
+	prev := d.st.Clone()
+	var prevCmds int64
+	s := obs.StartSampler(d.env, interval, SamplerColumns, func(now sim.Time, dt time.Duration) []float64 {
+		cur := d.st
+		delta := cur.Delta(prev)
+		cmds := d.queue.Completed() - prevCmds
+		prev = cur.Clone()
+		prevCmds = d.queue.Completed()
+		sec := dt.Seconds()
+		rate := func(n int64) float64 {
+			if sec <= 0 {
+				return 0
+			}
+			return float64(n) / sec
+		}
+		return []float64{
+			rate(cmds),
+			rate(delta.AppWrite.Value()),
+			rate(delta.MediaRead.Value()),
+			rate(delta.MediaWrite.Value()),
+			rate(delta.HostToDevice.Value()),
+			rate(delta.DeviceToHost.Value()),
+			float64(d.queue.Submitted() - d.queue.Completed()),
+			float64(d.ssd.OpenZones()),
+			float64(d.engine.BackgroundJobs()),
+		}
+	})
+	d.samplers = append(d.samplers, s)
+	return s
+}
+
 // WaitBackgroundIdle blocks until device background jobs finish.
 func (d *Device) WaitBackgroundIdle(p *sim.Proc) error {
 	return d.engine.WaitBackgroundIdle(p)
 }
 
 // Shutdown closes the command queue: in-flight commands complete, then the
-// dispatch loops exit.
+// dispatch loops exit. Any running samplers record a final row and stop.
 func (d *Device) Shutdown() {
 	d.closed = true
 	d.queue.Close()
+	for _, s := range d.samplers {
+		s.Stop()
+	}
 }
 
 // dispatchLoop pops commands and executes them on the engine.
@@ -124,7 +209,17 @@ func (d *Device) dispatchLoop(p *sim.Proc) {
 			return // queue closed and drained
 		}
 		d.st.Commands.Add(1)
+		// Everything from pickup to completion is "service" time; media spans
+		// recorded below it claim their share out of it.
+		svc := cmd.Span.Child("service", obs.StageService)
+		if svc != nil {
+			d.tr.Push(p, svc)
+		}
 		comp := d.execute(p, cmd)
+		if svc != nil {
+			d.tr.Pop(p)
+			svc.End()
+		}
 		resp.Complete(comp)
 	}
 }

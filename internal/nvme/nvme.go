@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"kvcsd/internal/keyenc"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 )
 
@@ -179,6 +180,10 @@ type Command struct {
 
 	// ResultLimit caps query results (0 = unlimited).
 	ResultLimit int
+
+	// Span is the command's trace root, set by an instrumented client. The
+	// queue and the device attach stage spans to it; nil when tracing is off.
+	Span *obs.Span
 }
 
 // WireSize approximates the bytes the command occupies crossing PCIe: a fixed
@@ -236,6 +241,9 @@ type submission struct {
 	cmd  *Command
 	comp *Completion
 	done *sim.Event
+	// at is when Submit was called — the start of the queue-wait stage,
+	// including any time spent blocked on a full submission queue.
+	at sim.Time
 }
 
 // QueuePair is a bounded NVMe submission/completion queue between one or more
@@ -301,11 +309,12 @@ func (q *QueuePair) Submit(p *sim.Proc, cmd *Command) *Handle {
 	if q.closed {
 		panic("nvme: submit on closed queue")
 	}
+	at := q.env.Now()
 	for len(q.queue) >= q.depth {
 		q.pushWait = append(q.pushWait, p)
 		p.Block()
 	}
-	sub := &submission{cmd: cmd, comp: &Completion{}, done: sim.NewEvent(q.env)}
+	sub := &submission{cmd: cmd, comp: &Completion{}, done: sim.NewEvent(q.env), at: at}
 	q.queue = append(q.queue, sub)
 	q.submitted++
 	q.wake(&q.popWait)
@@ -327,6 +336,8 @@ func (q *QueuePair) Pop(p *sim.Proc) (*Command, *Responder) {
 	copy(q.queue, q.queue[1:])
 	q.queue = q.queue[:len(q.queue)-1]
 	q.wake(&q.pushWait)
+	// Close out the queue-wait stage: submit call to dispatcher pickup.
+	sub.cmd.Span.ChildFrom("queue-wait", obs.StageQueue, sub.at).End()
 	return sub.cmd, &Responder{q: q, sub: sub}
 }
 

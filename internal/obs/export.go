@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Timestamps
+// and durations are microseconds; Perfetto and chrome://tracing nest events
+// sharing a tid by time containment, which matches the span tree because
+// children never outlive their parents.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata event naming a thread (track).
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+const tracePid = 1 // one simulated system per trace
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders every finished span as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto or chrome://tracing. Events
+// are sorted by start time then span id, so output is deterministic.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	spans := append([]*Span(nil), t.done...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].id < spans[j].id
+	})
+
+	var events []any
+	tids := make([]int, 0, len(t.tracks))
+	for tid := range t.tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": t.tracks[tid]},
+		})
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  spanCat(s),
+			Ph:   "X",
+			Ts:   usec(int64(s.start)),
+			Dur:  usec(int64(s.end - s.start)),
+			Pid:  tracePid,
+			Tid:  s.tid,
+		}
+		if args := spanArgs(s); len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func spanCat(s *Span) string {
+	switch {
+	case s.parent == nil:
+		return "cmd"
+	case s.stage != "":
+		return s.stage
+	default:
+		return "span"
+	}
+}
+
+// spanArgs builds the args payload: annotations plus, for root spans, the
+// per-stage latency breakdown in nanoseconds.
+func spanArgs(s *Span) map[string]any {
+	args := make(map[string]any, len(s.attrs)+len(s.stages))
+	for _, a := range s.attrs {
+		args[a.Key] = a.Value
+	}
+	if s.parent == nil {
+		for stage, d := range s.stages {
+			args["stage_"+stage+"_ns"] = int64(d)
+		}
+		args["total_ns"] = int64(s.end - s.start)
+	}
+	return args
+}
+
+// jsonlSpan is the JSONL stream record for one finished span.
+type jsonlSpan struct {
+	ID     uint64           `json:"id"`
+	Parent uint64           `json:"parent,omitempty"`
+	Name   string           `json:"name"`
+	Stage  string           `json:"stage,omitempty"`
+	Op     string           `json:"op,omitempty"`
+	Tid    int              `json:"tid"`
+	Start  int64            `json:"start_ns"`
+	End    int64            `json:"end_ns"`
+	Attrs  map[string]int64 `json:"attrs,omitempty"`
+	Stages map[string]int64 `json:"stages_ns,omitempty"`
+}
+
+// WriteJSONL streams every finished span as one JSON object per line, in
+// span end order — the processing-friendly companion to the Chrome export.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for _, s := range t.done {
+		rec := jsonlSpan{
+			ID:    s.id,
+			Name:  s.name,
+			Stage: s.stage,
+			Tid:   s.tid,
+			Start: int64(s.start),
+			End:   int64(s.end),
+		}
+		if s.parent != nil {
+			rec.Parent = s.parent.id
+		} else {
+			rec.Op = s.op
+			rec.Stages = make(map[string]int64, len(s.stages))
+			for stage, d := range s.stages {
+				rec.Stages[stage] = int64(d)
+			}
+		}
+		if len(s.attrs) > 0 {
+			rec.Attrs = make(map[string]int64, len(s.attrs))
+			for _, a := range s.attrs {
+				rec.Attrs[a.Key] = a.Value
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+// Registry is a named collection of gauges and histograms, plus an optional
+// view over an IOStats counter block. It is the aggregation side of the
+// observability layer: the tracer feeds per-op stage histograms into it, the
+// SSD and engine publish gauges, and cmd tools dump it after a run.
+type Registry struct {
+	env    *sim.Env
+	gauges map[string]*sim.Gauge
+	hists  map[string]*stats.Histogram
+	io     *stats.IOStats
+}
+
+// NewRegistry creates an empty registry bound to the environment.
+func NewRegistry(env *sim.Env) *Registry {
+	return &Registry{
+		env:    env,
+		gauges: make(map[string]*sim.Gauge),
+		hists:  make(map[string]*stats.Histogram),
+	}
+}
+
+// AttachIOStats includes an IOStats block in the registry's dump, so one
+// registry subsumes the run's counters, gauges, and latency breakdowns.
+func (r *Registry) AttachIOStats(st *stats.IOStats) { r.io = st }
+
+// IOStats returns the attached counter block (nil if none).
+func (r *Registry) IOStats() *stats.IOStats { return r.io }
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *sim.Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = sim.NewGauge(r.env)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// AddGauge adopts an existing gauge under the given name (for components
+// that created their gauge before a registry was attached).
+func (r *Registry) AddGauge(name string, g *sim.Gauge) { r.gauges[name] = g }
+
+// Histogram returns the named histogram, creating it empty on first use.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = stats.NewHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// StageHistogram returns the latency histogram for one (op, stage) pair,
+// named "op/stage" — e.g. "Store/queue", "BulkStore/media".
+func (r *Registry) StageHistogram(op, stage string) *stats.Histogram {
+	return r.Histogram(op + "/" + stage)
+}
+
+// GaugeNames returns all gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns all histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders the registry: attached counters, then gauges (current, time-
+// weighted mean, max), then histograms (count, mean, p50, p99, max). Output
+// order is sorted by name, so dumps are deterministic.
+func (r *Registry) Dump(w io.Writer) error {
+	if r.io != nil {
+		snap := r.io.Snapshot()
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if snap[n] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "counter %-28s %d\n", n, snap[n]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range r.GaugeNames() {
+		g := r.gauges[n]
+		if _, err := fmt.Fprintf(w, "gauge   %-28s cur=%.6g mean=%.6g max=%.6g\n",
+			n, g.Value(), g.Mean(), g.Max()); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.HistogramNames() {
+		h := r.hists[n]
+		if h.Count() == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "hist    %-28s n=%d mean=%v p50=%v p99=%v max=%v\n",
+			n, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

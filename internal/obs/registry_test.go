@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+func TestRegistryGaugesHistogramsAndDump(t *testing.T) {
+	env := sim.NewEnv()
+	r := NewRegistry(env)
+	st := stats.NewIOStats()
+	st.Puts.Add(42)
+	r.AttachIOStats(st)
+
+	g := r.Gauge("ssd/zones_open")
+	g.Set(3)
+	if r.Gauge("ssd/zones_open") != g {
+		t.Fatal("Gauge should return the same instance per name")
+	}
+	adopted := sim.NewGauge(env)
+	adopted.Set(7)
+	r.AddGauge("engine/dram", adopted)
+
+	r.StageHistogram("Store", StageQueue).Record(5 * time.Microsecond)
+	r.StageHistogram("Store", StageQueue).Record(7 * time.Microsecond)
+	if got := r.StageHistogram("Store", StageQueue).Count(); got != 2 {
+		t.Fatalf("stage histogram count = %d", got)
+	}
+	if names := r.HistogramNames(); len(names) != 1 || names[0] != "Store/queue" {
+		t.Fatalf("histogram names = %v", names)
+	}
+	if names := r.GaugeNames(); len(names) != 2 || names[0] != "engine/dram" {
+		t.Fatalf("gauge names = %v", names)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"counter puts", "gauge   ssd/zones_open", "gauge   engine/dram", "hist    Store/queue", "n=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

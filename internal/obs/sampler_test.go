@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+func TestSamplerRecordsAtIntervalAndStops(t *testing.T) {
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	prev := stats.NewIOStats()
+	var s *Sampler
+	s = StartSampler(env, time.Millisecond, []string{"puts_per_s"}, func(now sim.Time, dt time.Duration) []float64 {
+		d := st.Delta(prev)
+		prev = st.Clone()
+		if dt <= 0 {
+			return []float64{0}
+		}
+		return []float64{float64(d.Puts.Value()) / dt.Seconds()}
+	})
+	env.Go("worker", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			st.Puts.Add(3)
+			p.Sleep(500 * time.Microsecond) // 5ms of work: 6 puts/ms
+		}
+		p.Sleep(250 * time.Microsecond) // partial final interval
+		s.Stop()
+	})
+	env.Run()
+
+	// Baseline at t=0, samples at 1..5ms, final partial sample at stop.
+	times := s.Times()
+	if len(times) != 7 {
+		t.Fatalf("samples = %d, want 7 (times %v)", len(times), times)
+	}
+	if times[0] != 0 || times[1] != sim.Time(time.Millisecond) {
+		t.Errorf("unexpected sample times %v", times[:2])
+	}
+	rows := s.Rows()
+	for i := 1; i <= 5; i++ {
+		if got := rows[i][0]; got != 6000 {
+			t.Errorf("sample %d rate = %v puts/s, want 6000", i, got)
+		}
+	}
+	if last := times[6]; last != sim.Time(5250*time.Microsecond) {
+		t.Errorf("final sample at %v, want 5.25ms", last)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_s,puts_per_s" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 8 {
+		t.Errorf("csv lines = %d, want 8", len(lines))
+	}
+
+	s.Stop() // idempotent
+}
+
+func TestSamplerStopBeforeFirstTick(t *testing.T) {
+	env := sim.NewEnv()
+	s := StartSampler(env, time.Second, nil, func(sim.Time, time.Duration) []float64 { return nil })
+	env.Go("main", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		s.Stop()
+	})
+	env.Run() // must drain: the sampler process exits despite the pending tick
+	if len(s.Times()) != 2 {
+		t.Fatalf("samples = %d, want baseline + stop", len(s.Times()))
+	}
+}

@@ -1,0 +1,324 @@
+// Package obs is the observability layer of the KV-CSD reproduction: span
+// tracing, a metrics registry, and a virtual-time sampler, all stamped with
+// sim.Env virtual time so every trace and time series is deterministic.
+//
+// The tracer follows each NVMe command end to end — host packing, the PCIe
+// link, submission-queue wait, dispatcher service on the SoC, and per-zone
+// media I/O — and attributes every nanosecond of the command's wall time to
+// exactly one of four stages:
+//
+//	queue    submission-queue wait (including full-queue backpressure)
+//	link     host staging copies plus both PCIe transfer directions
+//	service  SoC execution time (engine CPU, locks, DRAM buffering)
+//	media    NAND channel time (reads, programs, resets)
+//
+// The stages partition the client-observed latency by construction: summing
+// a command's four stages reproduces its end-to-end latency exactly.
+//
+// Tracing is opt-in and compiled to a near-zero-cost path when disabled:
+// every Tracer and Span method is safe on a nil receiver, so instrumented
+// code calls unconditionally and pays only a nil check when no tracer is
+// attached.
+package obs
+
+import (
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+// Stage names used by the command-path instrumentation.
+const (
+	StageQueue   = "queue"
+	StageLink    = "link"
+	StageService = "service"
+	StageMedia   = "media"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed operation in a trace tree. A root span covers a whole
+// NVMe command (or device background job); children attribute slices of its
+// time to stages. All methods are no-ops on a nil receiver.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent *Span
+	root   *Span
+	name   string
+	stage  string // stage bucket for this span's self time ("" = none)
+	op     string // root only: op name for registry stage histograms
+	tid    int    // trace track, inherited from the root's process
+	start  sim.Time
+	end    sim.Time
+	ended  bool
+	attrs  []Attr
+
+	// attributed is the portion of this span's duration already claimed by
+	// descendant stage spans; the remainder is this span's self time.
+	attributed time.Duration
+
+	// stages accumulates the per-stage breakdown (root spans only).
+	stages map[string]time.Duration
+}
+
+// Tracer creates, tracks, and exports spans. A nil *Tracer is the disabled
+// tracer: all methods no-op.
+type Tracer struct {
+	env    *sim.Env
+	reg    *Registry
+	nextID uint64
+	done   []*Span
+	// cur holds the per-process stack of active spans, so layers without a
+	// command in hand (the SSD, the PCIe link) can attach children to
+	// whatever command or background job their calling process is running.
+	cur map[*sim.Proc][]*Span
+	// tracks remembers the display name of each trace track (process).
+	tracks map[int]string
+}
+
+// NewTracer creates an enabled tracer bound to the simulation environment.
+func NewTracer(env *sim.Env) *Tracer {
+	return &Tracer{env: env, cur: make(map[*sim.Proc][]*Span), tracks: make(map[int]string)}
+}
+
+// SetRegistry attaches a metrics registry: every finished root span records
+// its per-stage breakdown into the registry's stage histograms.
+func (t *Tracer) SetRegistry(r *Registry) {
+	if t == nil {
+		return
+	}
+	t.reg = r
+}
+
+// StartRoot opens a root span on process p. op names the histogram family
+// the span's stage breakdown is recorded under (e.g. the NVMe opcode).
+func (t *Tracer) StartRoot(p *sim.Proc, name, op string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	s := &Span{
+		tr:     t,
+		id:     t.nextID,
+		name:   name,
+		op:     op,
+		tid:    trackID(p),
+		start:  t.env.Now(),
+		stages: make(map[string]time.Duration, 4),
+	}
+	s.root = s
+	if _, ok := t.tracks[s.tid]; !ok {
+		t.tracks[s.tid] = p.Name()
+	}
+	return s
+}
+
+// trackID derives a stable trace track id from a process. Track ids only
+// need to be unique per process; sim assigns sequential process ids, which
+// we recover through the name-independent pointer identity kept in tracks.
+func trackID(p *sim.Proc) int { return p.ID() }
+
+// Push makes s the current span of process p: spans opened by lower layers
+// (media I/O, link transfers) on p become children of s.
+func (t *Tracer) Push(p *sim.Proc, s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	t.cur[p] = append(t.cur[p], s)
+}
+
+// Pop removes the innermost current span of process p.
+func (t *Tracer) Pop(p *sim.Proc) {
+	if t == nil {
+		return
+	}
+	stack := t.cur[p]
+	if n := len(stack); n > 0 {
+		if n == 1 {
+			delete(t.cur, p)
+		} else {
+			t.cur[p] = stack[:n-1]
+		}
+	}
+}
+
+// Current returns the innermost active span of process p, or nil.
+func (t *Tracer) Current(p *sim.Proc) *Span {
+	if t == nil {
+		return nil
+	}
+	if stack := t.cur[p]; len(stack) > 0 {
+		return stack[len(stack)-1]
+	}
+	return nil
+}
+
+// Finished returns all ended spans in end order. The returned slice is the
+// tracer's own; callers must not mutate it.
+func (t *Tracer) Finished() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.done
+}
+
+// finish records an ended span.
+func (t *Tracer) finish(s *Span) {
+	t.done = append(t.done, s)
+	if s == s.root && t.reg != nil && s.op != "" {
+		for stage, d := range s.stages {
+			t.reg.StageHistogram(s.op, stage).Record(d)
+		}
+		t.reg.StageHistogram(s.op, "total").Record(s.Duration())
+	}
+}
+
+// Child opens a child span starting now. stage names the latency bucket the
+// span's self time belongs to ("" for structural spans).
+func (s *Span) Child(name, stage string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.ChildFrom(name, stage, s.tr.env.Now())
+}
+
+// ChildFrom opens a child span with an explicit start time (used when the
+// observed interval began before the observer ran, e.g. queue wait measured
+// at dequeue).
+func (s *Span) ChildFrom(name, stage string, start sim.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.nextID++
+	return &Span{
+		tr:     t,
+		id:     t.nextID,
+		parent: s,
+		root:   s.root,
+		name:   name,
+		stage:  stage,
+		tid:    s.tid,
+		start:  start,
+	}
+}
+
+// End closes the span at the current virtual time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.env.Now())
+}
+
+// EndAt closes the span at an explicit virtual time, attributing its self
+// time (duration minus time already claimed by descendant stage spans) to
+// its stage on the root span. Ending twice is a no-op.
+func (s *Span) EndAt(at sim.Time) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.end = at
+	dur := time.Duration(s.end - s.start)
+	if s.stage != "" && s.root != nil {
+		self := dur - s.attributed
+		if self < 0 {
+			self = 0
+		}
+		s.root.stages[s.stage] += self
+		// Claim this span's whole duration on the nearest ancestor that
+		// itself attributes a stage, so nesting never double-counts.
+		for a := s.parent; a != nil; a = a.parent {
+			if a.stage != "" {
+				a.attributed += dur
+				break
+			}
+		}
+	}
+	s.tr.finish(s)
+}
+
+// SetInt attaches an integer annotation (bytes, counts) to the span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// EndTime returns the span's end time (zero until ended).
+func (s *Span) EndTime() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.end
+}
+
+// Duration returns end-start for an ended span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.end - s.start)
+}
+
+// Parent returns the parent span (nil for roots).
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// Stage returns the stage bucket this span's self time is attributed to.
+func (s *Span) Stage() string {
+	if s == nil {
+		return ""
+	}
+	return s.stage
+}
+
+// Stages returns the per-stage time breakdown accumulated on a root span.
+// The returned map is the span's own; callers must not mutate it.
+func (s *Span) Stages() map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	return s.root.stages
+}
+
+// StageSum returns the total time attributed across all stages of the
+// span's root — equal to the root duration when every interval of the
+// command's life was instrumented.
+func (s *Span) StageSum() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.root.stages {
+		sum += d
+	}
+	return sum
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+// buildTrace runs a tiny hand-timed simulation that exercises spans, stage
+// attribution, nesting, and the per-proc current-span stack.
+func buildTrace(t *testing.T) *Tracer {
+	t.Helper()
+	env := sim.NewEnv()
+	tr := NewTracer(env)
+	env.Go("cmd", func(p *sim.Proc) {
+		root := tr.StartRoot(p, "cmd:Store", "Store")
+		tr.Push(p, root)
+
+		prep := root.Child("prep", StageLink)
+		p.Sleep(2 * time.Microsecond)
+		prep.End()
+
+		// Queue wait measured after the fact, like nvme Pop does.
+		qStart := p.Now()
+		p.Sleep(3 * time.Microsecond)
+		root.ChildFrom("queue-wait", StageQueue, qStart).End()
+
+		svc := root.Child("service", StageService)
+		tr.Push(p, svc)
+		p.Sleep(1 * time.Microsecond)
+		media := tr.Current(p).Child("media:write", StageMedia)
+		media.SetInt("bytes", 4096)
+		p.Sleep(5 * time.Microsecond)
+		media.End()
+		p.Sleep(1 * time.Microsecond)
+		tr.Pop(p)
+		svc.End()
+
+		xfer := root.Child("xfer:d2h", StageLink)
+		p.Sleep(4 * time.Microsecond)
+		xfer.End()
+
+		tr.Pop(p)
+		root.End()
+	})
+	env.Run()
+	return tr
+}
+
+func TestStageAttributionPartitionsLatency(t *testing.T) {
+	tr := buildTrace(t)
+	spans := tr.Finished()
+	if len(spans) != 6 {
+		t.Fatalf("finished spans = %d, want 6", len(spans))
+	}
+	root := spans[len(spans)-1]
+	if root.Parent() != nil {
+		t.Fatalf("last finished span should be the root, got %q", root.Name())
+	}
+	st := root.Stages()
+	want := map[string]time.Duration{
+		StageLink:    6 * time.Microsecond, // prep 2 + d2h 4
+		StageQueue:   3 * time.Microsecond,
+		StageService: 2 * time.Microsecond, // 7 total minus 5 media
+		StageMedia:   5 * time.Microsecond,
+	}
+	for stage, d := range want {
+		if st[stage] != d {
+			t.Errorf("stage %s = %v, want %v", stage, st[stage], d)
+		}
+	}
+	if got := root.StageSum(); got != root.Duration() {
+		t.Errorf("stage sum %v != root duration %v", got, root.Duration())
+	}
+	if root.Duration() != 16*time.Microsecond {
+		t.Errorf("root duration = %v, want 16µs", root.Duration())
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	env := sim.NewEnv()
+	env.Go("noop", func(p *sim.Proc) {
+		root := tr.StartRoot(p, "cmd", "op")
+		if root != nil {
+			t.Error("nil tracer StartRoot should return nil")
+		}
+		tr.Push(p, root)
+		if tr.Current(p) != nil {
+			t.Error("nil tracer Current should return nil")
+		}
+		child := root.Child("x", StageMedia)
+		child.SetInt("bytes", 1)
+		child.End()
+		tr.Pop(p)
+		root.End()
+		if root.StageSum() != 0 || root.Duration() != 0 {
+			t.Error("nil span accessors should return zero")
+		}
+	})
+	env.Run()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer chrome export: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer chrome export not JSON: %v", err)
+	}
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil tracer jsonl export: %v", err)
+	}
+}
+
+func TestChromeTraceExportStructure(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete int
+	lastTs := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Ts < lastTs {
+			t.Errorf("timestamps not monotonic: %v after %v", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		complete++
+		if ev.Name == "cmd:Store" {
+			if ev.Args["total_ns"] == nil || ev.Args["stage_media_ns"] == nil {
+				t.Errorf("root span args missing stage breakdown: %v", ev.Args)
+			}
+		}
+		if ev.Name == "media:write" {
+			if got := ev.Args["bytes"]; got != float64(4096) {
+				t.Errorf("media span bytes attr = %v, want 4096", got)
+			}
+		}
+	}
+	if complete != 6 {
+		t.Errorf("complete events = %d, want 6", complete)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines int
+	var sawRoot bool
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		if rec["parent"] == nil {
+			sawRoot = true
+			if rec["stages_ns"] == nil {
+				t.Error("root JSONL record missing stages_ns")
+			}
+		}
+		lines++
+	}
+	if lines != 6 {
+		t.Errorf("jsonl lines = %d, want 6", lines)
+	}
+	if !sawRoot {
+		t.Error("no root span in JSONL output")
+	}
+}

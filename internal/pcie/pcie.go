@@ -11,6 +11,7 @@ package pcie
 import (
 	"time"
 
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
@@ -71,6 +72,7 @@ type Link struct {
 	h2d *sim.Resource
 	d2h *sim.Resource
 	st  *stats.IOStats
+	tr  *obs.Tracer
 }
 
 // New creates a link; traffic is recorded into st.
@@ -86,6 +88,10 @@ func New(env *sim.Env, cfg Config, st *stats.IOStats) *Link {
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
 
+// SetTracer attaches a tracer: each Transfer becomes a "link"-stage child
+// span of the calling process's current span.
+func (l *Link) SetTracer(tr *obs.Tracer) { l.tr = tr }
+
 // Transfer moves n bytes across the link in the given direction, blocking
 // the calling process for latency + n/bandwidth while holding the
 // directional channel. Zero-byte transfers still pay message latency
@@ -93,6 +99,17 @@ func (l *Link) Config() Config { return l.cfg }
 func (l *Link) Transfer(p *sim.Proc, dir Direction, n int64) {
 	if n < 0 {
 		n = 0
+	}
+	var sp *obs.Span
+	if l.tr != nil {
+		if cur := l.tr.Current(p); cur != nil {
+			name := "xfer:h2d"
+			if dir == DeviceToHost {
+				name = "xfer:d2h"
+			}
+			sp = cur.Child(name, obs.StageLink)
+			sp.SetInt("bytes", n)
+		}
 	}
 	switch dir {
 	case HostToDevice:
@@ -102,6 +119,7 @@ func (l *Link) Transfer(p *sim.Proc, dir Direction, n int64) {
 		p.Use(l.d2h, l.cfg.MsgLatency+sim.TransferTime(n, l.cfg.BandwidthD2H))
 		l.st.DeviceToHost.Add(n)
 	}
+	sp.End()
 }
 
 // BusyH2D returns accumulated busy time in the host-to-device direction.

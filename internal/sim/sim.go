@@ -187,6 +187,9 @@ func (p *Proc) Env() *Env { return p.env }
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
 
+// ID returns the process's unique id (sequential from 1 per Env).
+func (p *Proc) ID() int { return p.id }
+
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
@@ -116,6 +117,13 @@ type Device struct {
 	zones    []zone
 	st       *stats.IOStats
 
+	// Observability (optional): media spans attach to the calling process's
+	// current span; zone-state gauges publish into the registry.
+	tr         *obs.Tracer
+	gZonesOpen *sim.Gauge
+	gZonesFull *sim.Gauge
+	gWPBytes   *sim.Gauge
+
 	// conventional namespace
 	conv        map[int64][]byte // LBA -> block contents
 	convWritten map[int64]bool   // physically live blocks (valid pages)
@@ -174,6 +182,74 @@ func (d *Device) ChannelCount() int { return d.cfg.Channels }
 // Stats returns the device's stats block.
 func (d *Device) Stats() *stats.IOStats { return d.st }
 
+// SetObs attaches observability: media operations become "media"-stage child
+// spans of the calling process's current span, and zone-state gauges
+// (ssd/zones_open, ssd/zones_full, ssd/wp_bytes) publish into reg. Either
+// argument may be nil. Gauges are primed from the current zone state.
+func (d *Device) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	d.tr = tr
+	if reg == nil {
+		return
+	}
+	d.gZonesOpen = reg.Gauge("ssd/zones_open")
+	d.gZonesFull = reg.Gauge("ssd/zones_full")
+	d.gWPBytes = reg.Gauge("ssd/wp_bytes")
+	var open, full int
+	var wp int64
+	for i := range d.zones {
+		switch d.zones[i].state {
+		case ZoneOpen:
+			open++
+		case ZoneFull:
+			full++
+		}
+		wp += d.zones[i].wp
+	}
+	d.gZonesOpen.Set(float64(open))
+	d.gZonesFull.Set(float64(full))
+	d.gWPBytes.Set(float64(wp))
+}
+
+// traceMedia attaches a media-stage span covering [start, end] to the calling
+// process's current span, if tracing is on.
+func (d *Device) traceMedia(p *sim.Proc, kind string, n int64, start, end sim.Time) {
+	if d.tr == nil {
+		return
+	}
+	cur := d.tr.Current(p)
+	if cur == nil {
+		return
+	}
+	sp := cur.ChildFrom("media:"+kind, obs.StageMedia, start)
+	sp.SetInt("bytes", n)
+	sp.EndAt(end)
+}
+
+// noteZoneTransition updates the zone-state gauges for one zone moving from
+// one state to another, plus a write-pointer delta.
+func (d *Device) noteZoneTransition(from, to ZoneState, wpDelta int64) {
+	if d.gZonesOpen == nil {
+		return
+	}
+	if from != to {
+		switch from {
+		case ZoneOpen:
+			d.gZonesOpen.Add(-1)
+		case ZoneFull:
+			d.gZonesFull.Add(-1)
+		}
+		switch to {
+		case ZoneOpen:
+			d.gZonesOpen.Add(1)
+		case ZoneFull:
+			d.gZonesFull.Add(1)
+		}
+	}
+	if wpDelta != 0 {
+		d.gWPBytes.Add(float64(wpDelta))
+	}
+}
+
 // InjectFault arms an injected error: the n-th matching future operation of
 // the given kind on the given zone/LBA (id = -1 matches any) fails with
 // ErrInjectedFault. Kinds: "zone-write", "zone-read", "block-write",
@@ -197,9 +273,14 @@ func (d *Device) checkFault(kind string, id int64) error {
 
 // busy books a channel for an operation of n bytes and waits for it. The
 // reservation model lets several operations issued back-to-back by one
-// process overlap on distinct channels (NVMe queue depth).
-func (d *Device) busy(p *sim.Proc, ch *sim.Resource, lat time.Duration, n int64, bw float64) {
-	p.SleepUntil(ch.Reserve(lat + sim.TransferTime(n, bw)))
+// process overlap on distinct channels (NVMe queue depth). kind labels the
+// media span emitted when tracing is on; the span covers channel queueing as
+// well as the transfer itself (channel conflicts count as media time).
+func (d *Device) busy(p *sim.Proc, ch *sim.Resource, kind string, lat time.Duration, n int64, bw float64) {
+	start := d.env.Now()
+	done := ch.Reserve(lat + sim.TransferTime(n, bw))
+	p.SleepUntil(done)
+	d.traceMedia(p, kind, n, start, done)
 }
 
 // ZoneSpan names a contiguous byte range inside one zone.
@@ -215,6 +296,8 @@ type ZoneSpan struct {
 // large-request behavior of ZNS reads.
 func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) {
 	out := make([][]byte, len(spans))
+	start := d.env.Now()
+	var total int64
 	var latest sim.Time
 	for i, sp := range spans {
 		if sp.Zone < 0 || sp.Zone >= len(d.zones) {
@@ -233,8 +316,12 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 		}
 		out[i] = z.data[sp.Off : sp.Off+int64(sp.N) : sp.Off+int64(sp.N)]
 		d.st.MediaRead.Add(int64(sp.N))
+		total += int64(sp.N)
 	}
 	p.SleepUntil(latest)
+	if len(spans) > 0 {
+		d.traceMedia(p, "read", total, start, latest)
+	}
 	return out, nil
 }
 
@@ -245,6 +332,8 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 	if len(zones) != len(data) {
 		return fmt.Errorf("ssd: zones/data length mismatch")
 	}
+	start := d.env.Now()
+	var total int64
 	var latest sim.Time
 	for i, zi := range zones {
 		if zi < 0 || zi >= len(d.zones) {
@@ -268,6 +357,7 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 			z.data = make([]byte, 0, 64<<10)
 		}
 		z.data = append(z.data, data[i]...)
+		prev := z.state
 		z.wp += int64(len(data[i]))
 		if z.state == ZoneEmpty {
 			z.state = ZoneOpen
@@ -275,9 +365,14 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 		if z.wp == d.cfg.ZoneSize {
 			z.state = ZoneFull
 		}
+		d.noteZoneTransition(prev, z.state, int64(len(data[i])))
 		d.st.MediaWrite.Add(int64(len(data[i])))
+		total += int64(len(data[i]))
 	}
 	p.SleepUntil(latest)
+	if len(zones) > 0 {
+		d.traceMedia(p, "write", total, start, latest)
+	}
 	return nil
 }
 
@@ -288,6 +383,7 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 		return nil, ErrBlockBounds
 	}
 	out := make([][]byte, count)
+	start := d.env.Now()
 	var latest sim.Time
 	for i := 0; i < count; i++ {
 		cur := lba + int64(i)
@@ -306,6 +402,9 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 		d.st.MediaRead.Add(int64(d.cfg.BlockSize))
 	}
 	p.SleepUntil(latest)
+	if count > 0 {
+		d.traceMedia(p, "read", int64(count)*int64(d.cfg.BlockSize), start, latest)
+	}
 	return out, nil
 }
 
@@ -315,6 +414,8 @@ func (d *Device) WriteBlockRun(p *sim.Proc, lba int64, blocks [][]byte) error {
 	if lba < 0 || lba+int64(len(blocks)) > d.cfg.ConvBlocks {
 		return ErrBlockBounds
 	}
+	start := d.env.Now()
+	var total int64
 	var latest sim.Time
 	for i, b := range blocks {
 		if len(b) != d.cfg.BlockSize {
@@ -344,8 +445,12 @@ func (d *Device) WriteBlockRun(p *sim.Proc, lba int64, blocks [][]byte) error {
 		}
 		copy(blk, b)
 		d.st.MediaWrite.Add(int64(len(b)))
+		total += int64(len(b))
 	}
 	p.SleepUntil(latest)
+	if len(blocks) > 0 {
+		d.traceMedia(p, "write", total, start, latest)
+	}
 	return nil
 }
 
@@ -384,11 +489,12 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	if err := d.checkFault("zone-write", int64(idx)); err != nil {
 		return err
 	}
-	d.busy(p, d.Channel(idx), d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
+	d.busy(p, d.Channel(idx), "write", d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
 	if z.data == nil {
 		z.data = make([]byte, 0, 64<<10)
 	}
 	z.data = append(z.data, data...)
+	prev := z.state
 	z.wp += int64(len(data))
 	if z.state == ZoneEmpty {
 		z.state = ZoneOpen
@@ -396,6 +502,7 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	if z.wp == d.cfg.ZoneSize {
 		z.state = ZoneFull
 	}
+	d.noteZoneTransition(prev, z.state, int64(len(data)))
 	d.st.MediaWrite.Add(int64(len(data)))
 	return nil
 }
@@ -414,7 +521,7 @@ func (d *Device) ReadZone(p *sim.Proc, idx int, off int64, n int) ([]byte, error
 	if err := d.checkFault("zone-read", int64(idx)); err != nil {
 		return nil, err
 	}
-	d.busy(p, d.Channel(idx), d.cfg.ReadLatency, int64(n), d.cfg.ReadBandwidth)
+	d.busy(p, d.Channel(idx), "read", d.cfg.ReadLatency, int64(n), d.cfg.ReadBandwidth)
 	d.st.MediaRead.Add(int64(n))
 	return z.data[off : off+int64(n) : off+int64(n)], nil
 }
@@ -430,7 +537,8 @@ func (d *Device) ResetZone(p *sim.Proc, idx int) error {
 		return nil
 	}
 	// A reset is a management command: cheap, one latency unit on the channel.
-	d.busy(p, d.Channel(idx), d.cfg.WriteLatency, 0, d.cfg.WriteBandwidth)
+	d.busy(p, d.Channel(idx), "reset", d.cfg.WriteLatency, 0, d.cfg.WriteBandwidth)
+	d.noteZoneTransition(z.state, ZoneEmpty, -z.wp)
 	z.state = ZoneEmpty
 	z.wp = 0
 	z.data = nil
@@ -447,6 +555,7 @@ func (d *Device) FinishZone(p *sim.Proc, idx int) error {
 		return ErrZoneState
 	}
 	z.state = ZoneFull
+	d.noteZoneTransition(ZoneOpen, ZoneFull, 0)
 	return nil
 }
 
@@ -483,7 +592,7 @@ func (d *Device) WriteBlock(p *sim.Proc, lba int64, data []byte) error {
 	if err := d.checkFault("block-write", lba); err != nil {
 		return err
 	}
-	d.busy(p, d.convChannel(lba), d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
+	d.busy(p, d.convChannel(lba), "write", d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
 	if !d.convWritten[lba] {
 		if d.convFree == 0 {
 			return ErrDeviceCapacity
@@ -515,7 +624,7 @@ func (d *Device) ReadBlock(p *sim.Proc, lba int64, buf []byte) error {
 	if err := d.checkFault("block-read", lba); err != nil {
 		return err
 	}
-	d.busy(p, d.convChannel(lba), d.cfg.ReadLatency, int64(len(buf)), d.cfg.ReadBandwidth)
+	d.busy(p, d.convChannel(lba), "read", d.cfg.ReadLatency, int64(len(buf)), d.cfg.ReadBandwidth)
 	if blk := d.conv[lba]; blk != nil {
 		copy(buf, blk)
 	} else {
@@ -554,7 +663,7 @@ func (d *Device) maybeGC(p *sim.Proc) {
 	const victims = 4
 	n := int64(victims * d.cfg.BlockSize)
 	ch := d.channels[int(d.gcRuns)%d.cfg.Channels]
-	d.busy(p, ch, d.cfg.ReadLatency+d.cfg.WriteLatency,
+	d.busy(p, ch, "gc", d.cfg.ReadLatency+d.cfg.WriteLatency,
 		2*n, d.cfg.WriteBandwidth)
 	d.st.MediaRead.Add(n)
 	d.st.MediaWrite.Add(n)

@@ -43,8 +43,31 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 
-// Samples returns the raw samples (not sorted; callers must not mutate).
-func (h *Histogram) Samples() []time.Duration { return h.samples }
+// Samples returns a copy of the raw samples. Order is unspecified: Quantile
+// sorts the histogram's backing storage in place, so samples recorded before
+// a Quantile call may no longer be in recording order. The copy is the
+// caller's to keep — later Record or Quantile calls never mutate it.
+func (h *Histogram) Samples() []time.Duration {
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Merge adds every sample of other into h. The other histogram is unchanged.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
 
 // Sum returns the total of all samples.
 func (h *Histogram) Sum() time.Duration { return h.sum }

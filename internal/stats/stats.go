@@ -108,6 +108,32 @@ func (s *IOStats) CacheHitRate() float64 {
 	return float64(s.CacheHits.v) / float64(total)
 }
 
+// Clone returns an independent copy of the stats block with the same
+// counter values — the "previous sample" operand for Delta.
+func (s *IOStats) Clone() *IOStats {
+	c := NewIOStats()
+	src := s.counters()
+	for i, dst := range c.counters() {
+		dst.v = src[i].v
+	}
+	return c
+}
+
+// Delta returns a new stats block holding s minus prev, counter by counter.
+// A nil prev is treated as all zeros. This is how the obs sampler derives
+// per-interval rates from cumulative counters without resetting them.
+func (s *IOStats) Delta(prev *IOStats) *IOStats {
+	d := s.Clone()
+	if prev == nil {
+		return d
+	}
+	pc := prev.counters()
+	for i, c := range d.counters() {
+		c.v -= pc[i].v
+	}
+	return d
+}
+
 // Snapshot returns all counters as a sorted name->value map for reporting.
 func (s *IOStats) Snapshot() map[string]int64 {
 	m := make(map[string]int64, 16)

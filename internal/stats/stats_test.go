@@ -172,6 +172,109 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 	}
 }
 
+func TestHistogramSamplesReturnsCopy(t *testing.T) {
+	h := NewHistogram("s")
+	h.Record(5 * time.Millisecond)
+	h.Record(time.Millisecond)
+	h.Record(3 * time.Millisecond)
+
+	got := h.Samples()
+	if len(got) != 3 {
+		t.Fatalf("samples len = %d", len(got))
+	}
+	// Quantile sorts the backing slice in place; a previously returned copy
+	// must not be affected (the regression this test pins down).
+	before := append([]time.Duration(nil), got...)
+	_ = h.Quantile(0.5)
+	for i := range got {
+		if got[i] != before[i] {
+			t.Fatalf("Samples() result mutated by Quantile: %v -> %v", before, got)
+		}
+	}
+	// Mutating the returned copy must not corrupt the histogram.
+	got[0] = time.Hour
+	if h.Max() != 5*time.Millisecond || h.Quantile(1) != 5*time.Millisecond {
+		t.Fatal("mutating Samples() copy affected the histogram")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram("a")
+	b := NewHistogram("b")
+	for i := 1; i <= 3; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 4; i <= 6; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	_ = a.Quantile(0.5) // leave a in sorted state; Merge must invalidate it
+
+	a.Merge(b)
+	if a.Count() != 6 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 6*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Sum() != 21*time.Millisecond {
+		t.Fatalf("merged sum = %v", a.Sum())
+	}
+	if q := a.Quantile(1); q != 6*time.Millisecond {
+		t.Fatalf("merged p100 = %v", q)
+	}
+	// b unchanged.
+	if b.Count() != 3 || b.Min() != 4*time.Millisecond {
+		t.Fatal("Merge mutated its argument")
+	}
+	a.Merge(nil)
+	a.Merge(NewHistogram("empty"))
+	if a.Count() != 6 {
+		t.Fatalf("merge of nil/empty changed count to %d", a.Count())
+	}
+	// Empty receiver adopts min/max from the merged histogram.
+	c := NewHistogram("c")
+	c.Merge(b)
+	if c.Min() != 4*time.Millisecond || c.Max() != 6*time.Millisecond {
+		t.Fatalf("empty-receiver merge min/max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestIOStatsCloneAndDelta(t *testing.T) {
+	s := NewIOStats()
+	s.Puts.Add(10)
+	s.MediaWrite.Add(4096)
+
+	prev := s.Clone()
+	if prev.Puts.Value() != 10 || prev.MediaWrite.Value() != 4096 {
+		t.Fatalf("clone values: %s", prev)
+	}
+	prev.Puts.Add(1)
+	if s.Puts.Value() != 10 {
+		t.Fatal("clone shares state with original")
+	}
+
+	prev = s.Clone()
+	s.Puts.Add(5)
+	s.MediaWrite.Add(100)
+	s.Gets.Add(2)
+	d := s.Delta(prev)
+	if d.Puts.Value() != 5 || d.MediaWrite.Value() != 100 || d.Gets.Value() != 2 {
+		t.Fatalf("delta = %s", d)
+	}
+	if d.AppWrite.Value() != 0 {
+		t.Fatalf("untouched counter delta = %d", d.AppWrite.Value())
+	}
+	// Nil prev means "delta from zero".
+	z := s.Delta(nil)
+	if z.Puts.Value() != 15 {
+		t.Fatalf("delta from nil = %d", z.Puts.Value())
+	}
+	// Delta result keeps counter names for reporting.
+	if d.Puts.Name() != "puts" {
+		t.Fatalf("delta counter name = %q", d.Puts.Name())
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram("lat")
 	if !strings.Contains(h.String(), "empty") {

@@ -28,6 +28,7 @@ import (
 	"kvcsd/internal/device"
 	"kvcsd/internal/host"
 	"kvcsd/internal/keyenc"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
@@ -119,6 +120,13 @@ func (s *System) Run(fn func(p *Proc) error) error {
 func (s *System) Go(name string, fn func(p *Proc)) *sim.Proc {
 	return s.Env.Go(name, fn)
 }
+
+// Tracer returns the device tracer, or nil unless Options.Trace was set.
+func (s *System) Tracer() *obs.Tracer { return s.Device.Tracer() }
+
+// Registry returns the metrics registry, or nil unless Options.Metrics was
+// set.
+func (s *System) Registry() *obs.Registry { return s.Device.Registry() }
 
 // Elapsed returns the current virtual time of the simulation.
 func (s *System) Elapsed() sim.Time { return s.Env.Now() }
