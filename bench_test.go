@@ -158,6 +158,18 @@ func BenchmarkFig12SelectivityQueries(b *testing.B) {
 	})
 }
 
+func BenchmarkArrayScaling(b *testing.B) {
+	report(b, func() error {
+		t, err := bench.ArrayScaling(benchScale(), 8, 2)
+		if err != nil {
+			return err
+		}
+		printTable(b, t)
+		b.ReportMetric(t.Float(len(t.Rows)-1, "speedup"), "speedup@8dev")
+		return nil
+	})
+}
+
 func BenchmarkAblationBulkPut(b *testing.B) {
 	report(b, func() error {
 		t, err := bench.AblationBulkPut(benchScale())

@@ -6,6 +6,7 @@
 //	kvcsd-bench -fig all            # every micro figure at default scale
 //	kvcsd-bench -fig 7a -scale 8    # Figure 7a with 8x larger datasets
 //	kvcsd-bench -fig ablations      # the design-choice ablations
+//	kvcsd-bench -fig array -devices 8 -replicas 2   # multi-device scaling
 //	kvcsd-bench -config             # print the simulated hardware (Table I)
 //
 // Observability (runs an instrumented bulk-insert + compaction + foreground
@@ -28,9 +29,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	devices := flag.Int("devices", 8, "largest device count in the array-scaling sweep")
+	replicas := flag.Int("replicas", 2, "replicas per keyspace in the array-scaling sweep")
 	traceFile := flag.String("trace", "", "write a Chrome trace of an instrumented run to FILE (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of an instrumented run")
 	sampleInterval := flag.Duration("sample-interval", 0, "virtual-time sampling period for the instrumented run (default 250µs)")
@@ -121,6 +124,14 @@ func main() {
 		}
 		ran = true
 	}
+	if want("array") {
+		t, err := bench.ArrayScaling(s, *devices, *replicas)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		ran = true
+	}
 	if want("ablations") {
 		type abl struct {
 			name string
@@ -145,7 +156,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, all)\n", *fig)
 		os.Exit(2)
 	}
 }

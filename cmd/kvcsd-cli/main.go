@@ -1,39 +1,379 @@
-// Command kvcsd-cli drives a simulated KV-CSD device through a scripted
-// key-value session and prints what the device did: keyspace lifecycle,
-// timings of each phase (virtual time), and the device-side statistics.
-// It is the quickest way to watch the deferred-compaction flow end to end.
+// Command kvcsd-cli drives simulated KV-CSD storage through a scripted
+// key-value session and prints what the devices did: keyspace lifecycle,
+// timings of each phase (virtual time), and device-side statistics.
+//
+// The default "session" command preserves the classic single-device flow
+// (bulk insert, deferred compaction, queries). The other subcommands operate
+// on a deterministic multi-device array: each invocation re-creates the same
+// virtual cluster from -seed, preloads -keys pairs into a range-sharded
+// keyspace, and then performs the requested operation on it.
 //
 // Usage:
 //
-//	kvcsd-cli                      # default session: 100k keys, queries
-//	kvcsd-cli -keys 1000000 -value-size 128
-//	kvcsd-cli -keyspaces 8         # multi-keyspace session
+//	kvcsd-cli [global flags] <command> [args]
+//
+//	kvcsd-cli                                  # classic session, one device
+//	kvcsd-cli -keys 1000000 session            # bigger session
+//	kvcsd-cli -devices 4 -replicas 2 stats     # fleet statistics + health
+//	kvcsd-cli -devices 4 put mykey myvalue     # replicated routed PUT
+//	kvcsd-cli -devices 4 get 0xA1B2...         # point GET (hex or raw key)
+//	kvcsd-cli -devices 4 scan -limit 10        # ordered scatter-gather scan
+//	kvcsd-cli -devices 4 compact               # staggered fleet compaction
+//	kvcsd-cli -devices 4 delete-keyspace       # drop the preloaded keyspace
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"kvcsd"
+	"kvcsd/internal/array"
+	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
 
+// cliConfig carries the global flags shared by every subcommand.
+type cliConfig struct {
+	devices   int
+	replicas  int
+	keys      int
+	valueSize int
+	keyspaces int
+	queries   int
+	seed      int64
+	ksName    string
+}
+
 func main() {
-	keys := flag.Int("keys", 100000, "keys to insert per keyspace")
-	valueSize := flag.Int("value-size", 32, "value size in bytes")
-	keyspaces := flag.Int("keyspaces", 1, "number of keyspaces (one writer thread each)")
-	queries := flag.Int("queries", 1000, "random point queries per keyspace after compaction")
+	cfg := cliConfig{}
+	flag.IntVar(&cfg.devices, "devices", 1, "devices in the simulated array")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "replicas per keyspace (array commands)")
+	flag.IntVar(&cfg.keys, "keys", 100000, "keys to preload (session: keys per keyspace)")
+	flag.IntVar(&cfg.valueSize, "value-size", 32, "value size in bytes")
+	flag.IntVar(&cfg.keyspaces, "keyspaces", 1, "session: number of keyspaces (one writer thread each)")
+	flag.IntVar(&cfg.queries, "queries", 1000, "session/stats: random point queries after compaction")
+	flag.Int64Var(&cfg.seed, "seed", 1, "simulation seed (same seed = same virtual cluster)")
+	flag.StringVar(&cfg.ksName, "ks", "data", "keyspace name for array commands")
 	flag.Parse()
 
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "session"
+	}
+	args := flag.Args()
+	if len(args) > 0 {
+		args = args[1:]
+	}
+
+	var err error
+	switch cmd {
+	case "session":
+		err = runSession(cfg)
+	case "put":
+		err = runPut(cfg, args)
+	case "get":
+		err = runGet(cfg, args)
+	case "scan":
+		err = runScan(cfg, args)
+	case "compact":
+		err = runCompact(cfg)
+	case "delete-keyspace":
+		err = runDeleteKeyspace(cfg)
+	case "stats":
+		err = runStats(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "kvcsd-cli: unknown command %q (try session, put, get, scan, compact, delete-keyspace, stats)\n", cmd)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvcsd-cli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// --- Array plumbing shared by the subcommands ------------------------------
+
+// newArray assembles the deterministic virtual cluster from the globals.
+func newArray(cfg cliConfig, env *sim.Env) *array.Array {
+	opts := array.DefaultOptions()
+	opts.Devices = cfg.devices
+	opts.Replicas = cfg.replicas
+	opts.Seed = cfg.seed
+	return array.New(env, opts)
+}
+
+// load creates the routed keyspace and bulk-preloads cfg.keys pairs into it
+// (range-sharded, one partition per device). It leaves the keyspace
+// uncompacted so each subcommand drives exactly the phases it demonstrates.
+func load(p *sim.Proc, a *array.Array, cfg cliConfig) (*array.Keyspace, error) {
+	ks, err := a.CreateRangeSharded(p, cfg.ksName, cfg.devices)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.keys; i++ {
+		if err := ks.BulkPut(p, cliKey(cfg.seed, i), cliValue(cfg.seed, i, cfg.valueSize)); err != nil {
+			return nil, err
+		}
+	}
+	if err := ks.Flush(p); err != nil {
+		return nil, err
+	}
+	return ks, nil
+}
+
+// cliKey derives the i-th preloaded key (8-byte hashed prefix spreads keys
+// across all range shards; print with %x).
+func cliKey(seed int64, i int) []byte {
+	return kvcsd.Uint64Key(mix(uint64(seed)<<32 ^ uint64(i)))
+}
+
+func cliValue(seed int64, i, size int) []byte {
+	v := make([]byte, size)
+	x := mix(uint64(seed)<<33 ^ uint64(i) ^ 0xABCD)
+	for j := range v {
+		v[j] = byte(x >> (8 * uint(j%8)))
+		if j%8 == 7 {
+			x = mix(x)
+		}
+	}
+	return v
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// parseKey interprets a CLI key argument: 0x-prefixed arguments decode as
+// hex (how scan and the preload print keys), everything else is raw bytes.
+func parseKey(arg string) ([]byte, error) {
+	if strings.HasPrefix(arg, "0x") || strings.HasPrefix(arg, "0X") {
+		b, err := hex.DecodeString(arg[2:])
+		if err != nil {
+			return nil, fmt.Errorf("bad hex key %q: %w", arg, err)
+		}
+		return b, nil
+	}
+	return []byte(arg), nil
+}
+
+// runArray executes fn as the master proc over a fresh cluster and prints
+// fleet statistics afterwards when wanted.
+func runArray(cfg cliConfig, fn func(p *sim.Proc, a *array.Array) error) error {
+	env := sim.NewEnv()
+	a := newArray(cfg, env)
+	var err error
+	env.Go("cli", func(p *sim.Proc) {
+		err = fn(p, a)
+		a.Shutdown()
+	})
+	env.Run()
+	return err
+}
+
+// --- Subcommands -----------------------------------------------------------
+
+func runPut(cfg cliConfig, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: kvcsd-cli put <key> <value>")
+	}
+	key, err := parseKey(args[0])
+	if err != nil {
+		return err
+	}
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		ks, err := load(p, a, cfg)
+		if err != nil {
+			return err
+		}
+		if err := ks.Put(p, key, []byte(args[1])); err != nil {
+			return err
+		}
+		fmt.Printf("put %q (%d bytes) into %s: replicated to devices %v\n",
+			args[0], len(args[1]), cfg.ksName, ks.OwnersOf(key))
+		return nil
+	})
+}
+
+func runGet(cfg cliConfig, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: kvcsd-cli get <key>  (0x… for hex)")
+	}
+	key, err := parseKey(args[0])
+	if err != nil {
+		return err
+	}
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		ks, err := load(p, a, cfg)
+		if err != nil {
+			return err
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		t0 := p.Now()
+		val, ok, err := ks.Get(p, key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("get %s: not found (%v)\n", args[0], p.Now()-t0)
+			return nil
+		}
+		fmt.Printf("get %s: %d bytes in %v\n  value: 0x%x\n", args[0], len(val), p.Now()-t0, val)
+		return nil
+	})
+}
+
+func runScan(cfg cliConfig, args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	lo := fs.String("lo", "", "low key bound, inclusive (0x… for hex)")
+	hi := fs.String("hi", "", "high key bound, exclusive (0x… for hex)")
+	limit := fs.Int("limit", 20, "max pairs to return (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var loB, hiB []byte
+	var err error
+	if *lo != "" {
+		if loB, err = parseKey(*lo); err != nil {
+			return err
+		}
+	}
+	if *hi != "" {
+		if hiB, err = parseKey(*hi); err != nil {
+			return err
+		}
+	}
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		ks, err := load(p, a, cfg)
+		if err != nil {
+			return err
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		t0 := p.Now()
+		pairs, err := ks.Scan(p, loB, hiB, *limit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scan %s: %d pairs across %d shards in %v\n",
+			cfg.ksName, len(pairs), ks.Partitions(), p.Now()-t0)
+		for _, kv := range pairs {
+			fmt.Printf("  0x%x  (%d bytes)\n", kv.Key, len(kv.Value))
+		}
+		return nil
+	})
+}
+
+func runCompact(cfg cliConfig) error {
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		ks, err := load(p, a, cfg)
+		if err != nil {
+			return err
+		}
+		t0 := p.Now()
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		fmt.Printf("fleet compaction of %s (%d shards, cap %d, stagger %v): %v\n",
+			cfg.ksName, ks.Partitions(), a.Options().MaxConcurrentCompactions,
+			a.Options().CompactionStagger, p.Now()-t0)
+		info, err := ks.Info(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("state=%s pairs=%d zones=%d\n", info.State, info.Pairs, info.ZoneCount)
+		for _, row := range ks.ShardMap() {
+			fmt.Printf("  shard %s\n", row)
+		}
+		return nil
+	})
+}
+
+func runDeleteKeyspace(cfg cliConfig) error {
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		if _, err := load(p, a, cfg); err != nil {
+			return err
+		}
+		if err := a.DeleteKeyspace(p, cfg.ksName); err != nil {
+			return err
+		}
+		fmt.Printf("deleted keyspace %s from all shards; remaining keyspaces: %v\n",
+			cfg.ksName, a.Keyspaces())
+		return nil
+	})
+}
+
+func runStats(cfg cliConfig) error {
+	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		ks, err := load(p, a, cfg)
+		if err != nil {
+			return err
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		for q := 0; q < cfg.queries; q++ {
+			i := int(mix(uint64(q)^0x51A75) % uint64(maxOf(cfg.keys, 1)))
+			if _, _, err := ks.Get(p, cliKey(cfg.seed, i)); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("array: %d devices, %d replicas, %d keys preloaded, %d queries\n",
+			cfg.devices, a.Options().Replicas, cfg.keys, cfg.queries)
+		fmt.Printf("fleet totals:\n")
+		printIOStats("  ", a.Stats())
+		for _, m := range a.Members() {
+			fmt.Printf("device %d:\n", m.ID)
+			printIOStats("  ", m.Stats)
+		}
+		fmt.Printf("health:\n")
+		for _, h := range a.Health() {
+			state := "up"
+			if h.Down {
+				state = "DOWN"
+			}
+			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
+		}
+		fmt.Printf("virtual time: %v\n", p.Now())
+		return nil
+	})
+}
+
+func printIOStats(indent string, st *stats.IOStats) {
+	fmt.Printf("%smedia write: %s   media read: %s\n", indent,
+		stats.HumanBytes(st.MediaWrite.Value()), stats.HumanBytes(st.MediaRead.Value()))
+	fmt.Printf("%shost->device: %s  device->host: %s\n", indent,
+		stats.HumanBytes(st.HostToDevice.Value()), stats.HumanBytes(st.DeviceToHost.Value()))
+	fmt.Printf("%scommands: %d  write amplification: %.2f\n", indent,
+		st.Commands.Value(), st.WriteAmplification())
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- The classic single-device session -------------------------------------
+
+func runSession(cfg cliConfig) error {
 	sys := kvcsd.New(nil)
 	err := sys.Run(func(p *kvcsd.Proc) error {
 		// Insert phase: one writer process per keyspace.
 		t0 := p.Now()
-		errs := make([]error, *keyspaces)
-		handles := make([]*kvcsd.Keyspace, *keyspaces)
+		errs := make([]error, cfg.keyspaces)
+		handles := make([]*kvcsd.Keyspace, cfg.keyspaces)
 		var writers []*kvcsd.Proc
-		for w := 0; w < *keyspaces; w++ {
+		for w := 0; w < cfg.keyspaces; w++ {
 			w := w
 			writers = append(writers, sys.Go(fmt.Sprintf("writer-%d", w), func(wp *kvcsd.Proc) {
 				ks, err := sys.Client.CreateKeyspace(wp, fmt.Sprintf("ks-%d", w))
@@ -42,8 +382,8 @@ func main() {
 					return
 				}
 				handles[w] = ks
-				val := make([]byte, *valueSize)
-				for i := 0; i < *keys; i++ {
+				val := make([]byte, cfg.valueSize)
+				for i := 0; i < cfg.keys; i++ {
 					key := kvcsd.Uint64Key(uint64(w)<<48 | uint64(i*2654435761))
 					if err := ks.BulkPut(wp, key, val); err != nil {
 						errs[w] = err
@@ -61,7 +401,7 @@ func main() {
 		}
 		writeTime := p.Now() - t0
 		fmt.Printf("insert+compact-invoke: %v  (%d keys x %d keyspaces, %dB values)\n",
-			writeTime, *keys, *keyspaces, *valueSize)
+			writeTime, cfg.keys, cfg.keyspaces, cfg.valueSize)
 
 		// Wait out the asynchronous device compaction.
 		t1 := p.Now()
@@ -85,8 +425,8 @@ func main() {
 		t2 := p.Now()
 		found := 0
 		for w, ks := range handles {
-			for q := 0; q < *queries; q++ {
-				key := kvcsd.Uint64Key(uint64(w)<<48 | uint64((q*7919%*keys)*2654435761))
+			for q := 0; q < cfg.queries; q++ {
+				key := kvcsd.Uint64Key(uint64(w)<<48 | uint64((q*7919%cfg.keys)*2654435761))
 				_, ok, err := ks.Get(p, key)
 				if err != nil {
 					return err
@@ -96,14 +436,13 @@ func main() {
 				}
 			}
 		}
-		total := *queries * *keyspaces
+		total := cfg.queries * cfg.keyspaces
 		fmt.Printf("queries: %d/%d found in %v (%.1fus avg)\n",
 			found, total, p.Now()-t2, float64(p.Now()-t2)/float64(total)/1e3)
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "kvcsd-cli: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	fmt.Printf("\ndevice statistics:\n")
@@ -114,4 +453,5 @@ func main() {
 	fmt.Printf("  commands: %d  write amplification: %.2f\n",
 		sys.Stats.Commands.Value(), sys.Stats.WriteAmplification())
 	fmt.Printf("  total virtual time: %v\n", sys.Elapsed())
+	return nil
 }

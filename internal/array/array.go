@@ -1,0 +1,350 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kvcsd/internal/client"
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/obs"
+	"kvcsd/internal/pcie"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+// Errors returned by the array router.
+var (
+	// ErrNoReplicas reports that every replica of a shard failed (or every
+	// owning device is marked down).
+	ErrNoReplicas = errors.New("array: no replica available")
+	// ErrKeyspaceUnknown reports an Open/Delete of a keyspace this router
+	// never created.
+	ErrKeyspaceUnknown = errors.New("array: keyspace unknown to router")
+)
+
+// ReadPreference selects which replica serves reads first.
+type ReadPreference int
+
+// Read preferences.
+const (
+	// ReadPrimary always tries the ring primary first — maximal cache
+	// locality, uneven load.
+	ReadPrimary ReadPreference = iota
+	// ReadRoundRobin rotates reads across healthy replicas — even load,
+	// the deployment default for R > 1.
+	ReadRoundRobin
+)
+
+// Options assembles an array.
+type Options struct {
+	// Devices is the fleet size (>= 1).
+	Devices int
+	// Replicas is the number of copies of every keyspace (clamped to
+	// Devices; default 1 = no replication).
+	Replicas int
+	// VirtualNodes per device on the placement ring (default 64).
+	VirtualNodes int
+	// Seed drives ring placement and per-device seeds.
+	Seed int64
+	// Device is the per-device template; the zero value means
+	// device.DefaultOptions(). Each device gets a distinct derived seed.
+	Device device.Options
+	// Host configures the router host (zero value = default host).
+	Host host.Config
+	// NVMeOF attaches devices over NVMe-over-Fabrics instead of local PCIe
+	// (the paper's Figure 2 deployment).
+	NVMeOF bool
+	// ReadPreference selects the replica read order.
+	ReadPreference ReadPreference
+	// FailureThreshold is the number of consecutive device-level errors
+	// after which a device is marked down and skipped by the router
+	// (default 3).
+	FailureThreshold int
+	// MaxConcurrentCompactions caps how many devices may run scheduled
+	// compactions at once (default 2).
+	MaxConcurrentCompactions int
+	// CompactionStagger delays successive compaction admissions so the
+	// fleet's background I/O ramps instead of bursting (default 100µs).
+	CompactionStagger time.Duration
+	// Trace collects every device's command spans into one fleet tracer.
+	Trace bool
+	// Metrics publishes all devices into one registry, gauges namespaced
+	// "dev<N>/".
+	Metrics bool
+}
+
+// DefaultOptions returns a 4-device, 2-replica array of default devices.
+func DefaultOptions() Options {
+	return Options{
+		Devices:                  4,
+		Replicas:                 2,
+		Seed:                     1,
+		ReadPreference:           ReadRoundRobin,
+		FailureThreshold:         3,
+		MaxConcurrentCompactions: 2,
+		CompactionStagger:        100 * time.Microsecond,
+	}
+}
+
+// Member is one device of the array plus the router's view of it.
+type Member struct {
+	ID     int
+	Dev    *device.Device
+	Client *client.Client
+	Stats  *stats.IOStats
+
+	failures int // consecutive device-level errors
+	down     bool
+}
+
+// Healthy reports whether the router still routes to this device.
+func (m *Member) Healthy() bool { return !m.down }
+
+// Failures returns the current consecutive-failure count.
+func (m *Member) Failures() int { return m.failures }
+
+// DeviceHealth is a point-in-time health snapshot of one member.
+type DeviceHealth struct {
+	ID       int
+	Down     bool
+	Failures int
+}
+
+// Array is a host-side router over N KV-CSD devices.
+type Array struct {
+	env     *sim.Env
+	h       *host.Host
+	opts    Options
+	members []*Member
+	ring    *Ring
+
+	reg *obs.Registry // fleet registry (nil unless Metrics)
+	tr  *obs.Tracer   // fleet tracer (nil unless Trace)
+
+	gate        *sim.Resource // compaction admission gate
+	gDown       *sim.Gauge    // array/devices_down
+	gCompactRun *sim.Gauge    // array/compactions_running
+	lastAdmit   sim.Time      // last compaction admission (stagger)
+	admits      int64         // compaction admissions so far
+	rr          int           // round-robin read cursor
+
+	keyspaces map[string]*Keyspace
+	ksOrder   []string // creation order, for deterministic iteration
+}
+
+// New builds and starts an array in the simulation environment. Each device
+// is a complete stack (its own SSD, SoC engine, and link) with its own
+// IOStats block; the router host is shared.
+func New(env *sim.Env, opts Options) *Array {
+	if opts.Devices < 1 {
+		opts.Devices = 1
+	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	if opts.Replicas > opts.Devices {
+		opts.Replicas = opts.Devices
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 3
+	}
+	if opts.MaxConcurrentCompactions <= 0 {
+		opts.MaxConcurrentCompactions = 2
+	}
+	if opts.CompactionStagger < 0 {
+		opts.CompactionStagger = 0
+	}
+	hcfg := opts.Host
+	if hcfg.Cores == 0 {
+		hcfg = host.DefaultHostConfig()
+	}
+	a := &Array{
+		env:       env,
+		h:         host.New(env, hcfg),
+		opts:      opts,
+		ring:      NewRing(opts.Seed, opts.Devices, opts.VirtualNodes),
+		gate:      sim.NewResource(env, "array-compact-gate", opts.MaxConcurrentCompactions),
+		keyspaces: make(map[string]*Keyspace),
+	}
+	if opts.Metrics {
+		a.reg = obs.NewRegistry(env)
+		a.gDown = a.reg.Gauge("array/devices_down")
+		a.gCompactRun = a.reg.Gauge("array/compactions_running")
+	}
+	if opts.Trace {
+		a.tr = obs.NewTracer(env)
+	}
+	devTemplate := opts.Device
+	if isZeroDeviceOptions(devTemplate) {
+		devTemplate = device.DefaultOptions()
+	}
+	if opts.NVMeOF {
+		devTemplate.Link = pcie.NVMeOFConfig()
+	}
+	for i := 0; i < opts.Devices; i++ {
+		dopts := devTemplate
+		dopts.Seed = deriveSeed(opts.Seed, i)
+		dopts.Trace = opts.Trace
+		dopts.Metrics = opts.Metrics
+		dopts.SharedRegistry = a.reg
+		dopts.SharedTracer = a.tr
+		dopts.GaugePrefix = fmt.Sprintf("dev%d/", i)
+		st := stats.NewIOStats()
+		dev := device.New(env, dopts, st)
+		a.members = append(a.members, &Member{
+			ID:     i,
+			Dev:    dev,
+			Client: client.New(a.h, dev),
+			Stats:  st,
+		})
+	}
+	return a
+}
+
+// isZeroDeviceOptions reports whether the template was left unset.
+func isZeroDeviceOptions(o device.Options) bool {
+	return o.QueueDepth == 0 && o.SSD.Channels == 0 && o.SoC.Cores == 0
+}
+
+// deriveSeed gives each device an independent deterministic seed.
+func deriveSeed(seed int64, dev int) int64 {
+	return seed ^ (int64(dev+1) * 0x9E3779B9)
+}
+
+// Env returns the simulation environment.
+func (a *Array) Env() *sim.Env { return a.env }
+
+// Host returns the router host.
+func (a *Array) Host() *host.Host { return a.h }
+
+// Options returns the array configuration (after defaulting).
+func (a *Array) Options() Options { return a.opts }
+
+// Ring returns the placement ring (inspection, tests).
+func (a *Array) Ring() *Ring { return a.ring }
+
+// Members returns all members in device-ID order.
+func (a *Array) Members() []*Member { return a.members }
+
+// Member returns the member with the given device ID.
+func (a *Array) Member(id int) *Member { return a.members[id] }
+
+// Registry returns the fleet metrics registry (nil unless Options.Metrics).
+func (a *Array) Registry() *obs.Registry { return a.reg }
+
+// Tracer returns the fleet tracer (nil unless Options.Trace).
+func (a *Array) Tracer() *obs.Tracer { return a.tr }
+
+// Stats returns a fresh IOStats block holding the sum of every device's
+// counters (stats.Merge) — the array-wide I/O totals.
+func (a *Array) Stats() *stats.IOStats {
+	total := stats.NewIOStats()
+	for _, m := range a.members {
+		total.Merge(m.Stats)
+	}
+	return total
+}
+
+// Health returns a snapshot of every member's health, in device-ID order.
+func (a *Array) Health() []DeviceHealth {
+	out := make([]DeviceHealth, len(a.members))
+	for i, m := range a.members {
+		out[i] = DeviceHealth{ID: m.ID, Down: m.down, Failures: m.failures}
+	}
+	return out
+}
+
+// noteFailure records a device-level error; at FailureThreshold consecutive
+// errors the device is marked down and the router stops routing to it.
+func (a *Array) noteFailure(m *Member) {
+	m.failures++
+	if !m.down && m.failures >= a.opts.FailureThreshold {
+		m.down = true
+		if a.gDown != nil {
+			a.gDown.Add(1)
+		}
+	}
+}
+
+// noteSuccess clears the consecutive-failure counter and revives a down
+// device (the only probe path back: a read that failed over may still be
+// retried against a recovering device by lowering FailureThreshold traffic).
+func (a *Array) noteSuccess(m *Member) {
+	m.failures = 0
+	if m.down {
+		m.down = false
+		if a.gDown != nil {
+			a.gDown.Add(-1)
+		}
+	}
+}
+
+// MarkDown forces a device down (operator action / tests).
+func (a *Array) MarkDown(id int) {
+	m := a.members[id]
+	if !m.down {
+		m.down = true
+		if a.gDown != nil {
+			a.gDown.Add(1)
+		}
+	}
+}
+
+// MarkUp forces a device back up.
+func (a *Array) MarkUp(id int) {
+	m := a.members[id]
+	m.failures = 0
+	if m.down {
+		m.down = false
+		if a.gDown != nil {
+			a.gDown.Add(-1)
+		}
+	}
+}
+
+// readOrder returns replica indices (positions into a partition's replica
+// list) in the order reads should try them: healthy devices first, ordered
+// by the read preference, then down devices as a last resort.
+func (a *Array) readOrder(replicas []int) []int {
+	n := len(replicas)
+	order := make([]int, n)
+	start := 0
+	if a.opts.ReadPreference == ReadRoundRobin && n > 1 {
+		start = a.rr % n
+		a.rr++
+	}
+	for i := 0; i < n; i++ {
+		order[i] = (start + i) % n
+	}
+	// Stable partition: healthy before down, preserving preference order.
+	healthy := make([]int, 0, n)
+	downs := make([]int, 0, n)
+	for _, ri := range order {
+		if a.members[replicas[ri]].Healthy() {
+			healthy = append(healthy, ri)
+		} else {
+			downs = append(downs, ri)
+		}
+	}
+	return append(healthy, downs...)
+}
+
+// WaitBackgroundIdle blocks until every device's background jobs finish.
+func (a *Array) WaitBackgroundIdle(p *sim.Proc) error {
+	for _, m := range a.members {
+		if err := m.Dev.WaitBackgroundIdle(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown closes every device's command queue; in-flight commands complete
+// and the dispatch loops exit.
+func (a *Array) Shutdown() {
+	for _, m := range a.members {
+		m.Dev.Shutdown()
+	}
+}

@@ -47,7 +47,11 @@ type Scale struct {
 	VPICParticlesPerFile int
 	// Fig 12 selectivities, as fractions.
 	Selectivities []float64
-	Seed          int64
+	// Array scaling: fixed total pairs spread over the device sweep, and the
+	// random GETs issued after the fleet compaction.
+	ArrayTotalKeys int
+	ArrayQueries   int
+	Seed           int64
 }
 
 // DefaultScale keeps every figure under a few seconds of real time.
@@ -64,6 +68,8 @@ func DefaultScale() Scale {
 		VPICFiles:            16,
 		VPICParticlesPerFile: 16384,
 		Selectivities:        []float64{0.001, 0.005, 0.01, 0.05, 0.20},
+		ArrayTotalKeys:       16384,
+		ArrayQueries:         2048,
 		Seed:                 1,
 	}
 }
@@ -78,6 +84,7 @@ func (s Scale) Multiply(f int) Scale {
 	s.Fig9KeysPerKeyspace *= f
 	s.Fig10KeysPerKS *= f
 	s.VPICParticlesPerFile *= f
+	s.ArrayTotalKeys *= f
 	for i := range s.Fig10Queries {
 		s.Fig10Queries[i] *= f
 	}

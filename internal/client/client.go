@@ -25,6 +25,52 @@ import (
 // ErrNotFound reports a missing key or keyspace.
 var ErrNotFound = errors.New("client: not found")
 
+// StatusError is a non-OK NVMe completion surfaced as a Go error. It carries
+// the opcode and status so callers that own several replicas of a keyspace —
+// the array router — can tell device-level failures (retry on a replica)
+// from logical outcomes (propagate).
+type StatusError struct {
+	Op     nvme.Opcode
+	Status nvme.Status
+}
+
+// Error renders "nvme: <status> (<op>)".
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("nvme: %s (%s)", e.Status, e.Op)
+}
+
+// Is lets errors.Is(err, ErrNotFound) match a StatusNotFound completion.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrNotFound && e.Status == nvme.StatusNotFound
+}
+
+// statusErr wraps a completion status as an error (nil for StatusOK).
+func statusErr(op nvme.Opcode, s nvme.Status) error {
+	if s == nvme.StatusOK {
+		return nil
+	}
+	return &StatusError{Op: op, Status: s}
+}
+
+// Retryable reports whether err looks like a device-side failure another
+// replica might not share: an internal error (e.g. an injected media fault),
+// the device running out of space, or a keyspace that is not in the right
+// state on this particular device (a replica that has not finished
+// compacting yet). Logical errors — not found, already exists, invalid
+// arguments — return false; retrying those elsewhere cannot change the
+// answer.
+func Retryable(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Status {
+	case nvme.StatusInternal, nvme.StatusNoSpace, nvme.StatusKeyspaceState:
+		return true
+	}
+	return false
+}
+
 // BulkMessageBytes is the bulk PUT message size from the paper.
 const BulkMessageBytes = 128 << 10
 
@@ -35,6 +81,7 @@ const perCommandCost = 500 * time.Nanosecond
 // Client is a host-side connection to one KV-CSD device.
 type Client struct {
 	h     *host.Host
+	dev   *device.Device
 	link  *pcie.Link
 	queue *nvme.QueuePair
 	tr    *obs.Tracer // device tracer; nil when tracing is off
@@ -42,8 +89,12 @@ type Client struct {
 
 // New binds a client to a device using the host's CPU for packing costs.
 func New(h *host.Host, dev *device.Device) *Client {
-	return &Client{h: h, link: dev.Link(), queue: dev.Queue(), tr: dev.Tracer()}
+	return &Client{h: h, dev: dev, link: dev.Link(), queue: dev.Queue(), tr: dev.Tracer()}
 }
+
+// Device returns the device this client is bound to (inspection: the array
+// router uses it for health probing and per-device statistics).
+func (c *Client) Device() *device.Device { return c.dev }
 
 // roundTrip sends one command and waits for its completion, charging packing
 // CPU and both PCIe directions. With tracing on, the whole round trip becomes
@@ -71,7 +122,7 @@ func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, er
 		c.tr.Pop(p)
 		span.End()
 	}
-	return comp, comp.Status.Err()
+	return comp, statusErr(cmd.Op, comp.Status)
 }
 
 // CreateKeyspace creates a keyspace and returns a handle to it.

@@ -42,6 +42,18 @@ type Options struct {
 	// Metrics enables the metrics registry: stage histograms per opcode plus
 	// device gauges (zones, DRAM, background jobs).
 	Metrics bool
+	// SharedRegistry, when non-nil (and Metrics is set), makes the device
+	// publish into this registry instead of creating a private one — how an
+	// array aggregates N devices into one dump. Per-device gauges are
+	// namespaced under GaugePrefix; the device does not attach its IOStats
+	// (the array attaches a merged block itself).
+	SharedRegistry *obs.Registry
+	// SharedTracer, when non-nil (and Trace is set), collects this device's
+	// command spans into a fleet-wide tracer instead of a private one.
+	SharedTracer *obs.Tracer
+	// GaugePrefix namespaces this device's gauges in the registry (e.g.
+	// "dev3/" yields "dev3/ssd/zones_open"). Empty means no prefix.
+	GaugePrefix string
 }
 
 // DefaultOptions returns the Table-I-flavoured device.
@@ -98,15 +110,27 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 	}
 	if opts.Trace || opts.Metrics {
 		if opts.Metrics {
-			d.reg = obs.NewRegistry(env)
-			d.reg.AttachIOStats(st)
+			if opts.SharedRegistry != nil {
+				d.reg = opts.SharedRegistry
+			} else {
+				d.reg = obs.NewRegistry(env)
+				d.reg.AttachIOStats(st)
+			}
 		}
 		if opts.Trace {
-			d.tr = obs.NewTracer(env)
+			if opts.SharedTracer != nil {
+				d.tr = opts.SharedTracer
+			} else {
+				d.tr = obs.NewTracer(env)
+			}
 			d.tr.SetRegistry(d.reg)
 		}
-		d.ssd.SetObs(d.tr, d.reg)
-		d.engine.SetObs(d.tr, d.reg)
+		gaugeReg := d.reg
+		if gaugeReg != nil {
+			gaugeReg = gaugeReg.Namespace(opts.GaugePrefix)
+		}
+		d.ssd.SetObs(d.tr, gaugeReg)
+		d.engine.SetObs(d.tr, gaugeReg)
 		d.link.SetTracer(d.tr)
 	}
 	for i := 0; i < opts.Dispatchers; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
@@ -13,8 +14,13 @@ import (
 // view over an IOStats counter block. It is the aggregation side of the
 // observability layer: the tracer feeds per-op stage histograms into it, the
 // SSD and engine publish gauges, and cmd tools dump it after a run.
+//
+// A registry can hand out namespaced views (Namespace) that share its
+// backing maps but prefix every metric name — how a multi-device array keeps
+// one registry while each device publishes gauges under "dev<N>/".
 type Registry struct {
 	env    *sim.Env
+	prefix string // name prefix of this view ("" for the root)
 	gauges map[string]*sim.Gauge
 	hists  map[string]*stats.Histogram
 	io     *stats.IOStats
@@ -36,8 +42,28 @@ func (r *Registry) AttachIOStats(st *stats.IOStats) { r.io = st }
 // IOStats returns the attached counter block (nil if none).
 func (r *Registry) IOStats() *stats.IOStats { return r.io }
 
+// Namespace returns a view of the registry that prefixes every gauge and
+// histogram name with prefix (e.g. "dev3/"). The view shares the registry's
+// backing maps, so metrics registered through it appear in the root's dump
+// under their full names. An empty prefix returns the receiver unchanged.
+func (r *Registry) Namespace(prefix string) *Registry {
+	if prefix == "" {
+		return r
+	}
+	return &Registry{
+		env:    r.env,
+		prefix: r.prefix + prefix,
+		gauges: r.gauges,
+		hists:  r.hists,
+	}
+}
+
+// Prefix returns the name prefix of this registry view ("" for the root).
+func (r *Registry) Prefix() string { return r.prefix }
+
 // Gauge returns the named gauge, creating it at zero on first use.
 func (r *Registry) Gauge(name string) *sim.Gauge {
+	name = r.prefix + name
 	g, ok := r.gauges[name]
 	if !ok {
 		g = sim.NewGauge(r.env)
@@ -48,10 +74,11 @@ func (r *Registry) Gauge(name string) *sim.Gauge {
 
 // AddGauge adopts an existing gauge under the given name (for components
 // that created their gauge before a registry was attached).
-func (r *Registry) AddGauge(name string, g *sim.Gauge) { r.gauges[name] = g }
+func (r *Registry) AddGauge(name string, g *sim.Gauge) { r.gauges[r.prefix+name] = g }
 
 // Histogram returns the named histogram, creating it empty on first use.
 func (r *Registry) Histogram(name string) *stats.Histogram {
+	name = r.prefix + name
 	h, ok := r.hists[name]
 	if !ok {
 		h = stats.NewHistogram(name)
@@ -66,21 +93,27 @@ func (r *Registry) StageHistogram(op, stage string) *stats.Histogram {
 	return r.Histogram(op + "/" + stage)
 }
 
-// GaugeNames returns all gauge names, sorted.
+// GaugeNames returns all gauge names visible from this view (full names,
+// filtered by the view's prefix), sorted.
 func (r *Registry) GaugeNames() []string {
 	names := make([]string, 0, len(r.gauges))
 	for n := range r.gauges {
-		names = append(names, n)
+		if strings.HasPrefix(n, r.prefix) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// HistogramNames returns all histogram names, sorted.
+// HistogramNames returns all histogram names visible from this view (full
+// names, filtered by the view's prefix), sorted.
 func (r *Registry) HistogramNames() []string {
 	names := make([]string, 0, len(r.hists))
 	for n := range r.hists {
-		names = append(names, n)
+		if strings.HasPrefix(n, r.prefix) {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -49,3 +49,50 @@ func TestRegistryGaugesHistogramsAndDump(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryNamespace(t *testing.T) {
+	env := sim.NewEnv()
+	root := NewRegistry(env)
+	dev0 := root.Namespace("dev0/")
+	dev1 := root.Namespace("dev1/")
+
+	dev0.Gauge("ssd/zones_open").Set(3)
+	dev1.Gauge("ssd/zones_open").Set(5)
+	dev1.Histogram("compact_wait").Record(time.Millisecond)
+
+	// Views share backing maps: the root sees the prefixed names.
+	if got := root.Gauge("dev0/ssd/zones_open").Value(); got != 3 {
+		t.Fatalf("dev0 gauge via root = %v", got)
+	}
+	if got := root.Gauge("dev1/ssd/zones_open").Value(); got != 5 {
+		t.Fatalf("dev1 gauge via root = %v", got)
+	}
+	names := root.GaugeNames()
+	if len(names) != 2 || names[0] != "dev0/ssd/zones_open" || names[1] != "dev1/ssd/zones_open" {
+		t.Fatalf("root gauge names = %v", names)
+	}
+	// A view lists only its own names (still fully qualified).
+	if names := dev1.GaugeNames(); len(names) != 1 || names[0] != "dev1/ssd/zones_open" {
+		t.Fatalf("dev1 gauge names = %v", names)
+	}
+	if names := dev1.HistogramNames(); len(names) != 1 || names[0] != "dev1/compact_wait" {
+		t.Fatalf("dev1 histogram names = %v", names)
+	}
+
+	// AddGauge prefixes adopted gauges the same way.
+	adopted := sim.NewGauge(env)
+	adopted.Set(7)
+	dev0.AddGauge("engine/dram", adopted)
+	if root.Gauge("dev0/engine/dram") != adopted {
+		t.Fatal("adopted gauge not visible under prefixed name")
+	}
+
+	// Empty prefix returns the same view; nesting concatenates.
+	if root.Namespace("") != root {
+		t.Fatal("Namespace(\"\") should return the receiver")
+	}
+	nested := dev0.Namespace("ssd/")
+	if nested.Prefix() != "dev0/ssd/" {
+		t.Fatalf("nested prefix = %q", nested.Prefix())
+	}
+}

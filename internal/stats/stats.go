@@ -134,6 +134,20 @@ func (s *IOStats) Delta(prev *IOStats) *IOStats {
 	return d
 }
 
+// Merge adds other's counter values into s, counter by counter — the sum
+// counterpart to Clone/Delta. A multi-device array keeps one IOStats per
+// device and merges them into a fleet-wide view for reporting. A nil other
+// is a no-op.
+func (s *IOStats) Merge(other *IOStats) {
+	if other == nil {
+		return
+	}
+	oc := other.counters()
+	for i, c := range s.counters() {
+		c.v += oc[i].v
+	}
+}
+
 // Snapshot returns all counters as a sorted name->value map for reporting.
 func (s *IOStats) Snapshot() map[string]int64 {
 	m := make(map[string]int64, 16)

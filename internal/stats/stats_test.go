@@ -275,6 +275,38 @@ func TestIOStatsCloneAndDelta(t *testing.T) {
 	}
 }
 
+func TestIOStatsMerge(t *testing.T) {
+	a := NewIOStats()
+	a.Puts.Add(10)
+	a.MediaWrite.Add(4096)
+	b := NewIOStats()
+	b.Puts.Add(3)
+	b.Gets.Add(7)
+	b.MediaWrite.Add(1000)
+
+	a.Merge(b)
+	if a.Puts.Value() != 13 || a.Gets.Value() != 7 || a.MediaWrite.Value() != 5096 {
+		t.Fatalf("merged = %s", a)
+	}
+	// Merge reads but does not mutate the operand.
+	if b.Puts.Value() != 3 || b.MediaWrite.Value() != 1000 {
+		t.Fatalf("operand mutated: %s", b)
+	}
+	// Nil operand is a no-op.
+	a.Merge(nil)
+	if a.Puts.Value() != 13 {
+		t.Fatalf("merge(nil) changed counters: %s", a)
+	}
+	// Summing per-device blocks one by one equals merging all at once.
+	total := NewIOStats()
+	for _, st := range []*IOStats{a, b, b} {
+		total.Merge(st)
+	}
+	if total.Puts.Value() != 13+3+3 || total.MediaWrite.Value() != 5096+2000 {
+		t.Fatalf("aggregate = %s", total)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram("lat")
 	if !strings.Contains(h.String(), "empty") {
