@@ -20,6 +20,9 @@
 //	kvcsd-cli -devices 4 scan -limit 10        # ordered scatter-gather scan
 //	kvcsd-cli -devices 4 compact               # staggered fleet compaction
 //	kvcsd-cli -devices 4 delete-keyspace       # drop the preloaded keyspace
+//	kvcsd-cli -devices 3 -replicas 2 power-cut -dev 0    # kill one replica, degraded reads
+//	kvcsd-cli -devices 3 -replicas 2 recover -dev 0      # power-cycle + recovery scrub stats
+//	kvcsd-cli -devices 3 -replicas 2 inject-fault -dev 0 # seeded probabilistic media faults
 package main
 
 import (
@@ -84,8 +87,14 @@ func main() {
 		err = runDeleteKeyspace(cfg)
 	case "stats":
 		err = runStats(cfg)
+	case "power-cut":
+		err = runPowerCut(cfg, args)
+	case "recover":
+		err = runRecover(cfg, args)
+	case "inject-fault":
+		err = runInjectFault(cfg, args)
 	default:
-		fmt.Fprintf(os.Stderr, "kvcsd-cli: unknown command %q (try session, put, get, scan, compact, delete-keyspace, stats)\n", cmd)
+		fmt.Fprintf(os.Stderr, "kvcsd-cli: unknown command %q (try session, put, get, scan, compact, delete-keyspace, stats, power-cut, recover, inject-fault)\n", cmd)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"kvcsd/internal/client"
+	"kvcsd/internal/core"
 	"kvcsd/internal/device"
 	"kvcsd/internal/host"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/pcie"
 	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
 	"kvcsd/internal/stats"
 )
 
@@ -132,6 +134,10 @@ type Array struct {
 
 	keyspaces map[string]*Keyspace
 	ksOrder   []string // creation order, for deterministic iteration
+
+	// hints queues writes missed by down devices, replayed on rejoin
+	// (hinted handoff — see rejoin.go).
+	hints map[int][]hint
 }
 
 // New builds and starts an array in the simulation environment. Each device
@@ -167,6 +173,7 @@ func New(env *sim.Env, opts Options) *Array {
 		ring:      NewRing(opts.Seed, opts.Devices, opts.VirtualNodes),
 		gate:      sim.NewResource(env, "array-compact-gate", opts.MaxConcurrentCompactions),
 		keyspaces: make(map[string]*Keyspace),
+		hints:     make(map[int][]hint),
 	}
 	if opts.Metrics {
 		a.reg = obs.NewRegistry(env)
@@ -302,6 +309,30 @@ func (a *Array) MarkUp(id int) {
 			a.gDown.Add(-1)
 		}
 	}
+}
+
+// PowerCut cuts power to one device and marks it down: the router fails
+// reads over to the surviving replicas immediately (degraded reads) while
+// the dead replica waits for RestartDevice.
+func (a *Array) PowerCut(p *sim.Proc, id int) ssd.PowerCutReport {
+	rep := a.members[id].Dev.PowerCut(p)
+	a.MarkDown(id)
+	return rep
+}
+
+// RestartDevice power-cycles a downed device and, on successful recovery,
+// replays the writes it missed while down (hinted handoff) and rejoins it to
+// the router: subsequent reads and writes route to it again.
+func (a *Array) RestartDevice(p *sim.Proc, id int) (*core.RecoveryReport, error) {
+	rep, err := a.members[id].Dev.Restart(p)
+	if err != nil {
+		return rep, err
+	}
+	if err := a.replayHints(p, id); err != nil {
+		return rep, err
+	}
+	a.MarkUp(id)
+	return rep, nil
 }
 
 // readOrder returns replica indices (positions into a partition's replica

@@ -2,6 +2,7 @@ package array
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"kvcsd/internal/client"
@@ -285,8 +286,10 @@ func (k *Keyspace) writeAll(p *sim.Proc, pt *partition, fn func(q *sim.Proc, h *
 // --- Writes ---------------------------------------------------------------
 
 // Put stores one pair on every replica of the owning shard (write fan-out).
+// Down replicas get a hint replayed when they rejoin.
 func (k *Keyspace) Put(p *sim.Proc, key, value []byte) error {
 	pt := k.partitionFor(key)
+	k.a.hintDown(pt, hintPut, key, value)
 	return k.writeAll(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
 		return h.Put(q, key, value)
 	})
@@ -295,6 +298,7 @@ func (k *Keyspace) Put(p *sim.Proc, key, value []byte) error {
 // Delete records a tombstone on every replica of the owning shard.
 func (k *Keyspace) Delete(p *sim.Proc, key []byte) error {
 	pt := k.partitionFor(key)
+	k.a.hintDown(pt, hintDelete, key, nil)
 	return k.writeAll(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
 		return h.Delete(q, key)
 	})
@@ -313,6 +317,7 @@ func (k *Keyspace) BulkPut(p *sim.Proc, key, value []byte) error {
 		}
 	}
 	pt.staged += add
+	k.a.hintDown(pt, hintBulkPut, key, value)
 	for _, ri := range k.a.healthyReplicas(pt) {
 		if err := pt.handles[ri].BulkPut(p, key, value); err != nil {
 			return err
@@ -331,6 +336,7 @@ func (k *Keyspace) BulkDelete(p *sim.Proc, key []byte) error {
 		}
 	}
 	pt.staged += add
+	k.a.hintDown(pt, hintBulkDelete, key, nil)
 	for _, ri := range k.a.healthyReplicas(pt) {
 		if err := pt.handles[ri].BulkDelete(p, key); err != nil {
 			return err
@@ -374,12 +380,21 @@ func (k *Keyspace) Sync(p *sim.Proc) error {
 
 // --- Reads with failover --------------------------------------------------
 
+// errReadMiss is the internal sentinel a read callback returns when the
+// replica answered healthily but does not hold the key. The router then
+// consults the remaining replicas before concluding not-found: a replica that
+// rejoined after a power cut may have lost its unsynced tail while a peer
+// still holds those pairs.
+var errReadMiss = errors.New("array: replica miss")
+
 // readWithFailover tries fn against the shard's replicas in read-preference
-// order, failing over on device-level errors and updating health. The
-// zero-th return reports which replica served.
+// order, failing over on device-level errors (updating health) and on healthy
+// misses (stale-replica protection). The zero-th return reports which replica
+// served.
 func (k *Keyspace) readWithFailover(p *sim.Proc, pt *partition, fn func(q *sim.Proc, h *client.Keyspace) error) (int, error) {
 	order := k.a.readOrder(pt.replicas)
 	var lastErr error
+	missedOn := -1
 	for _, ri := range order {
 		m := k.a.members[pt.replicas[ri]]
 		err := fn(p, pt.handles[ri])
@@ -387,11 +402,21 @@ func (k *Keyspace) readWithFailover(p *sim.Proc, pt *partition, fn func(q *sim.P
 			k.a.noteSuccess(m)
 			return pt.replicas[ri], nil
 		}
+		if errors.Is(err, errReadMiss) {
+			k.a.noteSuccess(m)
+			if missedOn < 0 {
+				missedOn = pt.replicas[ri]
+			}
+			continue
+		}
 		if !client.Retryable(err) {
 			return pt.replicas[ri], err
 		}
 		k.a.noteFailure(m)
 		lastErr = err
+	}
+	if missedOn >= 0 {
+		return missedOn, errReadMiss
 	}
 	if lastErr == nil {
 		lastErr = ErrNoReplicas
@@ -404,34 +429,46 @@ func (k *Keyspace) readWithFailover(p *sim.Proc, pt *partition, fn func(q *sim.P
 func (k *Keyspace) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
 	pt := k.partitionFor(key)
 	var val []byte
-	var found bool
 	_, err := k.readWithFailover(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
 		v, ok, err := h.Get(q, key)
 		if err != nil {
 			return err
 		}
-		val, found = v, ok
+		if !ok {
+			return errReadMiss // consult the other replicas before not-found
+		}
+		val = v
 		return nil
 	})
+	if errors.Is(err, errReadMiss) {
+		return nil, false, nil
+	}
 	if err != nil {
 		return nil, false, err
 	}
-	return val, found, nil
+	return val, true, nil
 }
 
 // Exist probes for a key without transferring its value.
 func (k *Keyspace) Exist(p *sim.Proc, key []byte) (bool, error) {
 	pt := k.partitionFor(key)
-	var ok bool
 	_, err := k.readWithFailover(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
 		v, err := h.Exist(q, key)
 		if err != nil {
 			return err
 		}
-		ok = v
+		if !v {
+			return errReadMiss
+		}
 		return nil
 	})
-	return ok, err
+	if errors.Is(err, errReadMiss) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Info aggregates keyspace metadata across shards (primary replica values;

@@ -1,0 +1,139 @@
+package array
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kvcsd/internal/sim"
+)
+
+// TestPowerCutReplicaRejoins is the array-level crash-recovery acceptance
+// path: in a 3-device replicated array, one replica loses power mid-service,
+// reads degrade to the survivors without client-visible errors, and after
+// RestartDevice the recovered replica rejoins and serves again.
+func TestPowerCutReplicaRejoins(t *testing.T) {
+	env := sim.NewEnv()
+	opts := DefaultOptions()
+	opts.Devices = 3
+	opts.Replicas = 2
+	opts.ReadPreference = ReadPrimary
+	a := New(env, opts)
+	const keys = 96
+	run(t, env, func(p *sim.Proc) error {
+		defer a.Shutdown()
+		ks, err := a.CreateKeyspace(p, "pc")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < keys; i++ {
+			if err := ks.BulkPut(p, scaleKey(9, i), scaleValue(9, i, 48)); err != nil {
+				return err
+			}
+		}
+		if err := ks.Sync(p); err != nil {
+			return err
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+
+		// Cut power to the partition's primary replica.
+		victim := ks.Replicas(0)[0]
+		rep := a.PowerCut(p, victim)
+		_ = rep // torn-byte details are device-level; here only routing matters
+		if a.Member(victim).Healthy() {
+			t.Errorf("victim %d still healthy after power cut", victim)
+		}
+
+		// Degraded reads: every get and a full scan must succeed against the
+		// surviving replica with no client-visible error.
+		for i := 0; i < keys; i++ {
+			v, ok, err := ks.Get(p, scaleKey(9, i))
+			if err != nil || !ok || !bytes.Equal(v, scaleValue(9, i, 48)) {
+				return fmt.Errorf("degraded get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if pairs, err := ks.Scan(p, nil, nil, 0); err != nil || len(pairs) != keys {
+			return fmt.Errorf("degraded scan: %d pairs, err=%v", len(pairs), err)
+		}
+
+		// Restart: the replica recovers from its own media and rejoins.
+		rrep, err := a.RestartDevice(p, victim)
+		if err != nil {
+			return fmt.Errorf("restart device %d: %v", victim, err)
+		}
+		if rrep == nil {
+			return fmt.Errorf("restart returned no recovery report")
+		}
+		if !a.Member(victim).Healthy() {
+			t.Errorf("victim %d not healthy after restart", victim)
+		}
+
+		// Post-rejoin, primary-preference reads route to the restarted device
+		// again; gets and scans must all succeed with exact values.
+		for i := 0; i < keys; i++ {
+			v, ok, err := ks.Get(p, scaleKey(9, i))
+			if err != nil || !ok || !bytes.Equal(v, scaleValue(9, i, 48)) {
+				return fmt.Errorf("post-rejoin get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if pairs, err := ks.Scan(p, nil, nil, 0); err != nil || len(pairs) != keys {
+			return fmt.Errorf("post-rejoin scan: %d pairs, err=%v", len(pairs), err)
+		}
+		return nil
+	})
+}
+
+// TestPowerCutDuringLoadRejoins cuts power while unsynced writes are still
+// streaming to a replicated keyspace: the array keeps serving, and the
+// restarted replica recovers exactly its durable prefix and rejoins.
+func TestPowerCutDuringLoadRejoins(t *testing.T) {
+	env := sim.NewEnv()
+	opts := DefaultOptions()
+	opts.Devices = 3
+	opts.Replicas = 2
+	a := New(env, opts)
+	const keys = 120
+	run(t, env, func(p *sim.Proc) error {
+		defer a.Shutdown()
+		ks, err := a.CreateKeyspace(p, "pc2")
+		if err != nil {
+			return err
+		}
+		victim := ks.Replicas(0)[0]
+		for i := 0; i < keys; i++ {
+			if err := ks.BulkPut(p, scaleKey(11, i), scaleValue(11, i, 48)); err != nil {
+				return err
+			}
+			if i == keys/2 {
+				a.PowerCut(p, victim)
+			}
+		}
+		// Writes after the cut succeeded via the surviving replica and were
+		// queued as hints for the dead one.
+		if a.HintedWrites(victim) == 0 {
+			return fmt.Errorf("no hints queued for the down replica")
+		}
+		// Restart replays the hints before the member rejoins.
+		if _, err := a.RestartDevice(p, victim); err != nil {
+			return fmt.Errorf("restart: %v", err)
+		}
+		if a.HintedWrites(victim) != 0 {
+			return fmt.Errorf("hints not drained after rejoin")
+		}
+		if err := ks.Sync(p); err != nil {
+			return err
+		}
+		if err := ks.Compact(p); err != nil {
+			return err
+		}
+		for i := 0; i < keys; i++ {
+			v, ok, err := ks.Get(p, scaleKey(11, i))
+			if err != nil || !ok || !bytes.Equal(v, scaleValue(11, i, 48)) {
+				return fmt.Errorf("get %d after rejoin: ok=%v err=%v", i, ok, err)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,91 @@
+// Hinted handoff: writes addressed to a down replica are recorded on the
+// router and replayed when the device rejoins after RestartDevice, so a
+// power-cut replica catches up on everything it missed before it serves reads
+// again. Hints capture the logical op (put / delete, single or bulk) in issue
+// order; replay streams them through the recovered member's own client and
+// syncs, making the caught-up state durable before the member is marked up.
+
+package array
+
+import (
+	"kvcsd/internal/client"
+	"kvcsd/internal/sim"
+)
+
+// hintOp is the logical operation a hint replays.
+type hintOp uint8
+
+const (
+	hintPut hintOp = iota
+	hintDelete
+	hintBulkPut
+	hintBulkDelete
+)
+
+// hint is one missed write for one down replica.
+type hint struct {
+	h   *client.Keyspace // the down member's handle for the partition
+	op  hintOp
+	key []byte
+	val []byte
+}
+
+// hintDown records op for every down replica of pt. Keys and values are
+// copied: callers may reuse their buffers.
+func (a *Array) hintDown(pt *partition, op hintOp, key, val []byte) {
+	for ri, dev := range pt.replicas {
+		if a.members[dev].Healthy() {
+			continue
+		}
+		h := hint{h: pt.handles[ri], op: op, key: append([]byte(nil), key...)}
+		if val != nil {
+			h.val = append([]byte(nil), val...)
+		}
+		a.hints[dev] = append(a.hints[dev], h)
+	}
+}
+
+// HintedWrites returns how many writes are queued for a down device.
+func (a *Array) HintedWrites(id int) int { return len(a.hints[id]) }
+
+// replayHints streams a rejoining device's missed writes through its client
+// in original issue order, then flushes and syncs every touched keyspace so
+// the caught-up state is durable before the member serves reads.
+func (a *Array) replayHints(p *sim.Proc, id int) error {
+	hints := a.hints[id]
+	if len(hints) == 0 {
+		return nil
+	}
+	delete(a.hints, id)
+	var order []*client.Keyspace
+	touched := make(map[*client.Keyspace]bool)
+	for _, h := range hints {
+		var err error
+		switch h.op {
+		case hintPut:
+			err = h.h.Put(p, h.key, h.val)
+		case hintDelete:
+			err = h.h.Delete(p, h.key)
+		case hintBulkPut:
+			err = h.h.BulkPut(p, h.key, h.val)
+		case hintBulkDelete:
+			err = h.h.BulkDelete(p, h.key)
+		}
+		if err != nil {
+			return err
+		}
+		if !touched[h.h] {
+			touched[h.h] = true
+			order = append(order, h.h)
+		}
+	}
+	for _, h := range order {
+		if err := h.Flush(p); err != nil {
+			return err
+		}
+		if err := h.Sync(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

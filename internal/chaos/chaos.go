@@ -1,0 +1,450 @@
+// Package chaos runs deterministic power-loss campaigns against the simulated
+// KV-CSD. A campaign replays one scripted workload many times; each replay
+// cuts power at a different crash point — after every k-th acknowledged op
+// during load, and at seeded virtual-time offsets inside compaction — then
+// restarts the device and checks the recovery invariants:
+//
+//   - no write that was acknowledged and then synced is lost;
+//   - no torn or fabricated record ever surfaces to a query (every visible
+//     value is byte-identical to what the workload wrote for that key);
+//   - secondary indexes agree exactly with the primary index.
+//
+// Everything is driven by virtual time and seeded RNGs, so a campaign's
+// Summary is byte-identical across reruns with the same Options.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kvcsd/internal/device"
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+// Options configures a campaign.
+type Options struct {
+	// Seed drives per-point device seeds and the compaction cut offsets.
+	Seed int64
+	// Ops is the scripted workload length (stores of distinct keys).
+	Ops int
+	// SyncEvery issues an explicit Sync after every SyncEvery-th store; pairs
+	// up to the last successful Sync are the "acked-then-flushed" set that
+	// must survive any crash.
+	SyncEvery int
+	// CutEvery places a load-phase crash point after every CutEvery-th op.
+	CutEvery int
+	// CompactionCuts is the number of crash points placed at seeded
+	// virtual-time offsets inside a compaction run.
+	CompactionCuts int
+	// ValueSize pads every value to this many bytes (>= 24).
+	ValueSize int
+	// Device is the device template; the zero value selects a small
+	// fast-to-crash configuration.
+	Device device.Options
+}
+
+// DefaultOptions returns a campaign with 180 load-phase and 24
+// compaction-phase crash points.
+func DefaultOptions() Options {
+	return Options{
+		Seed:           1,
+		Ops:            360,
+		SyncEvery:      16,
+		CutEvery:       2,
+		CompactionCuts: 24,
+		ValueSize:      64,
+	}
+}
+
+// Point is the outcome of one crash point.
+type Point struct {
+	// Phase is "load" or "compact".
+	Phase string
+	// Cut is the op index (load) or the virtual-ns offset into compaction.
+	Cut int64
+	// Synced is how many pairs were acked and synced before the cut.
+	Synced int
+	// Present is how many pairs a full primary scan returned after recovery.
+	Present int
+	// Recovery scrub counters for this point.
+	TornRecords, RecoveredFrames, RepairedZones, OrphanZones int
+	LostBytes                                                int64
+	// Err is the first invariant violation, empty when the point passed.
+	Err string
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	Seed     int64
+	Points   []Point
+	Failures int
+}
+
+// Summary renders the campaign deterministically, one line per crash point.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign seed=%d points=%d failures=%d\n",
+		r.Seed, len(r.Points), r.Failures)
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%s cut=%d synced=%d present=%d torn=%d frames=%d zones=%d orphans=%d lost=%d",
+			pt.Phase, pt.Cut, pt.Synced, pt.Present, pt.TornRecords,
+			pt.RecoveredFrames, pt.RepairedZones, pt.OrphanZones, pt.LostBytes)
+		if pt.Err != "" {
+			fmt.Fprintf(&b, " FAIL(%s)", pt.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// secSpec is the secondary index every campaign keyspace carries: the first 8
+// value bytes, compared bytewise.
+func secSpec() nvme.SecondaryIndexSpec {
+	return nvme.SecondaryIndexSpec{Name: "sec", Offset: 0, Length: 8, Type: keyenc.TypeBytes}
+}
+
+// keyFor, valueFor and keyIndex define the scripted workload. Values embed
+// the secondary field first so torn bytes anywhere corrupt the comparison.
+func keyFor(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+func valueFor(i, size int) []byte {
+	v := fmt.Sprintf("%08d|val-%06d|", i%97, i)
+	for len(v) < size {
+		v += "x"
+	}
+	return []byte(v[:size])
+}
+
+func keyIndex(key []byte) (int, bool) {
+	s := string(key)
+	if !strings.HasPrefix(s, "key-") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[4:])
+	return n, err == nil
+}
+
+// Run executes the campaign: every load-phase crash point, then a probe run
+// measuring the compaction window, then every compaction-phase crash point.
+func Run(opts Options) *Result {
+	if opts.Ops <= 0 {
+		opts.Ops = DefaultOptions().Ops
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultOptions().SyncEvery
+	}
+	if opts.CutEvery <= 0 {
+		opts.CutEvery = DefaultOptions().CutEvery
+	}
+	if opts.ValueSize < 24 {
+		opts.ValueSize = DefaultOptions().ValueSize
+	}
+	res := &Result{Seed: opts.Seed}
+	for cut := opts.CutEvery - 1; cut < opts.Ops; cut += opts.CutEvery {
+		pt := runLoadPoint(opts, cut)
+		res.Points = append(res.Points, pt)
+	}
+	if opts.CompactionCuts > 0 {
+		window := probeCompaction(opts)
+		rng := sim.NewRNG(opts.Seed).Fork(0x43484153) // "CHAS"
+		for j := 0; j < opts.CompactionCuts; j++ {
+			off := sim.Duration(rng.Float64() * float64(window))
+			pt := runCompactPoint(opts, j, off)
+			res.Points = append(res.Points, pt)
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Err != "" {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// newPointDevice builds a fresh simulation and device for one crash point.
+func newPointDevice(opts Options, salt int64) (*sim.Env, *device.Device) {
+	env := sim.NewEnv()
+	dopts := opts.Device
+	if dopts.QueueDepth == 0 && dopts.SSD.Channels == 0 {
+		dopts = device.DefaultOptions()
+		dopts.SSD.ZoneSize = 256 << 10
+		dopts.SSD.NumZones = 1024
+		dopts.Engine.IngestBufferBytes = 16 << 10
+		dopts.Engine.SortBudgetBytes = 64 << 10
+		dopts.Engine.StripeWidth = 2
+	}
+	dopts.Seed = opts.Seed ^ (salt+1)*0x9E3779B9
+	return env, device.New(env, dopts, stats.NewIOStats())
+}
+
+func submit(p *sim.Proc, d *device.Device, cmd *nvme.Command) *nvme.Completion {
+	return d.Queue().Submit(p, cmd).Wait(p)
+}
+
+// prologue creates and syncs the campaign keyspace so its existence itself is
+// durable before any crash point.
+func prologue(p *sim.Proc, d *device.Device) error {
+	if c := submit(p, d, &nvme.Command{Op: nvme.OpCreateKeyspace, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+		return fmt.Errorf("create: %v", c.Status)
+	}
+	if c := submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+		return fmt.Errorf("create-sync: %v", c.Status)
+	}
+	return nil
+}
+
+// load stores ops [0, upto] with the scripted sync cadence and returns how
+// many pairs were acked and synced.
+func load(p *sim.Proc, d *device.Device, opts Options, upto int) (int, error) {
+	synced := 0
+	for i := 0; i <= upto; i++ {
+		c := submit(p, d, &nvme.Command{
+			Op: nvme.OpStore, Keyspace: "chaos",
+			Key: keyFor(i), Value: valueFor(i, opts.ValueSize),
+		})
+		if c.Status != nvme.StatusOK {
+			return synced, fmt.Errorf("store %d: %v", i, c.Status)
+		}
+		if (i+1)%opts.SyncEvery == 0 {
+			if c := submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+				return synced, fmt.Errorf("sync at %d: %v", i, c.Status)
+			}
+			synced = i + 1
+		}
+	}
+	return synced, nil
+}
+
+// compactAndIndex brings the recovered keyspace to a queryable state with the
+// campaign's secondary index built, whatever state recovery left it in.
+func compactAndIndex(p *sim.Proc, d *device.Device) error {
+	c := submit(p, d, &nvme.Command{
+		Op: nvme.OpCompactWithIndexes, Keyspace: "chaos",
+		Indexes: []nvme.SecondaryIndexSpec{secSpec()},
+	})
+	if c.Status != nvme.StatusOK {
+		// Already compacted (the cut landed after compaction finished):
+		// build the index on its own.
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpBuildSecondaryIndex, Keyspace: "chaos", Index: secSpec()}); c.Status != nvme.StatusOK {
+			return fmt.Errorf("build index: %v", c.Status)
+		}
+	}
+	for i := 0; ; i++ {
+		if i > 100000 {
+			return fmt.Errorf("compaction stuck")
+		}
+		c := submit(p, d, &nvme.Command{Op: nvme.OpCompactStatus, Keyspace: "chaos"})
+		if c.Status != nvme.StatusOK {
+			return fmt.Errorf("compact status: %v", c.Status)
+		}
+		if c.Done {
+			break
+		}
+		p.Sleep(time.Millisecond)
+	}
+	for i := 0; ; i++ {
+		if i > 100000 {
+			return fmt.Errorf("index build stuck")
+		}
+		c := submit(p, d, &nvme.Command{Op: nvme.OpIndexStatus, Keyspace: "chaos", Index: secSpec()})
+		if c.Status != nvme.StatusOK {
+			return fmt.Errorf("index status: %v", c.Status)
+		}
+		if c.Done {
+			return nil
+		}
+		p.Sleep(time.Millisecond)
+	}
+}
+
+// verify checks the three recovery invariants after the keyspace is
+// compacted: synced pairs all present, every visible value exact, secondary
+// index in exact agreement with the primary.
+func verify(p *sim.Proc, d *device.Device, opts Options, pt *Point, lastStored int) {
+	c := submit(p, d, &nvme.Command{Op: nvme.OpQueryPrimaryRange, Keyspace: "chaos"})
+	if c.Status != nvme.StatusOK {
+		pt.Err = fmt.Sprintf("primary scan: %v", c.Status)
+		return
+	}
+	pt.Present = len(c.Pairs)
+	seen := make(map[int]bool, len(c.Pairs))
+	bySec := make(map[string][]string)
+	for _, pr := range c.Pairs {
+		i, ok := keyIndex(pr.Key)
+		if !ok || i > lastStored {
+			pt.Err = fmt.Sprintf("alien key %q surfaced", pr.Key)
+			return
+		}
+		if !bytes.Equal(pr.Value, valueFor(i, opts.ValueSize)) {
+			pt.Err = fmt.Sprintf("torn value surfaced for %q", pr.Key)
+			return
+		}
+		seen[i] = true
+		sec := string(pr.Value[:8])
+		bySec[sec] = append(bySec[sec], string(pr.Key))
+	}
+	for i := 0; i < pt.Synced; i++ {
+		if !seen[i] {
+			pt.Err = fmt.Sprintf("lost acked+synced pair %q", keyFor(i))
+			return
+		}
+	}
+	// Secondary index: the full secondary scan must enumerate exactly the
+	// primary pairs, and every point query must return exactly the primaries
+	// carrying that secondary value.
+	cs := submit(p, d, &nvme.Command{Op: nvme.OpQuerySecondaryRange, Keyspace: "chaos", Index: secSpec()})
+	if cs.Status != nvme.StatusOK {
+		pt.Err = fmt.Sprintf("secondary scan: %v", cs.Status)
+		return
+	}
+	if len(cs.Pairs) != len(c.Pairs) {
+		pt.Err = fmt.Sprintf("secondary scan %d pairs, primary %d", len(cs.Pairs), len(c.Pairs))
+		return
+	}
+	secs := make([]string, 0, len(bySec))
+	for s := range bySec {
+		secs = append(secs, s)
+	}
+	sort.Strings(secs)
+	for _, s := range secs {
+		cq := submit(p, d, &nvme.Command{Op: nvme.OpQuerySecondaryPoint, Keyspace: "chaos", Index: secSpec(), Key: []byte(s)})
+		if cq.Status != nvme.StatusOK {
+			pt.Err = fmt.Sprintf("secondary point %q: %v", s, cq.Status)
+			return
+		}
+		got := make([]string, 0, len(cq.Pairs))
+		for _, pr := range cq.Pairs {
+			got = append(got, string(pr.Key))
+		}
+		sort.Strings(got)
+		want := append([]string(nil), bySec[s]...)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			pt.Err = fmt.Sprintf("secondary point %q: got %d keys, want %d", s, len(got), len(want))
+			return
+		}
+	}
+}
+
+// runLoadPoint crashes after acking op `cut` during load.
+func runLoadPoint(opts Options, cut int) Point {
+	pt := Point{Phase: "load", Cut: int64(cut)}
+	env, d := newPointDevice(opts, int64(cut))
+	env.Go("chaos", func(p *sim.Proc) {
+		defer d.Shutdown()
+		if err := prologue(p, d); err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		synced, err := load(p, d, opts, cut)
+		if err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		pt.Synced = synced
+		d.PowerCut(p)
+		rep, err := d.Restart(p)
+		if err != nil {
+			pt.Err = fmt.Sprintf("restart: %v", err)
+			return
+		}
+		pt.TornRecords, pt.RecoveredFrames = rep.TornRecords, rep.RecoveredFrames
+		pt.RepairedZones, pt.OrphanZones, pt.LostBytes = rep.RepairedZones, rep.OrphanZones, rep.LostBytes
+		if err := compactAndIndex(p, d); err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		verify(p, d, opts, &pt, cut)
+	})
+	env.Run()
+	return pt
+}
+
+// probeCompaction runs the workload once with no cut and measures the
+// compaction window (virtual time from issue to done); compaction-phase cut
+// offsets are drawn from it.
+func probeCompaction(opts Options) sim.Duration {
+	var window sim.Duration
+	env, d := newPointDevice(opts, -1)
+	env.Go("chaos", func(p *sim.Proc) {
+		defer d.Shutdown()
+		if err := prologue(p, d); err != nil {
+			return
+		}
+		if _, err := load(p, d, opts, opts.Ops-1); err != nil {
+			return
+		}
+		submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "chaos"})
+		start := p.Now()
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCompact, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+			return
+		}
+		for {
+			c := submit(p, d, &nvme.Command{Op: nvme.OpCompactStatus, Keyspace: "chaos"})
+			if c.Status != nvme.StatusOK {
+				return
+			}
+			if c.Done {
+				break
+			}
+			p.Sleep(10 * time.Microsecond)
+		}
+		window = sim.Duration(p.Now() - start)
+	})
+	env.Run()
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	return window
+}
+
+// runCompactPoint loads and syncs the full workload, starts compaction, cuts
+// power `off` into it, and verifies recovery: with everything synced, every
+// single pair must survive.
+func runCompactPoint(opts Options, idx int, off sim.Duration) Point {
+	pt := Point{Phase: "compact", Cut: int64(off)}
+	env, d := newPointDevice(opts, int64(1<<20+idx))
+	env.Go("chaos", func(p *sim.Proc) {
+		defer d.Shutdown()
+		if err := prologue(p, d); err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		if _, err := load(p, d, opts, opts.Ops-1); err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+			pt.Err = fmt.Sprintf("final sync: %v", c.Status)
+			return
+		}
+		pt.Synced = opts.Ops
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCompact, Keyspace: "chaos"}); c.Status != nvme.StatusOK {
+			pt.Err = fmt.Sprintf("compact: %v", c.Status)
+			return
+		}
+		p.Sleep(off)
+		d.PowerCut(p)
+		rep, err := d.Restart(p)
+		if err != nil {
+			pt.Err = fmt.Sprintf("restart: %v", err)
+			return
+		}
+		pt.TornRecords, pt.RecoveredFrames = rep.TornRecords, rep.RecoveredFrames
+		pt.RepairedZones, pt.OrphanZones, pt.LostBytes = rep.RepairedZones, rep.OrphanZones, rep.LostBytes
+		if err := compactAndIndex(p, d); err != nil {
+			pt.Err = err.Error()
+			return
+		}
+		verify(p, d, opts, &pt, opts.Ops-1)
+	})
+	env.Run()
+	return pt
+}

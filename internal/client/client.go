@@ -25,6 +25,26 @@ import (
 // ErrNotFound reports a missing key or keyspace.
 var ErrNotFound = errors.New("client: not found")
 
+// ErrTimeout reports a command that outlived the client's per-command
+// timeout. The command may still complete inside the device; retrying is
+// safe only for idempotent operations.
+var ErrTimeout = errors.New("client: command timed out")
+
+// TimeoutError is the concrete error behind ErrTimeout, carrying the opcode
+// and the timeout that expired.
+type TimeoutError struct {
+	Op      nvme.Opcode
+	Timeout time.Duration
+}
+
+// Error renders "client: <op> timed out after <d>".
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("client: %s timed out after %v", e.Op, e.Timeout)
+}
+
+// Is lets errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
 // StatusError is a non-OK NVMe completion surfaced as a Go error. It carries
 // the opcode and status so callers that own several replicas of a keyspace —
 // the array router — can tell device-level failures (retry on a replica)
@@ -53,19 +73,66 @@ func statusErr(op nvme.Opcode, s nvme.Status) error {
 }
 
 // Retryable reports whether err looks like a device-side failure another
-// replica might not share: an internal error (e.g. an injected media fault),
-// the device running out of space, or a keyspace that is not in the right
-// state on this particular device (a replica that has not finished
-// compacting yet). Logical errors — not found, already exists, invalid
-// arguments — return false; retrying those elsewhere cannot change the
-// answer.
+// replica (or a later attempt) might not share: an internal error (e.g. an
+// injected media fault), the device running out of space, a keyspace that is
+// not in the right state on this particular device (a replica that has not
+// finished compacting yet), a device that has lost power, or a command that
+// timed out. Logical errors — not found, already exists, invalid arguments —
+// return false; retrying those cannot change the answer.
 func Retryable(err error) bool {
+	if errors.Is(err, ErrTimeout) {
+		return true
+	}
 	var se *StatusError
 	if !errors.As(err, &se) {
 		return false
 	}
 	switch se.Status {
-	case nvme.StatusInternal, nvme.StatusNoSpace, nvme.StatusKeyspaceState:
+	case nvme.StatusInternal, nvme.StatusNoSpace, nvme.StatusKeyspaceState, nvme.StatusPoweredOff:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy bounds each command in virtual time and retries idempotent
+// commands with capped exponential backoff. The zero value disables both
+// (wait forever, no retries) — the pre-crash-recovery behavior.
+type RetryPolicy struct {
+	// Timeout caps one attempt's round trip (0 = wait forever).
+	Timeout time.Duration
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// MaxAttempts is the total attempts for idempotent commands (<= 1 means
+	// a single attempt).
+	MaxAttempts int
+}
+
+// DefaultRetryPolicy rides out a device power-cut-to-restart window: eight
+// attempts backing off 200µs → 50ms, each attempt capped at 2s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:     2 * time.Second,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  50 * time.Millisecond,
+		MaxAttempts: 8,
+	}
+}
+
+// idempotentOp reports whether a command can be replayed after an ambiguous
+// failure (timeout, powered-off) without changing the outcome: reads and
+// status polls trivially, and writes because replayed puts/deletes land as
+// duplicate log records that deduplicate at compaction. Lifecycle commands
+// (create/delete keyspace, compact, index builds) are not replayed — a
+// replay of a command that actually landed would report a different status.
+func idempotentOp(op nvme.Opcode) bool {
+	switch op {
+	case nvme.OpStore, nvme.OpBulkStore, nvme.OpDelete, nvme.OpSync,
+		nvme.OpRetrieve, nvme.OpExist, nvme.OpList,
+		nvme.OpQueryPrimaryRange, nvme.OpQuerySecondaryRange, nvme.OpQuerySecondaryPoint,
+		nvme.OpOpenKeyspace, nvme.OpCompactStatus, nvme.OpIndexStatus, nvme.OpKeyspaceInfo:
 		return true
 	}
 	return false
@@ -80,11 +147,12 @@ const perCommandCost = 500 * time.Nanosecond
 
 // Client is a host-side connection to one KV-CSD device.
 type Client struct {
-	h     *host.Host
-	dev   *device.Device
-	link  *pcie.Link
-	queue *nvme.QueuePair
-	tr    *obs.Tracer // device tracer; nil when tracing is off
+	h      *host.Host
+	dev    *device.Device
+	link   *pcie.Link
+	queue  *nvme.QueuePair
+	tr     *obs.Tracer // device tracer; nil when tracing is off
+	policy RetryPolicy
 }
 
 // New binds a client to a device using the host's CPU for packing costs.
@@ -92,16 +160,50 @@ func New(h *host.Host, dev *device.Device) *Client {
 	return &Client{h: h, dev: dev, link: dev.Link(), queue: dev.Queue(), tr: dev.Tracer()}
 }
 
+// SetRetryPolicy installs per-command timeouts and idempotent retries.
+func (c *Client) SetRetryPolicy(rp RetryPolicy) { c.policy = rp }
+
+// RetryPolicy returns the active policy.
+func (c *Client) RetryPolicy() RetryPolicy { return c.policy }
+
 // Device returns the device this client is bound to (inspection: the array
 // router uses it for health probing and per-device statistics).
 func (c *Client) Device() *device.Device { return c.dev }
 
-// roundTrip sends one command and waits for its completion, charging packing
-// CPU and both PCIe directions. With tracing on, the whole round trip becomes
-// one root span whose stage children (prep + transfers = link, queue-wait =
-// queue, dispatch = service, channel time = media) partition the
-// client-observed latency exactly.
+// roundTrip sends one command and waits for its completion, applying the
+// client's retry policy: each attempt is capped at the policy timeout, and
+// idempotent commands that fail retryably (timeout, powered-off device,
+// internal errors) are replayed with capped exponential backoff. A replayed
+// write is safe — a duplicate that actually landed becomes a duplicate log
+// record and deduplicates at compaction.
 func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, error) {
+	comp, err := c.sendOnce(p, cmd)
+	if err == nil || c.policy.MaxAttempts <= 1 || !idempotentOp(cmd.Op) {
+		return comp, err
+	}
+	backoff := c.policy.BaseBackoff
+	for attempt := 1; attempt < c.policy.MaxAttempts && Retryable(err); attempt++ {
+		if backoff > 0 {
+			p.Sleep(backoff)
+		}
+		backoff *= 2
+		if c.policy.MaxBackoff > 0 && backoff > c.policy.MaxBackoff {
+			backoff = c.policy.MaxBackoff
+		}
+		comp, err = c.sendOnce(p, cmd)
+		if err == nil {
+			return comp, nil
+		}
+	}
+	return comp, err
+}
+
+// sendOnce performs one command round trip, charging packing CPU and both
+// PCIe directions. With tracing on, the round trip becomes one root span
+// whose stage children (prep + transfers = link, queue-wait = queue,
+// dispatch = service, channel time = media) partition the client-observed
+// latency exactly.
+func (c *Client) sendOnce(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, error) {
 	span := c.tr.StartRoot(p, "cmd:"+cmd.Op.String(), cmd.Op.String())
 	if span != nil {
 		cmd.Span = span
@@ -116,7 +218,22 @@ func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, er
 	prep.End()
 	c.link.Transfer(p, pcie.HostToDevice, size)
 	handle := c.queue.Submit(p, cmd)
-	comp := handle.Wait(p)
+	var comp *nvme.Completion
+	if c.policy.Timeout > 0 {
+		var done bool
+		comp, done = handle.WaitTimeout(p, c.policy.Timeout)
+		if !done {
+			// The command stays in flight inside the device; the abandoned
+			// handle absorbs its eventual completion.
+			if span != nil {
+				c.tr.Pop(p)
+				span.End()
+			}
+			return nil, &TimeoutError{Op: cmd.Op, Timeout: c.policy.Timeout}
+		}
+	} else {
+		comp = handle.Wait(p)
+	}
 	c.link.Transfer(p, pcie.DeviceToHost, comp.WireSize())
 	if span != nil {
 		c.tr.Pop(p)

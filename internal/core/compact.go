@@ -53,7 +53,7 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 		}
 		return !a.isTombstone() && b.isTombstone()
 	})
-	sortedKeys, err := keySorter.SortCluster(p, ks.klog)
+	sortedKeys, err := keySorter.Sort(p, newFrameSource(ks.klog, klogCodec{}, ks.logFrames))
 	if err != nil {
 		return err
 	}
@@ -192,13 +192,11 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 		return err
 	}
 
-	// Replace the logs with the indexed form.
-	if err := ks.klog.Release(p); err != nil {
-		return err
-	}
-	if err := ks.vlog.Release(p); err != nil {
-		return err
-	}
+	// Replace the logs with the indexed form. Persist before releasing the
+	// old log zones: a power cut after the Persist leaves them as orphans for
+	// the recovery sweep, whereas releasing first would let a cut recover a
+	// snapshot whose keyspace still claims reset (or reused) zones.
+	oldKlog, oldVlog := ks.klog, ks.vlog
 	ks.klog, ks.vlog = nil, nil
 	ks.pidx = pidx
 	ks.sorted = sorted
@@ -206,7 +204,13 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 	ks.count = livePairs
 	ks.state = StateCompacted
 	ks.compactFinish = p.Now()
-	return e.mgr.Persist(p)
+	if err := e.mgr.Persist(p); err != nil {
+		return err
+	}
+	if err := oldKlog.Release(p); err != nil {
+		return err
+	}
+	return oldVlog.Release(p)
 }
 
 // pidxCursor walks PIDX entries in block order (used by consolidated index

@@ -309,7 +309,7 @@ func (e *Engine) flushBufferSeparated(p *sim.Proc, ks *Keyspace) error {
 	if err := ks.vlog.Append(p, vlogBuf); err != nil {
 		return err
 	}
-	if err := ks.klog.Append(p, klogBuf); err != nil {
+	if err := ks.appendLogFrame(p, klogBuf); err != nil {
 		return err
 	}
 	e.dram.Add(-float64(ks.bufBytes))

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"kvcsd/internal/sim"
+)
+
+// KLOG durability framing. Every ingest-buffer flush lands in the KLOG as one
+// CRC-framed batch:
+//
+//	magic u32 ("KVFR") | plen u32 | crc32 u32 | payload
+//
+// A power cut can tear a frame mid-append; the frame's checksum then fails
+// and recovery truncates the log at the last whole frame. The keyspace tracks
+// which byte ranges of its KLOG hold validated frames (frameExtents); crash
+// recovery may leave holes of dead bytes between extents, and all KLOG
+// readers iterate extents rather than raw cluster bytes.
+
+const (
+	logFrameMagic = 0x4b564652 // "KVFR"
+	logFrameHdr   = 12
+)
+
+// frameExtent is a half-open byte range [Start, End) of a log cluster known
+// to hold contiguous, CRC-valid frames.
+type frameExtent struct {
+	Start, End int64
+}
+
+// appendExtent extends the last extent when the new range abuts it, else
+// starts a new extent (a hole — only crash recovery creates those).
+func appendExtent(exts []frameExtent, start, end int64) []frameExtent {
+	if n := len(exts); n > 0 && exts[n-1].End == start {
+		exts[n-1].End = end
+		return exts
+	}
+	return append(exts, frameExtent{Start: start, End: end})
+}
+
+// encodeLogFrame wraps one flush batch in a frame.
+func encodeLogFrame(payload []byte) []byte {
+	frame := make([]byte, logFrameHdr+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], logFrameMagic)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(payload))
+	copy(frame[logFrameHdr:], payload)
+	return frame
+}
+
+// appendLogFrame appends one CRC-framed flush batch to the keyspace's KLOG
+// and extends its valid-frame extents.
+func (ks *Keyspace) appendLogFrame(p *sim.Proc, payload []byte) error {
+	start := ks.klog.Len()
+	if err := ks.klog.Append(p, encodeLogFrame(payload)); err != nil {
+		return err
+	}
+	ks.logFrames = appendExtent(ks.logFrames, start, ks.klog.Len())
+	return nil
+}
+
+// readLogFrame reads and verifies one frame at off; limit bounds how far the
+// frame may extend. Returns (payload, frameBytes, nil) on success and
+// (nil, 0, nil) when the bytes at off are not a whole valid frame.
+func readLogFrame(p *sim.Proc, c *Cluster, off, limit int64) ([]byte, int64, error) {
+	if off+logFrameHdr > limit {
+		return nil, 0, nil
+	}
+	hdr := make([]byte, logFrameHdr)
+	if err := c.ReadAt(p, hdr, off); err != nil {
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != logFrameMagic {
+		return nil, 0, nil
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[4:]))
+	if off+logFrameHdr+plen > limit {
+		return nil, 0, nil
+	}
+	payload := make([]byte, plen)
+	if err := c.ReadAt(p, payload, off+logFrameHdr); err != nil {
+		return nil, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return nil, 0, nil
+	}
+	return payload, logFrameHdr + plen, nil
+}
+
+// frameSource streams records of type T out of a log cluster's valid frame
+// extents, verifying each frame's magic and checksum before decoding. Records
+// never span frames (one frame per flush batch), so each payload decodes with
+// atEOF semantics.
+type frameSource[T any] struct {
+	c       *Cluster
+	codec   Codec[T]
+	extents []frameExtent
+	ei      int
+	off     int64
+	payload []byte
+	pos     int
+}
+
+func newFrameSource[T any](c *Cluster, codec Codec[T], extents []frameExtent) *frameSource[T] {
+	s := &frameSource[T]{c: c, codec: codec, extents: extents}
+	if len(extents) > 0 {
+		s.off = extents[0].Start
+	}
+	return s
+}
+
+func (s *frameSource[T]) next(p *sim.Proc) (rec T, ok bool, err error) {
+	for {
+		if s.pos < len(s.payload) {
+			r, n, derr := s.codec.Decode(s.payload[s.pos:], true)
+			if derr != nil {
+				return rec, false, derr
+			}
+			if n == 0 {
+				return rec, false, fmt.Errorf("%w: trailing %d bytes in frame", ErrRecordCorrupt, len(s.payload)-s.pos)
+			}
+			s.pos += n
+			return r, true, nil
+		}
+		if s.ei >= len(s.extents) {
+			return rec, false, nil
+		}
+		ext := s.extents[s.ei]
+		if s.off >= ext.End {
+			s.ei++
+			if s.ei < len(s.extents) {
+				s.off = s.extents[s.ei].Start
+			}
+			continue
+		}
+		payload, n, err := readLogFrame(p, s.c, s.off, ext.End)
+		if err != nil {
+			return rec, false, err
+		}
+		if n == 0 {
+			return rec, false, fmt.Errorf("%w: invalid frame at %d inside validated extent", ErrRecordCorrupt, s.off)
+		}
+		s.payload, s.pos = payload, 0
+		s.off += n
+	}
+}
+
+// extentsMeta and extentsFromMeta convert frame extents to/from their
+// persisted form.
+func extentsMeta(exts []frameExtent) [][2]int64 {
+	if len(exts) == 0 {
+		return nil
+	}
+	out := make([][2]int64, len(exts))
+	for i, e := range exts {
+		out[i] = [2]int64{e.Start, e.End}
+	}
+	return out
+}
+
+func extentsFromMeta(m [][2]int64) []frameExtent {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]frameExtent, len(m))
+	for i, e := range m {
+		out[i] = frameExtent{Start: e[0], End: e[1]}
+	}
+	return out
+}

@@ -79,6 +79,9 @@ type Keyspace struct {
 	klog, vlog *Cluster
 	buf        []bufferedPair
 	bufBytes   int
+	// logFrames tracks which KLOG byte ranges hold validated CRC frames;
+	// crash recovery can leave dead-byte holes between extents.
+	logFrames []frameExtent
 
 	// Compacted side.
 	pidx, sorted *Cluster
@@ -135,6 +138,17 @@ func (ks *Keyspace) SecondaryIndexNames() []string {
 		if si.done.Fired() {
 			names = append(names, n)
 		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// secondaryNames returns every secondary index name (built or not), sorted,
+// so cluster teardown walks them in a deterministic order.
+func (ks *Keyspace) secondaryNames() []string {
+	var names []string
+	for n := range ks.secondary {
+		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
@@ -238,7 +252,21 @@ func (m *Manager) Remove(p *sim.Proc, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrKeyspaceNotFound, name)
 	}
-	for _, c := range []*Cluster{ks.klog, ks.vlog, ks.pidx, ks.sorted} {
+	// Disclaim before releasing: once the snapshot no longer names these
+	// zones, a power cut mid-release leaves orphans for the recovery sweep —
+	// releasing first would let a cut recover a snapshot whose keyspace
+	// claims reset zones.
+	delete(m.table, name)
+	if err := m.Persist(p); err != nil {
+		return err
+	}
+	clusters := []*Cluster{ks.klog, ks.vlog, ks.pidx, ks.sorted}
+	for _, n := range ks.secondaryNames() {
+		if si := ks.secondary[n]; si.cluster != nil {
+			clusters = append(clusters, si.cluster)
+		}
+	}
+	for _, c := range clusters {
 		if c != nil {
 			if m.onRelease != nil {
 				m.onRelease(c.id)
@@ -248,18 +276,7 @@ func (m *Manager) Remove(p *sim.Proc, name string) error {
 			}
 		}
 	}
-	for _, si := range ks.secondary {
-		if si.cluster != nil {
-			if m.onRelease != nil {
-				m.onRelease(si.cluster.id)
-			}
-			if err := si.cluster.Release(p); err != nil {
-				return err
-			}
-		}
-	}
-	delete(m.table, name)
-	return m.Persist(p)
+	return nil
 }
 
 // --- Metadata persistence ------------------------------------------------
@@ -281,6 +298,7 @@ type metaKeyspace struct {
 	VLOG      *metaCluster
 	PIDX      *metaCluster
 	Sorted    *metaCluster
+	LogFrames [][2]int64 // validated KLOG frame extents [start, end)
 	Sketch    []metaSketch
 	Secondary []metaSecondary
 }
@@ -373,17 +391,18 @@ func (m *Manager) Persist(p *sim.Proc) error {
 	for _, n := range names {
 		ks := m.table[n]
 		mk := metaKeyspace{
-			Name:   ks.name,
-			State:  uint8(ks.state),
-			Count:  ks.count,
-			Bytes:  ks.bytes,
-			MinKey: ks.minKey,
-			MaxKey: ks.maxKey,
-			KLOG:   clusterMeta(ks.klog),
-			VLOG:   clusterMeta(ks.vlog),
-			PIDX:   clusterMeta(ks.pidx),
-			Sorted: clusterMeta(ks.sorted),
-			Sketch: sketchMeta(ks.sketch),
+			Name:      ks.name,
+			State:     uint8(ks.state),
+			Count:     ks.count,
+			Bytes:     ks.bytes,
+			MinKey:    ks.minKey,
+			MaxKey:    ks.maxKey,
+			KLOG:      clusterMeta(ks.klog),
+			VLOG:      clusterMeta(ks.vlog),
+			PIDX:      clusterMeta(ks.pidx),
+			Sorted:    clusterMeta(ks.sorted),
+			LogFrames: extentsMeta(ks.logFrames),
+			Sketch:    sketchMeta(ks.sketch),
 		}
 		var snames []string
 		for sn := range ks.secondary {
@@ -448,6 +467,9 @@ func (m *Manager) Recover(p *sim.Proc) error {
 	if best == nil {
 		return nil
 	}
+	if err := validateSnapshot(best); err != nil {
+		return err
+	}
 	m.metaSeq = best.Seq
 	for _, mk := range best.Keyspaces {
 		ks := &Keyspace{
@@ -462,6 +484,7 @@ func (m *Manager) Recover(p *sim.Proc) error {
 			vlog:        m.clusterFromMeta(mk.VLOG),
 			pidx:        m.clusterFromMeta(mk.PIDX),
 			sorted:      m.clusterFromMeta(mk.Sorted),
+			logFrames:   extentsFromMeta(mk.LogFrames),
 			sketch:      sketchFromMeta(mk.Sketch),
 			secondary:   make(map[string]*secondaryIndex),
 			compactDone: sim.NewEvent(m.env),
@@ -495,6 +518,51 @@ func (m *Manager) Recover(p *sim.Proc) error {
 		m.table[mk.Name] = ks
 	}
 	return nil
+}
+
+// validateSnapshot guards Recover against corrupt-but-CRC-valid metadata:
+// a duplicate keyspace name would silently collapse two table entries, and a
+// zone claimed by two clusters would poison the free pool (claim is
+// idempotent), so both fail recovery with ErrMetaCorrupt.
+func validateSnapshot(snap *metaSnapshot) error {
+	names := make(map[string]bool)
+	owners := make(map[int]string)
+	for _, mk := range snap.Keyspaces {
+		if names[mk.Name] {
+			return fmt.Errorf("%w: duplicate keyspace %q", ErrMetaCorrupt, mk.Name)
+		}
+		names[mk.Name] = true
+		clusters := []*metaCluster{mk.KLOG, mk.VLOG, mk.PIDX, mk.Sorted}
+		for _, ms := range mk.Secondary {
+			clusters = append(clusters, ms.Cluster)
+		}
+		for _, mc := range clusters {
+			if mc == nil {
+				continue
+			}
+			for _, stripe := range mc.Stripes {
+				for _, z := range stripe {
+					if owner, ok := owners[z]; ok {
+						return fmt.Errorf("%w: zone %d claimed by both %q and %q", ErrMetaCorrupt, z, owner, mk.Name)
+					}
+					owners[z] = mk.Name
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rotateMeta abandons the active metadata zone — after a power cut its tip
+// may hold a torn frame that would shadow anything appended behind it — and
+// persists a fresh snapshot into the next zone.
+func (m *Manager) rotateMeta(p *sim.Proc) error {
+	next := (m.activeMeta + 1) % m.cfg.MetadataZones
+	if err := m.zm.dev.ResetZone(p, next); err != nil {
+		return err
+	}
+	m.activeMeta = next
+	return m.Persist(p)
 }
 
 // scanMetaZone reads frames until the write pointer, returning the last

@@ -75,7 +75,7 @@ func (e *Engine) flushBufferCombined(p *sim.Proc, ks *Keyspace) error {
 		}
 		buf = codec.Encode(buf, pairRec{key: pr.key, value: pr.value, seq: seq})
 	}
-	if err := ks.klog.Append(p, buf); err != nil {
+	if err := ks.appendLogFrame(p, buf); err != nil {
 		return err
 	}
 	ks.buf = nil
@@ -110,7 +110,7 @@ func (e *Engine) runCompactionCombined(p *sim.Proc, ks *Keyspace) error {
 	var livePairs int64
 	var lastKey []byte
 	haveLast := false
-	err := sorter.SortTo(p, newScanner(ks.klog, pairCodec{}, 0), func(sp *sim.Proc, rec pairRec) error {
+	err := sorter.SortTo(p, newFrameSource(ks.klog, pairCodec{}, ks.logFrames), func(sp *sim.Proc, rec pairRec) error {
 		if haveLast && bytes.Equal(rec.key, lastKey) {
 			return nil // older duplicate
 		}
@@ -149,12 +149,10 @@ func (e *Engine) runCompactionCombined(p *sim.Proc, ks *Keyspace) error {
 	if err := pidxW.finish(p); err != nil {
 		return err
 	}
-	if err := ks.klog.Release(p); err != nil {
-		return err
-	}
-	if err := ks.vlog.Release(p); err != nil {
-		return err
-	}
+	// Persist before releasing the old log zones (see runCompaction: a cut
+	// between a release and the Persist would recover a snapshot claiming
+	// reset zones).
+	oldKlog, oldVlog := ks.klog, ks.vlog
 	ks.klog, ks.vlog = nil, nil
 	ks.pidx = pidx
 	ks.sorted = sorted
@@ -162,5 +160,11 @@ func (e *Engine) runCompactionCombined(p *sim.Proc, ks *Keyspace) error {
 	ks.count = livePairs
 	ks.state = StateCompacted
 	ks.compactFinish = p.Now()
-	return e.mgr.Persist(p)
+	if err := e.mgr.Persist(p); err != nil {
+		return err
+	}
+	if err := oldKlog.Release(p); err != nil {
+		return err
+	}
+	return oldVlog.Release(p)
 }

@@ -71,17 +71,24 @@ func DefaultOptions() Options {
 // Device is a running KV-CSD instance.
 type Device struct {
 	env    *sim.Env
+	opts   Options
 	ssd    *ssd.Device
 	soc    *host.Host
 	link   *pcie.Link
 	engine *core.Engine
 	queue  *nvme.QueuePair
 	st     *stats.IOStats
+	rng    *sim.RNG
 	closed bool
+
+	// Power-loss state (see restart.go).
+	poweredOff bool
+	restarts   int
 
 	// Observability (nil unless enabled in Options).
 	tr       *obs.Tracer
 	reg      *obs.Registry
+	gaugeReg *obs.Registry // namespaced view engines publish gauges into
 	samplers []*obs.Sampler
 }
 
@@ -98,15 +105,18 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 	}
 	rng := sim.NewRNG(opts.Seed)
 	dev := ssd.New(env, opts.SSD, st)
+	dev.SetSeed(opts.Seed)
 	soc := host.New(env, opts.SoC)
 	d := &Device{
 		env:    env,
+		opts:   opts,
 		ssd:    dev,
 		soc:    soc,
 		link:   pcie.New(env, opts.Link, st),
 		engine: core.NewEngine(env, dev, soc, opts.Engine, rng.Fork(1), st),
 		queue:  nvme.NewQueuePair(env, opts.QueueDepth),
 		st:     st,
+		rng:    rng,
 	}
 	if opts.Trace || opts.Metrics {
 		if opts.Metrics {
@@ -129,6 +139,7 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 		if gaugeReg != nil {
 			gaugeReg = gaugeReg.Namespace(opts.GaugePrefix)
 		}
+		d.gaugeReg = gaugeReg
 		d.ssd.SetObs(d.tr, gaugeReg)
 		d.engine.SetObs(d.tr, gaugeReg)
 		d.link.SetTracer(d.tr)
@@ -251,6 +262,9 @@ func (d *Device) dispatchLoop(p *sim.Proc) {
 // execute runs one command synchronously (background ops return fast and
 // continue as engine jobs).
 func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
+	if d.poweredOff {
+		return &nvme.Completion{Status: nvme.StatusPoweredOff}
+	}
 	eng := d.engine
 	switch cmd.Op {
 	case nvme.OpCreateKeyspace:
@@ -408,6 +422,8 @@ func statusOf(err error) nvme.Status {
 		return nvme.StatusNoSpace
 	case errors.Is(err, core.ErrKeyTooLarge), errors.Is(err, core.ErrValueTooLarge):
 		return nvme.StatusInvalid
+	case errors.Is(err, ssd.ErrPoweredOff):
+		return nvme.StatusPoweredOff
 	default:
 		return nvme.StatusInternal
 	}

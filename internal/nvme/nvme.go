@@ -90,6 +90,7 @@ const (
 	StatusKeyspaceState // operation not valid in the keyspace's current state
 	StatusNoSpace
 	StatusInternal
+	StatusPoweredOff // device lost power; retry after it is restarted
 )
 
 // String names the status.
@@ -109,6 +110,8 @@ func (s Status) String() string {
 		return "NoSpace"
 	case StatusInternal:
 		return "Internal"
+	case StatusPoweredOff:
+		return "PoweredOff"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -318,7 +321,7 @@ func (q *QueuePair) Submit(p *sim.Proc, cmd *Command) *Handle {
 	q.queue = append(q.queue, sub)
 	q.submitted++
 	q.wake(&q.popWait)
-	return &Handle{sub: sub}
+	return &Handle{env: q.env, sub: sub}
 }
 
 // Pop removes the oldest submission, blocking while the queue is empty.
@@ -343,6 +346,7 @@ func (q *QueuePair) Pop(p *sim.Proc) (*Command, *Responder) {
 
 // Handle lets a submitter wait for its command's completion.
 type Handle struct {
+	env *sim.Env
 	sub *submission
 }
 
@@ -355,6 +359,38 @@ func (h *Handle) Wait(p *sim.Proc) *Completion {
 
 // Ready reports whether the completion has been posted.
 func (h *Handle) Ready() bool { return h.sub.done.Fired() }
+
+// WaitTimeout blocks until the completion arrives or d of virtual time
+// passes, whichever is first, returning (completion, true) or (nil, false).
+// On timeout the command is merely abandoned by this waiter: the device
+// still executes it and posts the completion, which a later Wait would
+// observe. Two helper processes arbitrate (a timer and a completion
+// watcher); both always terminate because the device completes every
+// submitted command, so abandoned handles leak nothing. The timer runs to
+// its deadline either way, which can pad the tail of a run's virtual time
+// by up to d.
+func (h *Handle) WaitTimeout(p *sim.Proc, d sim.Duration) (*Completion, bool) {
+	if d <= 0 {
+		return h.Wait(p), true
+	}
+	if h.sub.done.Fired() {
+		return h.sub.comp, true
+	}
+	either := sim.NewEvent(h.env)
+	h.env.Go("nvme-timeout", func(tp *sim.Proc) {
+		tp.Sleep(d)
+		either.Signal()
+	})
+	h.env.Go("nvme-completion-watch", func(wp *sim.Proc) {
+		wp.Wait(h.sub.done)
+		either.Signal()
+	})
+	p.Wait(either)
+	if h.sub.done.Fired() {
+		return h.sub.comp, true
+	}
+	return nil, false
+}
 
 // Responder posts the completion for a popped command.
 type Responder struct {

@@ -60,23 +60,26 @@ type walRecord struct {
 // checksum-failing tail ends replay silently; corruption before the tail
 // returns ErrWALCorrupt.
 func replayWAL(p *sim.Proc, f *vfs.File) ([]walRecord, error) {
-	size := f.Size()
+	buf := make([]byte, f.Size())
+	if err := f.ReadAt(p, buf, 0); err != nil {
+		return nil, fmt.Errorf("rocks: WAL read: %w", err)
+	}
+	return decodeWAL(buf)
+}
+
+// decodeWAL parses the record stream of a whole WAL image. It is pure (no
+// I/O) so recovery behavior on arbitrary byte sequences can be fuzzed.
+func decodeWAL(buf []byte) ([]walRecord, error) {
+	size := int64(len(buf))
 	var out []walRecord
 	var off int64
-	hdr := make([]byte, 8)
 	for off+8 <= size {
-		if err := f.ReadAt(p, hdr, off); err != nil {
-			return nil, fmt.Errorf("rocks: WAL read: %w", err)
-		}
-		wantCRC := binary.LittleEndian.Uint32(hdr)
-		plen := int64(binary.LittleEndian.Uint32(hdr[4:]))
+		wantCRC := binary.LittleEndian.Uint32(buf[off:])
+		plen := int64(binary.LittleEndian.Uint32(buf[off+4:]))
 		if off+8+plen > size {
 			return out, nil // torn tail
 		}
-		payload := make([]byte, plen)
-		if err := f.ReadAt(p, payload, off+8); err != nil {
-			return nil, fmt.Errorf("rocks: WAL read: %w", err)
-		}
+		payload := buf[off+8 : off+8+plen]
 		if crc32.ChecksumIEEE(payload) != wantCRC {
 			if off+8+plen == size {
 				return out, nil // corrupt tail record: treated as torn

@@ -37,6 +37,7 @@ var (
 	ErrInjectedFault    = errors.New("ssd: injected media fault")
 	ErrDeviceCapacity   = errors.New("ssd: conventional namespace out of space")
 	ErrUnalignedRequest = errors.New("ssd: request not block aligned")
+	ErrPoweredOff       = errors.New("ssd: device powered off")
 )
 
 // ZoneState is the lifecycle state of a zone.
@@ -132,6 +133,14 @@ type Device struct {
 	gcCopied    int64
 
 	faults map[faultKey]int // injected fault countdowns
+	fprof  *FaultProfile    // probabilistic fault schedule (nil = off)
+	frng   *sim.RNG         // fault-profile draws
+
+	// Power-loss state (power.go): while poweredOff every operation fails
+	// with ErrPoweredOff; inflight tracks appends a cut would tear.
+	poweredOff bool
+	inflight   []inflightAppend
+	rng        *sim.RNG // torn-append tear offsets
 }
 
 type faultKey struct {
@@ -154,6 +163,7 @@ func New(env *sim.Env, cfg Config, st *stats.IOStats) *Device {
 		convWritten: make(map[int64]bool),
 		convFree:    cfg.ConvBlocks + int64(float64(cfg.ConvBlocks)*cfg.OverprovisionPct),
 		faults:      make(map[faultKey]int),
+		rng:         sim.NewRNG(1).Fork(0x535344),
 	}
 	d.channels = make([]*sim.Resource, cfg.Channels)
 	for i := range d.channels {
@@ -268,7 +278,7 @@ func (d *Device) checkFault(kind string, id int64) error {
 			d.faults[k] = n - 1
 		}
 	}
-	return nil
+	return d.profileFault(kind)
 }
 
 // busy books a channel for an operation of n bytes and waits for it. The
@@ -295,6 +305,9 @@ type ZoneSpan struct {
 // last completion. Spans on distinct channels proceed in parallel — the
 // large-request behavior of ZNS reads.
 func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) {
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
 	out := make([][]byte, len(spans))
 	start := d.env.Now()
 	var total int64
@@ -310,7 +323,7 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 		if err := d.checkFault("zone-read", int64(sp.Zone)); err != nil {
 			return nil, err
 		}
-		done := d.Channel(sp.Zone).Reserve(d.cfg.ReadLatency + sim.TransferTime(int64(sp.N), d.cfg.ReadBandwidth))
+		done := d.Channel(sp.Zone).Reserve(d.cfg.ReadLatency + d.faultLatency("zone-read") + sim.TransferTime(int64(sp.N), d.cfg.ReadBandwidth))
 		if done > latest {
 			latest = done
 		}
@@ -319,6 +332,9 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 		total += int64(sp.N)
 	}
 	p.SleepUntil(latest)
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
 	if len(spans) > 0 {
 		d.traceMedia(p, "read", total, start, latest)
 	}
@@ -331,6 +347,9 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 	if len(zones) != len(data) {
 		return fmt.Errorf("ssd: zones/data length mismatch")
+	}
+	if d.poweredOff {
+		return ErrPoweredOff
 	}
 	start := d.env.Now()
 	var total int64
@@ -349,10 +368,11 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 		if err := d.checkFault("zone-write", int64(zi)); err != nil {
 			return err
 		}
-		done := d.Channel(zi).Reserve(d.cfg.WriteLatency + sim.TransferTime(int64(len(data[i])), d.cfg.WriteBandwidth))
+		done := d.Channel(zi).Reserve(d.cfg.WriteLatency + d.faultLatency("zone-write") + sim.TransferTime(int64(len(data[i])), d.cfg.WriteBandwidth))
 		if done > latest {
 			latest = done
 		}
+		d.noteAppend(zi, z.wp, int64(len(data[i])), done)
 		if z.data == nil {
 			z.data = make([]byte, 0, 64<<10)
 		}
@@ -370,6 +390,9 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 		total += int64(len(data[i]))
 	}
 	p.SleepUntil(latest)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	if len(zones) > 0 {
 		d.traceMedia(p, "write", total, start, latest)
 	}
@@ -382,6 +405,9 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 	if lba < 0 || lba+int64(count) > d.cfg.ConvBlocks {
 		return nil, ErrBlockBounds
 	}
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
 	out := make([][]byte, count)
 	start := d.env.Now()
 	var latest sim.Time
@@ -390,7 +416,7 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 		if err := d.checkFault("block-read", cur); err != nil {
 			return nil, err
 		}
-		done := d.convChannel(cur).Reserve(d.cfg.ReadLatency + sim.TransferTime(int64(d.cfg.BlockSize), d.cfg.ReadBandwidth))
+		done := d.convChannel(cur).Reserve(d.cfg.ReadLatency + d.faultLatency("block-read") + sim.TransferTime(int64(d.cfg.BlockSize), d.cfg.ReadBandwidth))
 		if done > latest {
 			latest = done
 		}
@@ -402,6 +428,9 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 		d.st.MediaRead.Add(int64(d.cfg.BlockSize))
 	}
 	p.SleepUntil(latest)
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
 	if count > 0 {
 		d.traceMedia(p, "read", int64(count)*int64(d.cfg.BlockSize), start, latest)
 	}
@@ -413,6 +442,9 @@ func (d *Device) ReadBlockRun(p *sim.Proc, lba int64, count int) ([][]byte, erro
 func (d *Device) WriteBlockRun(p *sim.Proc, lba int64, blocks [][]byte) error {
 	if lba < 0 || lba+int64(len(blocks)) > d.cfg.ConvBlocks {
 		return ErrBlockBounds
+	}
+	if d.poweredOff {
+		return ErrPoweredOff
 	}
 	start := d.env.Now()
 	var total int64
@@ -432,7 +464,7 @@ func (d *Device) WriteBlockRun(p *sim.Proc, lba int64, blocks [][]byte) error {
 			d.convWritten[cur] = true
 			d.convFree--
 		}
-		done := d.convChannel(cur).Reserve(d.cfg.WriteLatency + sim.TransferTime(int64(len(b)), d.cfg.WriteBandwidth))
+		done := d.convChannel(cur).Reserve(d.cfg.WriteLatency + d.faultLatency("block-write") + sim.TransferTime(int64(len(b)), d.cfg.WriteBandwidth))
 		if done > latest {
 			latest = done
 		}
@@ -448,6 +480,9 @@ func (d *Device) WriteBlockRun(p *sim.Proc, lba int64, blocks [][]byte) error {
 		total += int64(len(b))
 	}
 	p.SleepUntil(latest)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	if len(blocks) > 0 {
 		d.traceMedia(p, "write", total, start, latest)
 	}
@@ -479,6 +514,9 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	if idx < 0 || idx >= len(d.zones) {
 		return ErrZoneBounds
 	}
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	z := &d.zones[idx]
 	if z.state == ZoneFull {
 		return ErrZoneState
@@ -489,7 +527,11 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	if err := d.checkFault("zone-write", int64(idx)); err != nil {
 		return err
 	}
-	d.busy(p, d.Channel(idx), "write", d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
+	// The append lands on media at issue time (matching WriteZoneSpans) so a
+	// power cut during the channel sleep can tear it at a byte offset.
+	start := d.env.Now()
+	done := d.Channel(idx).Reserve(d.cfg.WriteLatency + d.faultLatency("zone-write") + sim.TransferTime(int64(len(data)), d.cfg.WriteBandwidth))
+	d.noteAppend(idx, z.wp, int64(len(data)), done)
 	if z.data == nil {
 		z.data = make([]byte, 0, 64<<10)
 	}
@@ -504,6 +546,11 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	}
 	d.noteZoneTransition(prev, z.state, int64(len(data)))
 	d.st.MediaWrite.Add(int64(len(data)))
+	p.SleepUntil(done)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
+	d.traceMedia(p, "write", int64(len(data)), start, done)
 	return nil
 }
 
@@ -514,6 +561,9 @@ func (d *Device) ReadZone(p *sim.Proc, idx int, off int64, n int) ([]byte, error
 	if idx < 0 || idx >= len(d.zones) {
 		return nil, ErrZoneBounds
 	}
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
 	z := &d.zones[idx]
 	if off < 0 || off+int64(n) > z.wp {
 		return nil, ErrReadBeyondWP
@@ -521,7 +571,13 @@ func (d *Device) ReadZone(p *sim.Proc, idx int, off int64, n int) ([]byte, error
 	if err := d.checkFault("zone-read", int64(idx)); err != nil {
 		return nil, err
 	}
-	d.busy(p, d.Channel(idx), "read", d.cfg.ReadLatency, int64(n), d.cfg.ReadBandwidth)
+	d.busy(p, d.Channel(idx), "read", d.cfg.ReadLatency+d.faultLatency("zone-read"), int64(n), d.cfg.ReadBandwidth)
+	if d.poweredOff {
+		return nil, ErrPoweredOff
+	}
+	if off+int64(n) > z.wp {
+		return nil, ErrReadBeyondWP // a concurrent power cut tore this range
+	}
 	d.st.MediaRead.Add(int64(n))
 	return z.data[off : off+int64(n) : off+int64(n)], nil
 }
@@ -532,12 +588,18 @@ func (d *Device) ResetZone(p *sim.Proc, idx int) error {
 	if idx < 0 || idx >= len(d.zones) {
 		return ErrZoneBounds
 	}
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	z := &d.zones[idx]
 	if z.state == ZoneEmpty {
 		return nil
 	}
 	// A reset is a management command: cheap, one latency unit on the channel.
 	d.busy(p, d.Channel(idx), "reset", d.cfg.WriteLatency, 0, d.cfg.WriteBandwidth)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	d.noteZoneTransition(z.state, ZoneEmpty, -z.wp)
 	z.state = ZoneEmpty
 	z.wp = 0
@@ -549,6 +611,9 @@ func (d *Device) ResetZone(p *sim.Proc, idx int) error {
 func (d *Device) FinishZone(p *sim.Proc, idx int) error {
 	if idx < 0 || idx >= len(d.zones) {
 		return ErrZoneBounds
+	}
+	if d.poweredOff {
+		return ErrPoweredOff
 	}
 	z := &d.zones[idx]
 	if z.state != ZoneOpen {
@@ -589,10 +654,16 @@ func (d *Device) WriteBlock(p *sim.Proc, lba int64, data []byte) error {
 	if len(data) != d.cfg.BlockSize {
 		return ErrUnalignedRequest
 	}
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	if err := d.checkFault("block-write", lba); err != nil {
 		return err
 	}
-	d.busy(p, d.convChannel(lba), "write", d.cfg.WriteLatency, int64(len(data)), d.cfg.WriteBandwidth)
+	d.busy(p, d.convChannel(lba), "write", d.cfg.WriteLatency+d.faultLatency("block-write"), int64(len(data)), d.cfg.WriteBandwidth)
+	if d.poweredOff {
+		return ErrPoweredOff // the in-flight block write never hit media
+	}
 	if !d.convWritten[lba] {
 		if d.convFree == 0 {
 			return ErrDeviceCapacity
@@ -621,10 +692,16 @@ func (d *Device) ReadBlock(p *sim.Proc, lba int64, buf []byte) error {
 	if len(buf) != d.cfg.BlockSize {
 		return ErrUnalignedRequest
 	}
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	if err := d.checkFault("block-read", lba); err != nil {
 		return err
 	}
-	d.busy(p, d.convChannel(lba), "read", d.cfg.ReadLatency, int64(len(buf)), d.cfg.ReadBandwidth)
+	d.busy(p, d.convChannel(lba), "read", d.cfg.ReadLatency+d.faultLatency("block-read"), int64(len(buf)), d.cfg.ReadBandwidth)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
 	if blk := d.conv[lba]; blk != nil {
 		copy(buf, blk)
 	} else {
@@ -641,6 +718,9 @@ func (d *Device) ReadBlock(p *sim.Proc, lba int64, buf []byte) error {
 func (d *Device) TrimBlock(p *sim.Proc, lba int64) error {
 	if lba < 0 || lba >= d.cfg.ConvBlocks {
 		return ErrBlockBounds
+	}
+	if d.poweredOff {
+		return ErrPoweredOff
 	}
 	if d.convWritten[lba] {
 		delete(d.convWritten, lba)

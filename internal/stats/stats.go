@@ -39,6 +39,10 @@ type IOStats struct {
 	// Media traffic: bytes actually read from / written to the SSD NAND.
 	MediaRead  Counter
 	MediaWrite Counter
+	// MediaTorn counts written bytes a power cut destroyed before their
+	// channel operation completed (torn and queued appends). Media bytes
+	// surviving on NAND = MediaWrite - MediaTorn.
+	MediaTorn Counter
 	// Host link traffic: bytes crossing the host<->device PCIe boundary.
 	HostToDevice Counter
 	DeviceToHost Counter
@@ -63,6 +67,7 @@ func NewIOStats() *IOStats {
 	s := &IOStats{}
 	s.MediaRead.name = "media_read_bytes"
 	s.MediaWrite.name = "media_write_bytes"
+	s.MediaTorn.name = "media_torn_bytes"
 	s.HostToDevice.name = "host_to_device_bytes"
 	s.DeviceToHost.name = "device_to_host_bytes"
 	s.AppWrite.name = "app_write_bytes"
@@ -159,7 +164,7 @@ func (s *IOStats) Snapshot() map[string]int64 {
 
 func (s *IOStats) counters() []*Counter {
 	return []*Counter{
-		&s.MediaRead, &s.MediaWrite, &s.HostToDevice, &s.DeviceToHost,
+		&s.MediaRead, &s.MediaWrite, &s.MediaTorn, &s.HostToDevice, &s.DeviceToHost,
 		&s.AppWrite, &s.AppRead, &s.Puts, &s.Gets, &s.Scans, &s.Deletes,
 		&s.BulkPuts, &s.Commands, &s.FSReads, &s.FSWrites,
 		&s.CacheHits, &s.CacheMisses,
