@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	devices := flag.Int("devices", 8, "largest device count in the array-scaling sweep")
@@ -124,6 +124,14 @@ func main() {
 		}
 		ran = true
 	}
+	if want("remote") {
+		t, err := bench.RemoteThroughput(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		ran = true
+	}
 	if want("array") {
 		t, err := bench.ArrayScaling(s, *devices, *replicas)
 		if err != nil {
@@ -156,7 +164,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -23,6 +23,14 @@
 //	kvcsd-cli -devices 3 -replicas 2 power-cut -dev 0    # kill one replica, degraded reads
 //	kvcsd-cli -devices 3 -replicas 2 recover -dev 0      # power-cycle + recovery scrub stats
 //	kvcsd-cli -devices 3 -replicas 2 inject-fault -dev 0 # seeded probabilistic media faults
+//
+// With -addr the same verbs run against a live kvcsd-server over TCP
+// instead of an in-process simulation:
+//
+//	kvcsd-cli -addr 127.0.0.1:7411 put mykey myvalue
+//	kvcsd-cli -addr 127.0.0.1:7411 compact
+//	kvcsd-cli -addr 127.0.0.1:7411 get mykey
+//	kvcsd-cli -addr 127.0.0.1:7411 stats
 package main
 
 import (
@@ -48,10 +56,12 @@ type cliConfig struct {
 	queries   int
 	seed      int64
 	ksName    string
+	addr      string
 }
 
 func main() {
 	cfg := cliConfig{}
+	flag.StringVar(&cfg.addr, "addr", "", "kvcsd-server address (host:port); when set, commands run against the remote server instead of an in-process simulation")
 	flag.IntVar(&cfg.devices, "devices", 1, "devices in the simulated array")
 	flag.IntVar(&cfg.replicas, "replicas", 1, "replicas per keyspace (array commands)")
 	flag.IntVar(&cfg.keys, "keys", 100000, "keys to preload (session: keys per keyspace)")
@@ -69,6 +79,14 @@ func main() {
 	args := flag.Args()
 	if len(args) > 0 {
 		args = args[1:]
+	}
+
+	if cfg.addr != "" {
+		if err := runRemote(cfg, cmd, args); err != nil {
+			fmt.Fprintf(os.Stderr, "kvcsd-cli: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var err error

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"time"
+
+	"kvcsd/internal/client"
+	"kvcsd/internal/remote"
+	"kvcsd/internal/stats"
+)
+
+// runRemote dispatches a subcommand against a running kvcsd-server instead
+// of an in-process simulation. Unlike local mode there is no preload: the
+// commands operate on whatever state the server already holds, so a
+// sequence like `put` then `get` against the same server actually round
+// trips through the device.
+func runRemote(cfg cliConfig, cmd string, args []string) error {
+	switch cmd {
+	case "session", "inject-fault":
+		return fmt.Errorf("%s is not supported in remote mode (run it locally without -addr)", cmd)
+	}
+
+	c, err := remote.Dial(cfg.addr, remote.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "put":
+		return remotePut(c, cfg, args)
+	case "get":
+		return remoteGet(c, cfg, args)
+	case "scan":
+		return remoteScan(c, cfg, args)
+	case "compact":
+		return remoteCompact(c, cfg)
+	case "delete-keyspace":
+		return remoteDeleteKeyspace(c, cfg)
+	case "stats":
+		return remoteStats(c)
+	case "power-cut":
+		return remoteDeviceFault(c, cfg, args, "power-cut", c.PowerCut)
+	case "recover":
+		return remoteDeviceFault(c, cfg, args, "recover", c.Recover)
+	default:
+		return fmt.Errorf("unknown remote command %q (try put, get, scan, compact, delete-keyspace, stats, power-cut, recover)", cmd)
+	}
+}
+
+// openOrCreate opens the working keyspace on the server, creating it on
+// first use. Writes target new keyspaces; reads want existing state, so a
+// missing keyspace is only an error for commands that need data.
+func openOrCreate(c *remote.Client, cfg cliConfig) (*remote.Keyspace, error) {
+	ks, err := c.OpenKeyspace(cfg.ksName)
+	if err == nil {
+		return ks, nil
+	}
+	if errors.Is(err, client.ErrNotFound) {
+		if cfg.devices > 1 {
+			return c.CreateRangeSharded(cfg.ksName, cfg.devices)
+		}
+		return c.CreateKeyspace(cfg.ksName)
+	}
+	return nil, err
+}
+
+func remotePut(c *remote.Client, cfg cliConfig, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: kvcsd-cli -addr host:port put <key> <value>")
+	}
+	key, err := parseKey(args[0])
+	if err != nil {
+		return err
+	}
+	ks, err := openOrCreate(c, cfg)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := ks.Put(key, []byte(args[1])); err != nil {
+		return err
+	}
+	fmt.Printf("put %q (%d bytes) into %s on %s in %v\n",
+		args[0], len(args[1]), cfg.ksName, c.Addr(), time.Since(t0).Round(time.Microsecond))
+	return nil
+}
+
+func remoteGet(c *remote.Client, cfg cliConfig, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: kvcsd-cli -addr host:port get <key>  (0x… for hex)")
+	}
+	key, err := parseKey(args[0])
+	if err != nil {
+		return err
+	}
+	ks, err := c.OpenKeyspace(cfg.ksName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	val, ok, err := ks.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Printf("get %s: not found (%v)\n", args[0], time.Since(t0).Round(time.Microsecond))
+		return nil
+	}
+	fmt.Printf("get %s: %d bytes in %v\n  value: 0x%x\n",
+		args[0], len(val), time.Since(t0).Round(time.Microsecond), val)
+	return nil
+}
+
+func remoteScan(c *remote.Client, cfg cliConfig, args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	lo := fs.String("lo", "", "low key bound, inclusive (0x… for hex)")
+	hi := fs.String("hi", "", "high key bound, exclusive (0x… for hex)")
+	limit := fs.Int("limit", 20, "max pairs to return (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var loB, hiB []byte
+	var err error
+	if *lo != "" {
+		if loB, err = parseKey(*lo); err != nil {
+			return err
+		}
+	}
+	if *hi != "" {
+		if hiB, err = parseKey(*hi); err != nil {
+			return err
+		}
+	}
+	ks, err := c.OpenKeyspace(cfg.ksName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	pairs, err := ks.Scan(loB, hiB, *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scan %s: %d pairs in %v\n", cfg.ksName, len(pairs), time.Since(t0).Round(time.Microsecond))
+	for _, kv := range pairs {
+		fmt.Printf("  0x%x  (%d bytes)\n", kv.Key, len(kv.Value))
+	}
+	return nil
+}
+
+func remoteCompact(c *remote.Client, cfg cliConfig) error {
+	ks, err := c.OpenKeyspace(cfg.ksName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := ks.Compact(); err != nil {
+		return err
+	}
+	if err := ks.WaitCompacted(); err != nil {
+		return err
+	}
+	info, err := ks.Info()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s in %v (wall)\n", cfg.ksName, time.Since(t0).Round(time.Microsecond))
+	fmt.Printf("state=%s pairs=%d zones=%d\n", info.State, info.Pairs, info.ZoneCount)
+	return nil
+}
+
+func remoteDeleteKeyspace(c *remote.Client, cfg cliConfig) error {
+	if err := c.DeleteKeyspace(cfg.ksName); err != nil {
+		return err
+	}
+	fmt.Printf("deleted keyspace %s on %s\n", cfg.ksName, c.Addr())
+	return nil
+}
+
+func remoteStats(c *remote.Client) error {
+	rep, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s: %d device(s)\n", c.Addr(), rep.Devices)
+	fmt.Printf("  media write: %s   media read: %s\n",
+		stats.HumanBytes(rep.MediaWrite), stats.HumanBytes(rep.MediaRead))
+	fmt.Printf("  host->device: %s  device->host: %s\n",
+		stats.HumanBytes(rep.HostToDevice), stats.HumanBytes(rep.DeviceToHost))
+	fmt.Printf("  commands: %d  app writes: %s\n", rep.Commands, stats.HumanBytes(rep.AppWrite))
+	if len(rep.Health) > 0 {
+		fmt.Printf("health:\n")
+		for _, h := range rep.Health {
+			state := "up"
+			if h.Down {
+				state = "DOWN"
+			}
+			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
+		}
+	}
+	fmt.Printf("server virtual time: %v\n", time.Duration(rep.VirtualNanos))
+	return nil
+}
+
+func remoteDeviceFault(c *remote.Client, cfg cliConfig, args []string, verb string, do func(int) (string, error)) error {
+	fs := flag.NewFlagSet(verb, flag.ContinueOnError)
+	dev := fs.Int("dev", 0, "target device index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := do(*dev)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s device %d on %s:\n%s\n", verb, *dev, c.Addr(), rep)
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command kvcsd-server exposes a simulated KV-CSD device (or a sharded
+// multi-device array) over TCP using the kvcsd wire protocol. Remote
+// clients (internal/remote, kvcsd-cli -addr) connect and drive the same
+// key-value verbs the in-process client offers: keyspace lifecycle, puts,
+// gets, scans, deferred compaction, secondary-index queries, stats, and
+// fault injection (power-cut / recover).
+//
+// The simulation behind the listener is deterministic: the same -seed
+// always produces the same virtual cluster. Wall-clock arrival order of
+// requests decides batching, so end-to-end timings are not bit-reproducible
+// across runs — see DESIGN.md for the clock-boundary discussion.
+//
+// Usage:
+//
+//	kvcsd-server                                 # one device on 127.0.0.1:7411
+//	kvcsd-server -addr :9000 -devices 4 -replicas 2
+//	kvcsd-server -max-inflight 512 -pipeline 128
+//
+// SIGINT/SIGTERM drains in-flight requests, shuts the simulated devices
+// down cleanly, and prints the per-opcode RPC metrics table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kvcsd/internal/array"
+	"kvcsd/internal/device"
+	"kvcsd/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7411", "listen address (host:port)")
+		devices     = flag.Int("devices", 1, "devices in the simulated cluster (>1 serves a sharded array)")
+		replicas    = flag.Int("replicas", 1, "replicas per keyspace (array mode)")
+		seed        = flag.Int64("seed", 1, "simulation seed (same seed = same virtual cluster)")
+		maxInflight = flag.Int("max-inflight", 0, "admission cap: max requests in service before shedding (0 = default)")
+		pipeline    = flag.Int("pipeline", 0, "per-connection pipeline window (0 = default)")
+		noCoalesce  = flag.Bool("no-coalesce", false, "disable write coalescing of batched puts")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain timeout on shutdown")
+	)
+	flag.Parse()
+
+	cfg := server.DefaultConfig()
+	if *maxInflight > 0 {
+		cfg.MaxInflight = *maxInflight
+	}
+	if *pipeline > 0 {
+		cfg.MaxPipeline = *pipeline
+	}
+	cfg.DisableWriteCoalescing = *noCoalesce
+	cfg.DrainTimeout = *drain
+
+	var srv *server.Server
+	if *devices <= 1 {
+		opts := device.DefaultOptions()
+		opts.Seed = *seed
+		srv = server.NewDevice(opts, cfg)
+	} else {
+		opts := array.DefaultOptions()
+		opts.Devices = *devices
+		opts.Replicas = *replicas
+		opts.Seed = *seed
+		srv = server.NewArray(opts, cfg)
+	}
+
+	got, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvcsd-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvcsd-server: listening on %s (devices=%d replicas=%d seed=%d inflight=%d pipeline=%d)\n",
+		got, *devices, *replicas, *seed, cfg.MaxInflight, cfg.MaxPipeline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("kvcsd-server: %v — draining\n", s)
+
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "kvcsd-server: close: %v\n", err)
+	}
+	fmt.Printf("kvcsd-server: RPC metrics\n")
+	srv.Metrics().Dump(os.Stdout)
+}

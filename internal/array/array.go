@@ -24,6 +24,8 @@ var (
 	// ErrKeyspaceUnknown reports an Open/Delete of a keyspace this router
 	// never created.
 	ErrKeyspaceUnknown = errors.New("array: keyspace unknown to router")
+	// ErrKeyspaceExists reports a Create of a name already routed.
+	ErrKeyspaceExists = errors.New("array: keyspace already routed")
 )
 
 // ReadPreference selects which replica serves reads first.

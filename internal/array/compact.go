@@ -132,6 +132,29 @@ func (a *Array) runDeviceCompactions(q *sim.Proc, jobs []*compactJob) {
 	}
 }
 
+// CompactDone polls every shard once and reports whether compaction has
+// completed on all healthy replicas — the non-blocking counterpart of
+// WaitCompacted, used by status RPCs that must not park the caller.
+func (k *Keyspace) CompactDone(p *sim.Proc) (bool, error) {
+	all := true
+	for _, pt := range k.parts {
+		pt := pt
+		if err := k.writeAll(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
+			done, err := h.CompactDone(q)
+			if err != nil {
+				return err
+			}
+			if !done {
+				all = false
+			}
+			return nil
+		}); err != nil {
+			return false, err
+		}
+	}
+	return all, nil
+}
+
 // WaitCompacted polls until every shard reports compaction complete on the
 // healthy replicas (used after an async Compact issued elsewhere).
 func (k *Keyspace) WaitCompacted(p *sim.Proc) error {

@@ -81,7 +81,7 @@ func (a *Array) CreateRangeSharded(p *sim.Proc, name string, parts int) (*Keyspa
 
 func (a *Array) create(p *sim.Proc, name string, parts int) (*Keyspace, error) {
 	if _, ok := a.keyspaces[name]; ok {
-		return nil, fmt.Errorf("array: keyspace %s already routed", name)
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
 	}
 	k := &Keyspace{a: a, name: name, split: parts > 1}
 	step := rangeStep(parts)

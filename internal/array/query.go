@@ -141,6 +141,29 @@ func (k *Keyspace) BuildSecondaryIndex(p *sim.Proc, spec client.IndexSpec) error
 	return nil
 }
 
+// IndexBuilt polls every shard once and reports whether the named index is
+// ready on all healthy replicas — the non-blocking counterpart of
+// WaitIndexBuilt for status RPCs.
+func (k *Keyspace) IndexBuilt(p *sim.Proc, name string) (bool, error) {
+	all := true
+	for _, pt := range k.parts {
+		pt := pt
+		if err := k.writeAll(p, pt, func(q *sim.Proc, h *client.Keyspace) error {
+			done, err := h.IndexBuilt(q, name)
+			if err != nil {
+				return err
+			}
+			if !done {
+				all = false
+			}
+			return nil
+		}); err != nil {
+			return false, err
+		}
+	}
+	return all, nil
+}
+
 // WaitIndexBuilt waits until the named index is ready on the healthy
 // replicas of every shard. A replica that errors retryably is tolerated as
 // long as one copy per shard finishes — reads fail over past the laggard.

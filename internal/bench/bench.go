@@ -51,7 +51,9 @@ type Scale struct {
 	// random GETs issued after the fleet compaction.
 	ArrayTotalKeys int
 	ArrayQueries   int
-	Seed           int64
+	// Remote throughput: operations per phase of the network sweep.
+	RemoteOps int
+	Seed      int64
 }
 
 // DefaultScale keeps every figure under a few seconds of real time.
@@ -70,6 +72,7 @@ func DefaultScale() Scale {
 		Selectivities:        []float64{0.001, 0.005, 0.01, 0.05, 0.20},
 		ArrayTotalKeys:       16384,
 		ArrayQueries:         2048,
+		RemoteOps:            2048,
 		Seed:                 1,
 	}
 }
@@ -85,6 +88,7 @@ func (s Scale) Multiply(f int) Scale {
 	s.Fig10KeysPerKS *= f
 	s.VPICParticlesPerFile *= f
 	s.ArrayTotalKeys *= f
+	s.RemoteOps *= f
 	for i := range s.Fig10Queries {
 		s.Fig10Queries[i] *= f
 	}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kvcsd/internal/device"
+	"kvcsd/internal/remote"
+	"kvcsd/internal/server"
+)
+
+// RemoteThroughput sweeps the network service layer: a loopback
+// kvcsd-server fronting one simulated device, driven by the pipelined
+// remote client at increasing connection counts and pipeline depths. Each
+// cell loads s.RemoteOps pairs through batched bulk puts, compacts, then
+// issues s.RemoteOps point gets from a worker pool sized to saturate the
+// configured window.
+//
+// Unlike the virtual-time figures, the columns here are wall-clock: the
+// benchmark measures the real TCP + goroutine path around the simulation,
+// so absolute numbers vary by machine. The shape — pipelining and extra
+// connections recovering throughput lost to per-request round trips — is
+// the result.
+func RemoteThroughput(s Scale) (*Table, error) {
+	sweep := []struct {
+		conns    int
+		pipeline int
+	}{
+		{1, 1},
+		{1, 8},
+		{1, 32},
+		{2, 32},
+		{4, 32},
+	}
+
+	t := &Table{
+		Title:  "Remote throughput: connections x pipeline depth (wall-clock)",
+		Header: []string{"conns", "pipeline", "load_s", "get_s", "get_ops_s", "shed", "accepted"},
+		Notes: []string{
+			fmt.Sprintf("%d ops per phase over loopback TCP; wall-clock, machine-dependent", s.RemoteOps),
+			"gets issued by a worker pool sized to the total window (conns x pipeline, capped at 64)",
+		},
+	}
+
+	for _, cfg := range sweep {
+		loadDur, getDur, met, err := remoteRun(s, cfg.conns, cfg.pipeline)
+		if err != nil {
+			return nil, fmt.Errorf("conns=%d pipeline=%d: %w", cfg.conns, cfg.pipeline, err)
+		}
+		opsPerSec := float64(s.RemoteOps) / getDur.Seconds()
+		t.Add(
+			fmt.Sprintf("%d", cfg.conns),
+			fmt.Sprintf("%d", cfg.pipeline),
+			secs(loadDur),
+			secs(getDur),
+			fmt.Sprintf("%.0f", opsPerSec),
+			fmt.Sprintf("%d", met.Shed),
+			fmt.Sprintf("%d", met.Accepted),
+		)
+	}
+	return t, nil
+}
+
+// remoteRun executes one sweep cell against a fresh server.
+func remoteRun(s Scale, conns, pipeline int) (load, get time.Duration, met server.MetricsSnapshot, err error) {
+	dopts := device.DefaultOptions()
+	dopts.Seed = s.Seed
+	srv := server.NewDevice(dopts, server.DefaultConfig())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, met, err
+	}
+	defer srv.Close()
+
+	ropts := remote.DefaultOptions()
+	ropts.Conns = conns
+	ropts.Pipeline = pipeline
+	c, err := remote.Dial(addr.String(), ropts)
+	if err != nil {
+		return 0, 0, met, err
+	}
+	defer c.Close()
+
+	ks, err := c.CreateKeyspace("bench")
+	if err != nil {
+		return 0, 0, met, err
+	}
+
+	t0 := time.Now()
+	for i := 0; i < s.RemoteOps; i++ {
+		if err := ks.BulkPut(workloadKey(i), workloadValue(i)); err != nil {
+			return 0, 0, met, err
+		}
+	}
+	if err := ks.Flush(); err != nil {
+		return 0, 0, met, err
+	}
+	load = time.Since(t0)
+
+	if err := ks.Compact(); err != nil {
+		return 0, 0, met, err
+	}
+	if err := ks.WaitCompacted(); err != nil {
+		return 0, 0, met, err
+	}
+
+	workers := conns * pipeline
+	if workers > 64 {
+		workers = 64
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	t1 := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	per := (s.RemoteOps + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < per; q++ {
+				i := w*per + q
+				if i >= s.RemoteOps {
+					return
+				}
+				if _, ok, err := ks.Get(workloadKey(i)); err != nil || !ok {
+					errCh <- fmt.Errorf("get %d: ok=%v err=%v", i, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	get = time.Since(t1)
+	close(errCh)
+	for e := range errCh {
+		return 0, 0, met, e
+	}
+	return load, get, srv.Metrics(), nil
+}

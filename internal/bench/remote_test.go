@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRemoteThroughputSmoke runs a tiny version of the network sweep: every
+// cell must complete without sheds or errors and render a full table.
+func TestRemoteThroughputSmoke(t *testing.T) {
+	s := DefaultScale()
+	s.RemoteOps = 128
+	tab, err := RemoteThroughput(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("sweep has %d rows, want 5", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Errorf("row %d: shed %s requests under an idle admission cap", i, row[5])
+		}
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table render")
+	}
+}

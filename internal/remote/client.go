@@ -1,0 +1,387 @@
+// Package remote is the network client for a kvcsd-server: the same surface
+// as the in-process client library (internal/client), minus the *sim.Proc
+// arguments — callers are ordinary goroutines in wall-clock time.
+//
+// Each connection multiplexes many concurrent requests: calls tag frames
+// with unique request IDs, a reader goroutine demultiplexes completions
+// (which arrive in completion order, not send order), and a per-connection
+// slot semaphore bounds the pipeline depth. A Client can hold several
+// connections and deals them out round-robin.
+//
+// Failure handling reuses the client library's rules: remote device errors
+// are rebuilt as *client.StatusError so errors.Is(err, client.ErrNotFound)
+// and client.Retryable work unchanged, and the retry loop replays exactly
+// the verbs wire.Op.Idempotent allows — plus the transport-only outcomes
+// (connection loss, server overload, draining) that are always ambiguous
+// and therefore only safe for idempotent verbs too.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kvcsd/internal/client"
+	"kvcsd/internal/wire"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("remote: client closed")
+
+// errConnBroken reports a connection that died with in-flight requests; the
+// underlying cause is wrapped.
+var errConnBroken = errors.New("remote: connection broken")
+
+// Options tunes a Client.
+type Options struct {
+	// Conns is the connection pool size (default 1).
+	Conns int
+	// Pipeline is the per-connection cap on outstanding requests
+	// (default 64).
+	Pipeline int
+	// Retry bounds attempts and backoff, interpreted in real time. The zero
+	// value means a single attempt with no timeout.
+	Retry client.RetryPolicy
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// DefaultOptions returns the default client tuning with the client
+// library's default retry policy.
+func DefaultOptions() Options {
+	return Options{
+		Conns:       1,
+		Pipeline:    64,
+		Retry:       client.DefaultRetryPolicy(),
+		DialTimeout: 5 * time.Second,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// Client is a pipelined connection pool to one kvcsd-server.
+type Client struct {
+	addr   string
+	opts   Options
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	mu   sync.Mutex
+	pool []*poolConn
+	next int
+}
+
+// Dial connects to a kvcsd-server. All pool connections are established
+// eagerly so configuration errors surface here, not mid-workload.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.normalize()
+	c := &Client{addr: addr, opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		pc, err := c.dialConn()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.pool = append(c.pool, pc)
+	}
+	return c, nil
+}
+
+// Close tears down every connection; in-flight calls fail with a broken-
+// connection error.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pc := range c.pool {
+		pc.markDead(ErrClosed)
+	}
+	return nil
+}
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) dialConn() (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pc := &poolConn{
+		nc:      nc,
+		pending: make(map[uint64]chan *wire.Response),
+		acc:     make(map[uint64]*wire.Response),
+		slots:   make(chan struct{}, c.opts.Pipeline),
+		broken:  make(chan struct{}),
+	}
+	go pc.readLoop()
+	return pc, nil
+}
+
+// conn deals out the next connection round-robin, redialing dead ones in
+// place so a reconnect repairs the pool without abandoning its slot.
+func (c *Client) conn() (*poolConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pool) == 0 {
+		return nil, ErrClosed
+	}
+	i := c.next % len(c.pool)
+	c.next++
+	pc := c.pool[i]
+	if !pc.dead.Load() {
+		return pc, nil
+	}
+	fresh, err := c.dialConn()
+	if err != nil {
+		return nil, fmt.Errorf("%w: redial: %v", errConnBroken, err)
+	}
+	c.pool[i] = fresh
+	return fresh, nil
+}
+
+// poolConn is one multiplexed connection.
+type poolConn struct {
+	nc net.Conn
+	// wmu serializes frame writes from concurrent callers.
+	wmu sync.Mutex
+	// mu guards pending; acc is touched only by the reader.
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Response
+	acc     map[uint64]*wire.Response
+	// slots bounds the pipeline depth.
+	slots chan struct{}
+	// broken is closed when the connection dies; err holds the cause.
+	broken   chan struct{}
+	dead     atomic.Bool
+	deadOnce sync.Once
+	err      error
+}
+
+// readLoop demultiplexes response frames to waiting callers, accumulating
+// streamed chunks (FlagMore) so each caller receives one whole response.
+func (pc *poolConn) readLoop() {
+	for {
+		h, payload, err := wire.ReadFrame(pc.nc)
+		if err != nil {
+			pc.markDead(fmt.Errorf("%w: %v", errConnBroken, err))
+			return
+		}
+		if h.Kind != wire.KindResponse {
+			pc.markDead(fmt.Errorf("%w: server sent non-response frame", errConnBroken))
+			return
+		}
+		chunk, err := wire.DecodeResponse(h, payload)
+		if err != nil {
+			pc.markDead(fmt.Errorf("%w: undecodable response: %v", errConnBroken, err))
+			return
+		}
+		full, done := wire.Accumulate(pc.acc[h.ID], chunk)
+		if !done {
+			pc.acc[h.ID] = full
+			continue
+		}
+		delete(pc.acc, h.ID)
+		pc.mu.Lock()
+		ch := pc.pending[h.ID]
+		delete(pc.pending, h.ID)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- full // cap 1: never blocks, and abandoned waiters removed themselves
+		}
+	}
+}
+
+func (pc *poolConn) markDead(cause error) {
+	pc.deadOnce.Do(func() {
+		pc.err = cause
+		pc.dead.Store(true)
+		pc.nc.Close()
+		close(pc.broken)
+	})
+}
+
+func (pc *poolConn) addWaiter(id uint64) chan *wire.Response {
+	ch := make(chan *wire.Response, 1)
+	pc.mu.Lock()
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+	return ch
+}
+
+func (pc *poolConn) removeWaiter(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
+// Retryable reports whether an error may be safely retried for an
+// idempotent verb: the client library's device-status rules, the
+// transport-level shed/drain statuses, and any connection-loss error.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if client.Retryable(err) {
+		return true
+	}
+	if errors.Is(err, wire.ErrOverloaded) || errors.Is(err, wire.ErrShuttingDown) ||
+		errors.Is(err, wire.ErrUnavailable) {
+		return true
+	}
+	if errors.Is(err, errConnBroken) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// respError converts a non-OK response into an error: transport statuses map
+// to their wire sentinels, device statuses are rebuilt as the client
+// library's *client.StatusError so its errors.Is/Retryable rules apply.
+func respError(op wire.Op, resp *wire.Response) error {
+	if resp.Status == wire.StatusOK {
+		return nil
+	}
+	if terr := resp.Status.Err(); terr != nil {
+		if resp.Err != "" {
+			return fmt.Errorf("%w: %s", terr, resp.Err)
+		}
+		return terr
+	}
+	ns, _ := resp.Status.NVMe()
+	return &client.StatusError{Op: op.NVMe(), Status: ns}
+}
+
+// doOnce performs a single attempt: admit into the pipeline, write the
+// frame, wait for the demultiplexed response or a timeout.
+func (c *Client) doOnce(req *wire.Request, timeout time.Duration) (*wire.Response, error) {
+	pc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case pc.slots <- struct{}{}:
+	case <-pc.broken:
+		return nil, pc.err
+	}
+	defer func() { <-pc.slots }()
+
+	req.ID = c.nextID.Add(1)
+	ch := pc.addWaiter(req.ID)
+	pc.wmu.Lock()
+	err = wire.WriteRequest(pc.nc, req)
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.removeWaiter(req.ID)
+		pc.markDead(fmt.Errorf("%w: write: %v", errConnBroken, err))
+		return nil, pc.err
+	}
+
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-pc.broken:
+		pc.removeWaiter(req.ID)
+		return nil, pc.err
+	case <-timeoutC:
+		// The request may still complete server-side; the reader will find
+		// no waiter and drop the late response.
+		pc.removeWaiter(req.ID)
+		return nil, &client.TimeoutError{Op: req.Op.NVMe(), Timeout: timeout}
+	}
+}
+
+// call runs one request under the retry policy. Non-idempotent verbs get a
+// single attempt regardless of policy — a replay of one that actually
+// landed would report a wrong outcome.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	pol := c.opts.Retry
+	backoff := pol.BaseBackoff
+	attempts := 0
+	for {
+		attempts++
+		resp, err := c.doOnce(req, pol.Timeout)
+		if err == nil {
+			err = respError(req.Op, resp)
+			if err == nil {
+				return resp, nil
+			}
+		}
+		if !req.Op.Idempotent() || !Retryable(err) ||
+			pol.MaxAttempts <= 1 || attempts >= pol.MaxAttempts {
+			return nil, err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.call(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Stats fetches the server's statistics snapshot.
+func (c *Client) Stats() (*wire.StatsReport, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("remote: stats response carried no report")
+	}
+	return resp.Stats, nil
+}
+
+// PowerCut yanks power on a device (array member id; 0 on a single-device
+// server) and returns the server's report.
+func (c *Client) PowerCut(device int) (string, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpPowerCut, Device: uint32(device)})
+	if err != nil {
+		return "", err
+	}
+	return resp.Report, nil
+}
+
+// Recover restarts a powered-off device and returns the recovery report.
+func (c *Client) Recover(device int) (string, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpRecover, Device: uint32(device)})
+	if err != nil {
+		return "", err
+	}
+	return resp.Report, nil
+}

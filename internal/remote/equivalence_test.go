@@ -1,0 +1,282 @@
+package remote_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kvcsd/internal/client"
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/remote"
+	"kvcsd/internal/server"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+)
+
+const (
+	eqKeys   = 600
+	eqSeed   = 0x5EED
+	eqIndex  = "temp"
+	eqValLen = 64
+)
+
+func eqKey(i int) []byte {
+	return []byte(fmt.Sprintf("key-%06d", i))
+}
+
+// eqValue embeds a little-endian uint32 "temperature" at offset 0 so a
+// secondary index can be built over it.
+func eqValue(i int) []byte {
+	v := make([]byte, eqValLen)
+	binary.LittleEndian.PutUint32(v, uint32((i*2654435761)%100000))
+	for j := 4; j < eqValLen; j++ {
+		v[j] = byte(i + j)
+	}
+	return v
+}
+
+func eqSpec() client.IndexSpec {
+	return client.IndexSpec{Name: eqIndex, Offset: 0, Length: 4, Type: keyenc.TypeUint32}
+}
+
+// inProcessResults runs the seeded workload against a device directly
+// through the in-process client library and collects every observable
+// result.
+type results struct {
+	gets    map[string][]byte
+	misses  []string
+	scan    []nvme.KVPair
+	secLo   []nvme.KVPair
+	secPt   []nvme.KVPair
+	existY  bool
+	existN  bool
+	pairs   int64
+	zoneCnt int
+}
+
+func secondaryBounds() (lo, hi, pt []byte) {
+	lo = keyenc.PutUint32(10000)
+	hi = keyenc.PutUint32(30000)
+	// Point-query the secondary value of key 7.
+	pt = keyenc.PutUint32(binary.LittleEndian.Uint32(eqValue(7)))
+	return
+}
+
+func inProcessResults(t *testing.T) *results {
+	t.Helper()
+	env := sim.NewEnv()
+	st := stats.NewIOStats()
+	h := host.New(env, host.DefaultHostConfig())
+	opts := device.DefaultOptions()
+	opts.Seed = eqSeed
+	dev := device.New(env, opts, st)
+	cl := client.New(h, dev)
+
+	r := &results{gets: make(map[string][]byte)}
+	env.Go("workload", func(p *sim.Proc) {
+		ks, err := cl.CreateKeyspace(p, "eq")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		for i := 0; i < eqKeys; i++ {
+			if err := ks.BulkPut(p, eqKey(i), eqValue(i)); err != nil {
+				t.Errorf("bulkput %d: %v", i, err)
+				return
+			}
+		}
+		if err := ks.Flush(p); err != nil {
+			t.Errorf("flush: %v", err)
+			return
+		}
+		if err := ks.CompactWithIndexes(p, []client.IndexSpec{eqSpec()}); err != nil {
+			t.Errorf("compact: %v", err)
+			return
+		}
+		if err := ks.WaitCompacted(p); err != nil {
+			t.Errorf("wait compacted: %v", err)
+			return
+		}
+		if err := ks.WaitIndexBuilt(p, eqIndex); err != nil {
+			t.Errorf("wait index: %v", err)
+			return
+		}
+		for i := 0; i < eqKeys; i += 7 {
+			v, ok, err := ks.Get(p, eqKey(i))
+			if err != nil || !ok {
+				t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			r.gets[string(eqKey(i))] = v
+		}
+		if _, ok, _ := ks.Get(p, []byte("nope")); ok {
+			t.Error("phantom key")
+		}
+		r.scan, err = ks.Scan(p, eqKey(100), eqKey(200), 0)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		lo, hi, pt := secondaryBounds()
+		r.secLo, err = ks.QuerySecondaryRange(p, eqIndex, lo, hi, 0)
+		if err != nil {
+			t.Errorf("secondary range: %v", err)
+			return
+		}
+		r.secPt, err = ks.QuerySecondaryPoint(p, eqIndex, pt, 0)
+		if err != nil {
+			t.Errorf("secondary point: %v", err)
+			return
+		}
+		r.existY, _ = ks.Exist(p, eqKey(3))
+		r.existN, _ = ks.Exist(p, []byte("nope"))
+		info, err := ks.Info(p)
+		if err != nil {
+			t.Errorf("info: %v", err)
+			return
+		}
+		r.pairs = info.Pairs
+		dev.Shutdown()
+	})
+	env.Run()
+	return r
+}
+
+// TestLoopbackEquivalence drives the identical workload through a loopback
+// TCP server with a pipelined remote client and requires byte-identical
+// results — the protocol round trip must be invisible.
+func TestLoopbackEquivalence(t *testing.T) {
+	want := inProcessResults(t)
+	if t.Failed() {
+		t.Fatal("in-process baseline failed")
+	}
+
+	opts := device.DefaultOptions()
+	opts.Seed = eqSeed
+	srv := server.NewDevice(opts, server.DefaultConfig())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	ropts := remote.DefaultOptions()
+	ropts.Conns = 2
+	ropts.Pipeline = 32
+	rc, err := remote.Dial(addr.String(), ropts)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer rc.Close()
+
+	ks, err := rc.CreateKeyspace("eq")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < eqKeys; i++ {
+		if err := ks.BulkPut(eqKey(i), eqValue(i)); err != nil {
+			t.Fatalf("bulkput %d: %v", i, err)
+		}
+	}
+	if err := ks.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := ks.CompactWithIndexes([]client.IndexSpec{eqSpec()}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := ks.WaitCompacted(); err != nil {
+		t.Fatalf("wait compacted: %v", err)
+	}
+	if err := ks.WaitIndexBuilt(eqIndex); err != nil {
+		t.Fatalf("wait index: %v", err)
+	}
+
+	// Sequential reads must match the in-process run byte for byte.
+	for key, wantV := range want.gets {
+		v, ok, err := ks.Get([]byte(key))
+		if err != nil || !ok {
+			t.Fatalf("remote get %q: ok=%v err=%v", key, ok, err)
+		}
+		if !bytes.Equal(v, wantV) {
+			t.Fatalf("remote get %q: value mismatch", key)
+		}
+	}
+	if _, ok, _ := ks.Get([]byte("nope")); ok {
+		t.Fatal("remote phantom key")
+	}
+	scan, err := ks.Scan(eqKey(100), eqKey(200), 0)
+	if err != nil {
+		t.Fatalf("remote scan: %v", err)
+	}
+	comparePairs(t, "scan", scan, want.scan)
+	lo, hi, pt := secondaryBounds()
+	secLo, err := ks.QuerySecondaryRange(eqIndex, lo, hi, 0)
+	if err != nil {
+		t.Fatalf("remote secondary range: %v", err)
+	}
+	comparePairs(t, "secondary-range", secLo, want.secLo)
+	secPt, err := ks.QuerySecondaryPoint(eqIndex, pt, 0)
+	if err != nil {
+		t.Fatalf("remote secondary point: %v", err)
+	}
+	comparePairs(t, "secondary-point", secPt, want.secPt)
+	if y, _ := ks.Exist(eqKey(3)); y != want.existY {
+		t.Fatalf("exist(key3) = %v, want %v", y, want.existY)
+	}
+	if n, _ := ks.Exist([]byte("nope")); n != want.existN {
+		t.Fatalf("exist(nope) = %v, want %v", n, want.existN)
+	}
+	info, err := ks.Info()
+	if err != nil {
+		t.Fatalf("remote info: %v", err)
+	}
+	if info.Pairs != want.pairs {
+		t.Fatalf("info.Pairs = %d, want %d", info.Pairs, want.pairs)
+	}
+
+	// Pipelined concurrent gets across the pool must each return the right
+	// value (out-of-order completion exercises the request-ID demux).
+	var wg sync.WaitGroup
+	errs := make(chan error, eqKeys)
+	for i := 0; i < eqKeys; i += 3 {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok, err := ks.Get(eqKey(i))
+			if err != nil || !ok {
+				errs <- fmt.Errorf("concurrent get %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			if !bytes.Equal(v, eqValue(i)) {
+				errs <- fmt.Errorf("concurrent get %d: wrong value", i)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func comparePairs(t *testing.T, what string, got, want []nvme.KVPair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("%s: pair %d mismatch", what, i)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"kvcsd/internal/array"
+	"kvcsd/internal/client"
+	"kvcsd/internal/device"
+	"kvcsd/internal/host"
+	"kvcsd/internal/keyenc"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/obs"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/stats"
+	"kvcsd/internal/wire"
+)
+
+// Backend executes decoded wire requests against some storage target inside
+// the simulation. Every method that takes a *sim.Proc is invoked only from
+// sim procs spawned by the server's gateway, so implementations may rely on
+// the simulator's cooperative scheduling (one proc runs at a time) for
+// anything they do not explicitly guard.
+type Backend interface {
+	// Apply executes one request and returns its response (ID/Op are filled
+	// in by the caller). It must not return nil.
+	Apply(p *sim.Proc, req *wire.Request) *wire.Response
+	// BulkApply stages a coalesced batch of puts/deletes into one keyspace
+	// and flushes it as a single device submission.
+	BulkApply(p *sim.Proc, keyspace string, pairs []nvme.KVPair) *wire.Response
+	// BackgroundJobs reports running background work (compactions, index
+	// builds) so the gateway can keep virtual time advancing while the
+	// socket side is idle.
+	BackgroundJobs() int
+	// WaitIdle parks until background work has drained (called on shutdown).
+	WaitIdle(p *sim.Proc) error
+	// Shutdown finalizes metrics gauges after the sim has drained.
+	Shutdown()
+	// Tracer exposes the backend's span collector (may be nil).
+	Tracer() *obs.Tracer
+	// Registry exposes the backend's metrics registry (may be nil).
+	Registry() *obs.Registry
+}
+
+// statusFromErr maps a backend error to a wire status plus optional detail.
+// Device statuses travel numerically; router conditions map onto the nearest
+// device or transport status so remote clients can reuse the client
+// library's retry rules unchanged.
+func statusFromErr(err error) (wire.Status, string) {
+	if err == nil {
+		return wire.StatusOK, ""
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return wire.FromNVMe(se.Status), ""
+	}
+	switch {
+	case errors.Is(err, client.ErrNotFound):
+		return wire.StatusNotFound, ""
+	case errors.Is(err, array.ErrKeyspaceUnknown):
+		return wire.StatusNotFound, err.Error()
+	case errors.Is(err, array.ErrKeyspaceExists):
+		return wire.StatusExists, err.Error()
+	case errors.Is(err, array.ErrNoReplicas):
+		return wire.StatusUnavailable, err.Error()
+	}
+	return wire.StatusInternal, err.Error()
+}
+
+func respErr(err error) *wire.Response {
+	st, msg := statusFromErr(err)
+	return &wire.Response{Status: st, Err: msg}
+}
+
+func respOK() *wire.Response { return &wire.Response{Status: wire.StatusOK} }
+
+func clientSpec(s wire.IndexSpec) client.IndexSpec {
+	return client.IndexSpec{
+		Name:   s.Name,
+		Offset: int(s.Offset),
+		Length: int(s.Length),
+		Type:   keyenc.SecondaryType(s.Type),
+	}
+}
+
+func clientSpecs(specs []wire.IndexSpec) []client.IndexSpec {
+	out := make([]client.IndexSpec, len(specs))
+	for i, s := range specs {
+		out[i] = clientSpec(s)
+	}
+	return out
+}
+
+// --- Single-device backend -------------------------------------------------
+
+// deviceBackend fronts one simulated device through the client library.
+type deviceBackend struct {
+	env *sim.Env
+	h   *host.Host
+	dev *device.Device
+	cl  *client.Client
+	st  *stats.IOStats
+
+	ks    map[string]*client.Keyspace
+	locks map[string]*sim.Resource
+}
+
+func newDeviceBackend(env *sim.Env, opts device.Options) *deviceBackend {
+	st := stats.NewIOStats()
+	h := host.New(env, host.DefaultHostConfig())
+	dev := device.New(env, opts, st)
+	return &deviceBackend{
+		env:   env,
+		h:     h,
+		dev:   dev,
+		cl:    client.New(h, dev),
+		st:    st,
+		ks:    make(map[string]*client.Keyspace),
+		locks: make(map[string]*sim.Resource),
+	}
+}
+
+func (b *deviceBackend) handle(p *sim.Proc, name string) (*client.Keyspace, error) {
+	if ks, ok := b.ks[name]; ok {
+		return ks, nil
+	}
+	ks, err := b.cl.OpenKeyspace(p, name)
+	if err != nil {
+		return nil, err
+	}
+	b.ks[name] = ks
+	return ks, nil
+}
+
+// lock serializes bulk staging per keyspace: the client library stages bulk
+// pairs on the shared handle and flushes them as one message, which must not
+// interleave across concurrently running RPC handlers.
+func (b *deviceBackend) lock(name string) *sim.Resource {
+	r, ok := b.locks[name]
+	if !ok {
+		r = sim.NewResource(b.env, "bulk:"+name, 1)
+		b.locks[name] = r
+	}
+	return r
+}
+
+func (b *deviceBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return respOK()
+
+	case wire.OpCreateKeyspace:
+		ks, err := b.cl.CreateKeyspace(p, req.Keyspace)
+		if err != nil {
+			return respErr(err)
+		}
+		b.ks[req.Keyspace] = ks
+		return respOK()
+
+	case wire.OpOpenKeyspace:
+		_, err := b.handle(p, req.Keyspace)
+		return respErr(err)
+
+	case wire.OpDeleteKeyspace:
+		delete(b.ks, req.Keyspace)
+		delete(b.locks, req.Keyspace)
+		return respErr(b.cl.DeleteKeyspace(p, req.Keyspace))
+
+	case wire.OpStats:
+		return b.statsReport()
+
+	case wire.OpPowerCut:
+		rep := b.dev.PowerCut(p)
+		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+
+	case wire.OpRecover:
+		rep, err := b.dev.Restart(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+	}
+
+	ks, err := b.handle(p, req.Keyspace)
+	if err != nil {
+		return respErr(err)
+	}
+
+	switch req.Op {
+	case wire.OpPut:
+		return respErr(ks.Put(p, req.Key, req.Value))
+	case wire.OpDelete:
+		return respErr(ks.Delete(p, req.Key))
+	case wire.OpBulkPut:
+		return b.BulkApply(p, req.Keyspace, req.Pairs)
+	case wire.OpSync:
+		return respErr(ks.Sync(p))
+	case wire.OpGet:
+		v, ok, err := ks.Get(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: v, Exists: true}
+	case wire.OpExist:
+		ok, err := ks.Exist(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Exists: ok}
+	case wire.OpScan:
+		pairs, err := ks.Scan(p, req.Low, req.High, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpSecondaryRange:
+		pairs, err := ks.QuerySecondaryRange(p, req.Index.Name, req.Low, req.High, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpSecondaryPoint:
+		pairs, err := ks.QuerySecondaryPoint(p, req.Index.Name, req.Key, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpCompact:
+		return respErr(ks.Compact(p))
+	case wire.OpCompactWithIndexes:
+		return respErr(ks.CompactWithIndexes(p, clientSpecs(req.Indexes)))
+	case wire.OpCompactStatus:
+		done, err := ks.CompactDone(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Done: done}
+	case wire.OpBuildIndex:
+		return respErr(ks.BuildSecondaryIndex(p, clientSpec(req.Index)))
+	case wire.OpIndexStatus:
+		done, err := ks.IndexBuilt(p, req.Index.Name)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Done: done}
+	case wire.OpKeyspaceInfo:
+		info, err := ks.Info(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, HasInfo: true, Info: info}
+	}
+	return &wire.Response{Status: wire.StatusBadRequest, Err: "unhandled opcode " + req.Op.String()}
+}
+
+func (b *deviceBackend) BulkApply(p *sim.Proc, keyspace string, pairs []nvme.KVPair) *wire.Response {
+	ks, err := b.handle(p, keyspace)
+	if err != nil {
+		return respErr(err)
+	}
+	lk := b.lock(keyspace)
+	p.Acquire(lk)
+	defer p.Release(lk)
+	for _, kv := range pairs {
+		if kv.Tombstone {
+			err = ks.BulkDelete(p, kv.Key)
+		} else {
+			err = ks.BulkPut(p, kv.Key, kv.Value)
+		}
+		if err != nil {
+			return respErr(err)
+		}
+	}
+	return respErr(ks.Flush(p))
+}
+
+func (b *deviceBackend) statsReport() *wire.Response {
+	rep := &wire.StatsReport{
+		Devices:      1,
+		Commands:     b.st.Commands.Value(),
+		MediaRead:    b.st.MediaRead.Value(),
+		MediaWrite:   b.st.MediaWrite.Value(),
+		HostToDevice: b.st.HostToDevice.Value(),
+		DeviceToHost: b.st.DeviceToHost.Value(),
+		AppWrite:     b.st.AppWrite.Value(),
+		VirtualNanos: int64(b.env.Now()),
+		Health:       []wire.DeviceHealth{{ID: 0, Down: b.dev.PoweredOff()}},
+	}
+	return &wire.Response{Status: wire.StatusOK, Stats: rep}
+}
+
+func (b *deviceBackend) BackgroundJobs() int { return b.dev.Engine().BackgroundJobs() }
+
+func (b *deviceBackend) WaitIdle(p *sim.Proc) error { return b.dev.WaitBackgroundIdle(p) }
+
+func (b *deviceBackend) Shutdown() { b.dev.Shutdown() }
+
+func (b *deviceBackend) Tracer() *obs.Tracer { return b.dev.Tracer() }
+
+func (b *deviceBackend) Registry() *obs.Registry { return b.dev.Registry() }
+
+// --- Array backend ---------------------------------------------------------
+
+// arrayBackend fronts a sharded, replicated device array.
+type arrayBackend struct {
+	env   *sim.Env
+	arr   *array.Array
+	locks map[string]*sim.Resource
+}
+
+func newArrayBackend(env *sim.Env, opts array.Options) *arrayBackend {
+	return &arrayBackend{
+		env:   env,
+		arr:   array.New(env, opts),
+		locks: make(map[string]*sim.Resource),
+	}
+}
+
+func (b *arrayBackend) lock(name string) *sim.Resource {
+	r, ok := b.locks[name]
+	if !ok {
+		r = sim.NewResource(b.env, "bulk:"+name, 1)
+		b.locks[name] = r
+	}
+	return r
+}
+
+func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return respOK()
+
+	case wire.OpCreateKeyspace:
+		var err error
+		if req.Parts > 1 {
+			_, err = b.arr.CreateRangeSharded(p, req.Keyspace, int(req.Parts))
+		} else {
+			_, err = b.arr.CreateKeyspace(p, req.Keyspace)
+		}
+		return respErr(err)
+
+	case wire.OpOpenKeyspace:
+		_, err := b.arr.OpenKeyspace(req.Keyspace)
+		return respErr(err)
+
+	case wire.OpDeleteKeyspace:
+		delete(b.locks, req.Keyspace)
+		return respErr(b.arr.DeleteKeyspace(p, req.Keyspace))
+
+	case wire.OpStats:
+		return b.statsReport()
+
+	case wire.OpPowerCut:
+		id := int(req.Device)
+		if id < 0 || id >= len(b.arr.Members()) {
+			return &wire.Response{Status: wire.StatusInvalid, Err: fmt.Sprintf("device %d out of range", id)}
+		}
+		rep := b.arr.PowerCut(p, id)
+		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+
+	case wire.OpRecover:
+		id := int(req.Device)
+		if id < 0 || id >= len(b.arr.Members()) {
+			return &wire.Response{Status: wire.StatusInvalid, Err: fmt.Sprintf("device %d out of range", id)}
+		}
+		rep, err := b.arr.RestartDevice(p, id)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+	}
+
+	ks, err := b.arr.OpenKeyspace(req.Keyspace)
+	if err != nil {
+		return respErr(err)
+	}
+
+	switch req.Op {
+	case wire.OpPut:
+		return respErr(ks.Put(p, req.Key, req.Value))
+	case wire.OpDelete:
+		return respErr(ks.Delete(p, req.Key))
+	case wire.OpBulkPut:
+		return b.BulkApply(p, req.Keyspace, req.Pairs)
+	case wire.OpSync:
+		return respErr(ks.Sync(p))
+	case wire.OpGet:
+		v, ok, err := ks.Get(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: v, Exists: true}
+	case wire.OpExist:
+		ok, err := ks.Exist(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Exists: ok}
+	case wire.OpScan:
+		pairs, err := ks.Scan(p, req.Low, req.High, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpSecondaryRange:
+		pairs, err := ks.QuerySecondaryRange(p, req.Index.Name, req.Low, req.High, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpSecondaryPoint:
+		pairs, err := ks.QuerySecondaryPoint(p, req.Index.Name, req.Key, int(req.Limit))
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Pairs: pairs}
+	case wire.OpCompact:
+		return respErr(ks.Compact(p))
+	case wire.OpCompactWithIndexes:
+		return respErr(ks.CompactWithIndexes(p, clientSpecs(req.Indexes)))
+	case wire.OpCompactStatus:
+		done, err := ks.CompactDone(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Done: done}
+	case wire.OpBuildIndex:
+		return respErr(ks.BuildSecondaryIndex(p, clientSpec(req.Index)))
+	case wire.OpIndexStatus:
+		done, err := ks.IndexBuilt(p, req.Index.Name)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Done: done}
+	case wire.OpKeyspaceInfo:
+		info, err := ks.Info(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, HasInfo: true, Info: info}
+	}
+	return &wire.Response{Status: wire.StatusBadRequest, Err: "unhandled opcode " + req.Op.String()}
+}
+
+func (b *arrayBackend) BulkApply(p *sim.Proc, keyspace string, pairs []nvme.KVPair) *wire.Response {
+	ks, err := b.arr.OpenKeyspace(keyspace)
+	if err != nil {
+		return respErr(err)
+	}
+	lk := b.lock(keyspace)
+	p.Acquire(lk)
+	defer p.Release(lk)
+	for _, kv := range pairs {
+		if kv.Tombstone {
+			err = ks.BulkDelete(p, kv.Key)
+		} else {
+			err = ks.BulkPut(p, kv.Key, kv.Value)
+		}
+		if err != nil {
+			return respErr(err)
+		}
+	}
+	return respErr(ks.Flush(p))
+}
+
+func (b *arrayBackend) statsReport() *wire.Response {
+	st := b.arr.Stats()
+	health := b.arr.Health()
+	wh := make([]wire.DeviceHealth, len(health))
+	for i, h := range health {
+		wh[i] = wire.DeviceHealth{ID: uint32(h.ID), Down: h.Down, Failures: uint32(h.Failures)}
+	}
+	rep := &wire.StatsReport{
+		Devices:      uint32(len(b.arr.Members())),
+		Commands:     st.Commands.Value(),
+		MediaRead:    st.MediaRead.Value(),
+		MediaWrite:   st.MediaWrite.Value(),
+		HostToDevice: st.HostToDevice.Value(),
+		DeviceToHost: st.DeviceToHost.Value(),
+		AppWrite:     st.AppWrite.Value(),
+		VirtualNanos: int64(b.env.Now()),
+		Health:       wh,
+	}
+	return &wire.Response{Status: wire.StatusOK, Stats: rep}
+}
+
+func (b *arrayBackend) BackgroundJobs() int {
+	n := 0
+	for _, m := range b.arr.Members() {
+		n += m.Dev.Engine().BackgroundJobs()
+	}
+	return n
+}
+
+func (b *arrayBackend) WaitIdle(p *sim.Proc) error { return b.arr.WaitBackgroundIdle(p) }
+
+func (b *arrayBackend) Shutdown() { b.arr.Shutdown() }
+
+func (b *arrayBackend) Tracer() *obs.Tracer { return b.arr.Tracer() }
+
+func (b *arrayBackend) Registry() *obs.Registry { return b.arr.Registry() }

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"time"
+
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+// gateway is the bridge proc between wall-clock sockets and virtual time.
+// It blocks on the request channel while the server is idle (the simulation
+// spends no virtual time on an idle server), drains whatever has accumulated
+// into one batch, and runs the batch as concurrent sim procs that share the
+// same virtual admission instant — which is what lets pipelined requests
+// from many connections genuinely overlap inside the device model.
+func (s *Server) gateway(p *sim.Proc) {
+	for {
+		// While the socket side is quiet but the device still has
+		// background work (compaction, index builds), advance virtual time
+		// in small slices so status polls from remote clients observe
+		// progress. Without this pump, background jobs would stay frozen
+		// between requests and a WaitCompacted poll loop would never finish.
+		for len(s.reqCh) == 0 && s.backend.BackgroundJobs() > 0 {
+			p.Sleep(s.cfg.BackgroundSlice)
+		}
+		batch, ok := s.nextBatch()
+		if len(batch) > 0 {
+			s.runBatch(p, batch)
+		}
+		if !ok {
+			break
+		}
+	}
+	// Drain: reqCh is closed and empty. Finish background work, then stop
+	// the device dispatch loops so the simulation can end.
+	_ = s.backend.WaitIdle(p)
+	s.backend.Shutdown()
+}
+
+// nextBatch blocks for the first task (freezing virtual time), then drains
+// up to MaxBatch-1 more without blocking. ok is false once the request
+// channel is closed and fully drained.
+func (s *Server) nextBatch() ([]*task, bool) {
+	first, ok := <-s.reqCh
+	if !ok {
+		return nil, false
+	}
+	batch := []*task{first}
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case t, ok := <-s.reqCh:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, t)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// putGroup is a set of same-keyspace puts coalesced into one bulk device
+// submission.
+type putGroup struct {
+	keyspace string
+	tasks    []*task
+}
+
+// runBatch executes one admitted batch: coalescable puts become one bulk
+// submission per keyspace, everything else runs as its own handler proc.
+// All handlers start at the same virtual instant; Join holds the gateway
+// until the batch completes so batches never interleave.
+func (s *Server) runBatch(p *sim.Proc, batch []*task) {
+	env := p.Env()
+	var procs []*sim.Proc
+	singles := batch
+	if !s.cfg.DisableWriteCoalescing {
+		var groups []*putGroup
+		groups, singles = coalescePuts(batch)
+		for _, g := range groups {
+			g := g
+			s.met.addCoalesced(len(g.tasks))
+			procs = append(procs, env.Go("rpc-put-batch", func(q *sim.Proc) {
+				s.handleGroup(q, g)
+			}))
+		}
+	}
+	for _, t := range singles {
+		t := t
+		procs = append(procs, env.Go("rpc-"+t.req.Op.String(), func(q *sim.Proc) {
+			s.handle(q, t)
+		}))
+	}
+	p.Join(procs...)
+}
+
+// coalescePuts splits a batch into per-keyspace put groups (two or more
+// puts) and the remaining singles, preserving first-seen order so the
+// grouping is deterministic for a given batch.
+func coalescePuts(batch []*task) ([]*putGroup, []*task) {
+	byKS := make(map[string]*putGroup)
+	var order []*putGroup
+	var singles []*task
+	for _, t := range batch {
+		if t.req.Op != wire.OpPut {
+			singles = append(singles, t)
+			continue
+		}
+		g, ok := byKS[t.req.Keyspace]
+		if !ok {
+			g = &putGroup{keyspace: t.req.Keyspace}
+			byKS[t.req.Keyspace] = g
+			order = append(order, g)
+		}
+		g.tasks = append(g.tasks, t)
+	}
+	var groups []*putGroup
+	for _, g := range order {
+		if len(g.tasks) < 2 {
+			// A lone put gains nothing from the bulk path; run it as-is.
+			singles = append(singles, g.tasks...)
+			continue
+		}
+		groups = append(groups, g)
+	}
+	return groups, singles
+}
+
+// handle runs one request in its own sim proc.
+func (s *Server) handle(q *sim.Proc, t *task) {
+	queueWait := time.Since(t.enq)
+	span := s.tr.StartRoot(q, "rpc:"+t.req.Op.String(), "rpc/"+t.req.Op.String())
+	if span != nil {
+		s.tr.Push(q, span)
+	}
+	v0 := q.Now()
+	r0 := time.Now()
+	resp := s.backend.Apply(q, t.req)
+	svc := time.Since(r0)
+	virt := time.Duration(q.Now() - v0)
+	if span != nil {
+		s.tr.Pop(q)
+		span.End()
+	}
+	resp.ID, resp.Op = t.req.ID, t.req.Op
+	s.met.observeService(t.req.Op, queueWait, svc, virt, resp.Status)
+	t.c.respond(resp)
+}
+
+// handleGroup runs one coalesced put group: a single bulk submission whose
+// outcome answers every constituent request.
+func (s *Server) handleGroup(q *sim.Proc, g *putGroup) {
+	pairs := make([]nvme.KVPair, len(g.tasks))
+	for i, t := range g.tasks {
+		pairs[i] = nvme.KVPair{Key: t.req.Key, Value: t.req.Value}
+	}
+	span := s.tr.StartRoot(q, "rpc:PutBatch", "rpc/PutBatch")
+	if span != nil {
+		s.tr.Push(q, span)
+	}
+	v0 := q.Now()
+	r0 := time.Now()
+	out := s.backend.BulkApply(q, g.keyspace, pairs)
+	svc := time.Since(r0)
+	virt := time.Duration(q.Now() - v0)
+	if span != nil {
+		s.tr.Pop(q)
+		span.End()
+	}
+	for _, t := range g.tasks {
+		s.met.observeService(t.req.Op, r0.Sub(t.enq), svc, virt, out.Status)
+		t.c.respond(&wire.Response{
+			ID:     t.req.ID,
+			Op:     t.req.Op,
+			Status: out.Status,
+			Err:    out.Err,
+		})
+	}
+}

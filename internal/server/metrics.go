@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"kvcsd/internal/wire"
+)
+
+// rpcStats accumulates per-opcode stage totals. Decode/queue/write stages are
+// measured in real (wall-clock) time because they happen on socket
+// goroutines; the service stage is measured in both real time and virtual
+// device time, which is the figure comparable to the in-process benchmarks.
+type rpcStats struct {
+	Count   int64
+	Errs    int64
+	Decode  time.Duration // frame read + payload decode, real time
+	Queue   time.Duration // admission to handler start, real time
+	Service time.Duration // backend execution, real time
+	Virtual time.Duration // backend execution, virtual device time
+	Write   time.Duration // response encode + socket write, real time
+}
+
+// metrics is the server-wide RPC counter block. It is written from socket
+// goroutines and sim handler procs concurrently, so unlike the sim-internal
+// stats.Histogram it guards itself with a mutex.
+type metrics struct {
+	mu        sync.Mutex
+	perOp     map[wire.Op]*rpcStats
+	accepted  int64
+	shed      int64
+	refused   int64 // draining refusals
+	badFrames int64
+	coalesced int64 // puts absorbed into coalesced bulk submissions
+	batches   int64 // coalesced bulk submissions issued
+}
+
+func newMetrics() *metrics {
+	return &metrics{perOp: make(map[wire.Op]*rpcStats)}
+}
+
+func (m *metrics) op(op wire.Op) *rpcStats {
+	s, ok := m.perOp[op]
+	if !ok {
+		s = &rpcStats{}
+		m.perOp[op] = s
+	}
+	return s
+}
+
+func (m *metrics) observeDecode(op wire.Op, d time.Duration) {
+	m.mu.Lock()
+	m.op(op).Decode += d
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeService(op wire.Op, queue, service, virtual time.Duration, st wire.Status) {
+	m.mu.Lock()
+	s := m.op(op)
+	s.Count++
+	if st != wire.StatusOK {
+		s.Errs++
+	}
+	s.Queue += queue
+	s.Service += service
+	s.Virtual += virtual
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeWrite(op wire.Op, d time.Duration) {
+	m.mu.Lock()
+	m.op(op).Write += d
+	m.mu.Unlock()
+}
+
+func (m *metrics) addAccepted() { m.mu.Lock(); m.accepted++; m.mu.Unlock() }
+func (m *metrics) addShed()     { m.mu.Lock(); m.shed++; m.mu.Unlock() }
+func (m *metrics) addRefused()  { m.mu.Lock(); m.refused++; m.mu.Unlock() }
+func (m *metrics) addBadFrame() { m.mu.Lock(); m.badFrames++; m.mu.Unlock() }
+
+func (m *metrics) addCoalesced(puts int) {
+	m.mu.Lock()
+	m.coalesced += int64(puts)
+	m.batches++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a copy of the server's RPC counters at one instant.
+type MetricsSnapshot struct {
+	PerOp     map[wire.Op]rpcStats
+	Accepted  int64
+	Shed      int64
+	Refused   int64
+	BadFrames int64
+	Coalesced int64
+	Batches   int64
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sn := MetricsSnapshot{
+		PerOp:     make(map[wire.Op]rpcStats, len(m.perOp)),
+		Accepted:  m.accepted,
+		Shed:      m.shed,
+		Refused:   m.refused,
+		BadFrames: m.badFrames,
+		Coalesced: m.coalesced,
+		Batches:   m.batches,
+	}
+	for op, s := range m.perOp {
+		sn.PerOp[op] = *s
+	}
+	return sn
+}
+
+// Dump renders the snapshot as a per-opcode stage table plus totals.
+func (sn MetricsSnapshot) Dump(w io.Writer) {
+	ops := make([]wire.Op, 0, len(sn.PerOp))
+	for op := range sn.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	fmt.Fprintf(w, "%-20s %8s %6s %12s %12s %12s %12s %12s\n",
+		"op", "count", "errs", "decode", "queue", "service", "virtual", "write")
+	for _, op := range ops {
+		s := sn.PerOp[op]
+		fmt.Fprintf(w, "%-20s %8d %6d %12v %12v %12v %12v %12v\n",
+			op, s.Count, s.Errs, s.Decode, s.Queue, s.Service, s.Virtual, s.Write)
+	}
+	fmt.Fprintf(w, "accepted=%d shed=%d refused=%d bad_frames=%d coalesced_puts=%d coalesced_batches=%d\n",
+		sn.Accepted, sn.Shed, sn.Refused, sn.BadFrames, sn.Coalesced, sn.Batches)
+}

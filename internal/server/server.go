@@ -1,0 +1,404 @@
+// Package server exposes a simulated KV-CSD (single device or sharded
+// array) over TCP using the wire protocol, so many real remote clients can
+// drive one simulation concurrently.
+//
+// The hard problem the package solves is the clock boundary: clients live in
+// wall-clock time on real sockets, while the device lives in virtual time
+// inside a cooperatively-scheduled simulation that must be driven from one
+// goroutine. The bridge is a gateway process inside the sim:
+//
+//   - socket goroutines decode frames and push admitted requests onto a
+//     buffered channel;
+//   - the gateway proc blocks on that channel (freezing virtual time while
+//     the server is idle — an idle server spends no simulated nanoseconds),
+//     then drains whatever has accumulated into a batch and runs one sim
+//     proc per request, joining the batch before taking the next;
+//   - completions stream back to per-connection writer goroutines, so
+//     responses leave in completion order, not arrival order — the request
+//     ID in every frame is what lets clients pipeline through that.
+//
+// Backpressure is explicit and two-level: a per-connection pipeline window
+// (slow readers block their own socket, nobody else's) and a server-wide
+// admission token pool. When the pool is empty new requests are refused
+// immediately with StatusOverloaded — shed, not queued — so a burst cannot
+// grow memory or latency without bound.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kvcsd/internal/array"
+	"kvcsd/internal/device"
+	"kvcsd/internal/obs"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+// Config tunes the server's concurrency and batching.
+type Config struct {
+	// MaxInflight is the server-wide admission cap: requests executing or
+	// awaiting execution. Beyond it, requests are shed with
+	// StatusOverloaded. Default 256.
+	MaxInflight int
+	// MaxPipeline is the per-connection window of outstanding requests; a
+	// connection that exceeds it stops being read until responses drain.
+	// Default 64.
+	MaxPipeline int
+	// MaxBatch caps how many queued requests the gateway admits into one
+	// virtual-time batch. Default: MaxInflight.
+	MaxBatch int
+	// ChunkPairs splits large scan results into streamed frames of this many
+	// pairs (FlagMore). Default 128. Negative disables streaming.
+	ChunkPairs int
+	// DisableWriteCoalescing turns off the put-coalescing optimization that
+	// merges a batch's puts per keyspace into one bulk device submission.
+	DisableWriteCoalescing bool
+	// BackgroundSlice is the virtual-time slice the gateway sleeps while the
+	// socket side is idle but device background work (compaction, index
+	// builds) is still running. Default 500µs.
+	BackgroundSlice time.Duration
+	// DrainTimeout bounds Close: connections that cannot absorb their final
+	// responses within it are cut. Default 5s (real time).
+	DrainTimeout time.Duration
+}
+
+// DefaultConfig returns the default server tuning.
+func DefaultConfig() Config {
+	return Config{
+		MaxInflight:     256,
+		MaxPipeline:     64,
+		ChunkPairs:      128,
+		BackgroundSlice: 500 * time.Microsecond,
+		DrainTimeout:    5 * time.Second,
+	}
+}
+
+func (c *Config) normalize() {
+	d := DefaultConfig()
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = d.MaxInflight
+	}
+	if c.MaxPipeline <= 0 {
+		c.MaxPipeline = d.MaxPipeline
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.MaxInflight
+	}
+	if c.ChunkPairs == 0 {
+		c.ChunkPairs = d.ChunkPairs
+	}
+	if c.BackgroundSlice <= 0 {
+		c.BackgroundSlice = d.BackgroundSlice
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = d.DrainTimeout
+	}
+}
+
+// task is one admitted request traveling from a socket to the gateway.
+type task struct {
+	req *wire.Request
+	c   *conn
+	enq time.Time
+}
+
+// Server bridges TCP connections into one simulation.
+type Server struct {
+	cfg     Config
+	env     *sim.Env
+	backend Backend
+	met     *metrics
+	tr      *obs.Tracer
+
+	ln    net.Listener
+	reqCh chan *task
+	// tokens is the admission pool: send = take a slot (non-blocking at
+	// admission), receive = release. Close acquires every slot to drain.
+	tokens   chan struct{}
+	inflight atomic.Int64
+	draining atomic.Bool
+	started  bool
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	simDone    chan struct{}
+	acceptDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// New wires a server around an existing environment and backend. The
+// environment must not be running yet: the server registers its gateway
+// process at construction and takes over driving env.Run when Start is
+// called.
+func New(env *sim.Env, b Backend, cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:        cfg,
+		env:        env,
+		backend:    b,
+		met:        newMetrics(),
+		tr:         b.Tracer(),
+		reqCh:      make(chan *task, cfg.MaxInflight),
+		tokens:     make(chan struct{}, cfg.MaxInflight),
+		conns:      make(map[*conn]struct{}),
+		simDone:    make(chan struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	env.Go("gateway", s.gateway)
+	return s
+}
+
+// NewDevice builds a server over one simulated device.
+func NewDevice(opts device.Options, cfg Config) *Server {
+	env := sim.NewEnv()
+	return New(env, newDeviceBackend(env, opts), cfg)
+}
+
+// NewArray builds a server over a sharded, replicated device array.
+func NewArray(opts array.Options, cfg Config) *Server {
+	env := sim.NewEnv()
+	return New(env, newArrayBackend(env, opts), cfg)
+}
+
+// Env returns the simulation environment the server drives.
+func (s *Server) Env() *sim.Env { return s.env }
+
+// Backend returns the storage backend.
+func (s *Server) Backend() Backend { return s.backend }
+
+// Metrics returns a snapshot of the server's RPC counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
+
+// Inflight returns the number of admitted requests not yet answered.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Start binds addr, starts the simulation and the accept loop, and returns
+// the bound address (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if s.started {
+		return nil, fmt.Errorf("server: Start called twice")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.started = true
+	s.ln = ln
+	go s.runSim()
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) runSim() {
+	defer close(s.simDone)
+	s.env.Run()
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if s.draining.Load() {
+			nc.Close()
+			continue
+		}
+		c := &conn{
+			s:      s,
+			nc:     nc,
+			out:    make(chan outMsg, s.cfg.MaxPipeline),
+			window: make(chan struct{}, s.cfg.MaxPipeline),
+		}
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// Close drains and stops the server: it refuses new work, waits for every
+// admitted request to be answered (bounded by DrainTimeout per connection
+// write), runs device background work to completion, shuts the simulation
+// down, and closes all sockets. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		if !s.started {
+			return
+		}
+		s.ln.Close()
+		// Bound the drain: a client that stops reading cannot hold its
+		// admission tokens past the deadline.
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.nc.SetWriteDeadline(deadline)
+		}
+		s.connMu.Unlock()
+		// Take every admission token: once all are held, no request is in
+		// flight and none can be admitted. simDone guards against a
+		// simulation that died and can no longer release tokens.
+		for i := 0; i < cap(s.tokens); i++ {
+			select {
+			case s.tokens <- struct{}{}:
+			case <-s.simDone:
+				i = cap(s.tokens)
+			}
+		}
+		close(s.reqCh)
+		<-s.simDone
+		// Cut surviving connections (readers parked in ReadFrame).
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.connMu.Unlock()
+		<-s.acceptDone
+	})
+	return nil
+}
+
+// outMsg is one response owed to a connection.
+type outMsg struct {
+	resp     *wire.Response
+	admitted bool
+}
+
+// conn is one client connection: a reader goroutine (framing, admission), a
+// writer goroutine (encoding, token release), and a window semaphore
+// bounding requests outstanding between them.
+type conn struct {
+	s  *Server
+	nc net.Conn
+	// out carries responses to the writer; capacity MaxPipeline so enqueues
+	// never block (each queued response holds a window slot).
+	out chan outMsg
+	// window is the per-connection pipeline semaphore: the reader takes a
+	// slot per request (blocking — per-connection backpressure), the writer
+	// returns it once the response is on the wire.
+	window chan struct{}
+	// owed counts responses promised but not yet written; only the reader
+	// increments it, so after the reader exits it can only fall.
+	owed sync.WaitGroup
+	dead atomic.Bool
+}
+
+// reply queues a response generated on the socket side (shed, malformed,
+// draining) without touching the simulation. Caller must hold a window slot.
+func (c *conn) reply(resp *wire.Response) {
+	c.owed.Add(1)
+	c.out <- outMsg{resp: resp}
+}
+
+// respond queues an admitted request's response from the sim side. The
+// reader already counted it in owed at admission.
+func (c *conn) respond(resp *wire.Response) {
+	c.out <- outMsg{resp: resp, admitted: true}
+}
+
+func (c *conn) readLoop() {
+	defer func() {
+		c.nc.Close()
+		// Close out only after every owed response has been queued and
+		// written; admitted requests still in the sim finish against a
+		// possibly-dead socket and are discarded by the writer.
+		go func() {
+			c.owed.Wait()
+			close(c.out)
+		}()
+	}()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		t0 := time.Now()
+		h, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// A framing error is fatal for the connection: with the length
+			// prefix untrusted there is no way to resynchronize the stream.
+			switch {
+			case errors.Is(err, wire.ErrBadMagic), errors.Is(err, wire.ErrBadVersion),
+				errors.Is(err, wire.ErrBadKind), errors.Is(err, wire.ErrFrameTooLarge),
+				errors.Is(err, wire.ErrFrameCorrupt):
+				c.s.met.addBadFrame()
+			}
+			return
+		}
+		// Take a pipeline slot; the writer returns it after the response.
+		c.window <- struct{}{}
+		if h.Kind != wire.KindRequest {
+			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Status: wire.StatusBadRequest, Err: "expected request frame"})
+			continue
+		}
+		req, derr := wire.DecodeRequest(h, payload)
+		c.s.met.observeDecode(h.Op, time.Since(t0))
+		if derr != nil {
+			c.s.met.addBadFrame()
+			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Status: wire.StatusBadRequest, Err: derr.Error()})
+			continue
+		}
+		if c.s.draining.Load() {
+			c.s.met.addRefused()
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusShuttingDown})
+			continue
+		}
+		select {
+		case c.s.tokens <- struct{}{}:
+			// Admitted. reqCh has capacity MaxInflight, so with a token
+			// held this send cannot block; and while we hold the token,
+			// Close cannot collect all slots, so reqCh cannot be closed
+			// underneath us.
+			c.s.met.addAccepted()
+			c.owed.Add(1)
+			c.s.inflight.Add(1)
+			c.s.reqCh <- &task{req: req, c: c, enq: time.Now()}
+		default:
+			// Pool exhausted: shed immediately instead of queueing.
+			c.s.met.addShed()
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOverloaded,
+				Err: "admission cap reached"})
+		}
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer func() {
+		c.nc.Close()
+		c.s.connMu.Lock()
+		delete(c.s.conns, c)
+		c.s.connMu.Unlock()
+	}()
+	for m := range c.out {
+		t0 := time.Now()
+		if !c.dead.Load() {
+			err := wire.WriteResponse(c.nc, m.resp, c.s.cfg.ChunkPairs)
+			if err != nil {
+				c.dead.Store(true)
+				c.nc.Close()
+			}
+		}
+		c.s.met.observeWrite(m.resp.Op, time.Since(t0))
+		if m.admitted {
+			<-c.s.tokens
+			c.s.inflight.Add(-1)
+		}
+		c.owed.Done()
+		<-c.window
+	}
+}

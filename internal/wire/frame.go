@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout (little-endian):
+//
+//	offset  size  field
+//	0       4     magic
+//	4       1     version
+//	5       1     kind (request / response)
+//	6       1     opcode
+//	7       1     flags
+//	8       8     request ID
+//	16      4     payload length N
+//	20      N     payload
+//	20+N    4     CRC32-C over bytes [0, 20+N)
+//
+// The CRC covers header and payload, so a flipped bit anywhere in the frame
+// is detected; the length prefix keeps the stream parseable after a frame is
+// rejected only if the length itself was intact, so both ends treat any
+// framing error as fatal for the connection.
+
+// Framing errors.
+var (
+	ErrBadMagic      = errors.New("wire: bad frame magic")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrBadKind       = errors.New("wire: unknown frame kind")
+	ErrFrameTooLarge = errors.New("wire: frame payload exceeds limit")
+	ErrFrameCorrupt  = errors.New("wire: frame CRC mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is a decoded frame header.
+type Header struct {
+	Kind  Kind
+	Op    Op
+	Flags uint8
+	ID    uint64
+	Len   uint32
+}
+
+// AppendFrame appends a complete frame to dst and returns the extended slice.
+func AppendFrame(dst []byte, kind Kind, op Op, flags uint8, id uint64, payload []byte) []byte {
+	off := len(dst)
+	total := HeaderSize + len(payload) + TrailerSize
+	dst = append(dst, make([]byte, total)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:], Magic)
+	b[4] = Version
+	b[5] = byte(kind)
+	b[6] = byte(op)
+	b[7] = flags
+	binary.LittleEndian.PutUint64(b[8:], id)
+	binary.LittleEndian.PutUint32(b[16:], uint32(len(payload)))
+	copy(b[HeaderSize:], payload)
+	crc := crc32.Checksum(b[:HeaderSize+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(b[HeaderSize+len(payload):], crc)
+	return dst
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, kind Kind, op Op, flags uint8, id uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	buf := AppendFrame(nil, kind, op, flags, id, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame from r. Truncated input surfaces
+// as io.EOF (clean close at a frame boundary) or io.ErrUnexpectedEOF (torn
+// mid-frame); corruption surfaces as one of the framing errors. The payload
+// returned is a fresh allocation owned by the caller.
+func ReadFrame(r io.Reader) (Header, []byte, error) {
+	var hb [HeaderSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.EOF {
+			return Header{}, nil, io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, err
+	}
+	if binary.LittleEndian.Uint32(hb[0:]) != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	if hb[4] != Version {
+		return Header{}, nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hb[4], Version)
+	}
+	h := Header{
+		Kind:  Kind(hb[5]),
+		Op:    Op(hb[6]),
+		Flags: hb[7],
+		ID:    binary.LittleEndian.Uint64(hb[8:]),
+		Len:   binary.LittleEndian.Uint32(hb[16:]),
+	}
+	if h.Kind != KindRequest && h.Kind != KindResponse {
+		return Header{}, nil, ErrBadKind
+	}
+	if h.Len > MaxPayload {
+		return Header{}, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, int(h.Len)+TrailerSize)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Header{}, nil, io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, err
+	}
+	crc := crc32.Checksum(hb[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, body[:h.Len])
+	if crc != binary.LittleEndian.Uint32(body[h.Len:]) {
+		return Header{}, nil, ErrFrameCorrupt
+	}
+	return h, body[:h.Len:h.Len], nil
+}

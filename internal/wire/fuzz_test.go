@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"kvcsd/internal/nvme"
+)
+
+// FuzzFrameDecode holds the whole receive path — frame reader plus both
+// payload decoders — to the no-panic contract: torn, truncated, or
+// bit-flipped frames must surface as errors, never crash a server or client.
+// Frames that do decode must re-encode to an equivalent frame (round-trip
+// closure), so the fuzzer also guards codec asymmetries.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with valid frames of both kinds...
+	f.Add(AppendFrame(nil, KindRequest, OpPut, 0, 1,
+		EncodeRequest(&Request{ID: 1, Op: OpPut, Keyspace: "ks", Key: []byte("k"), Value: []byte("v")})))
+	f.Add(AppendFrame(nil, KindRequest, OpScan, 0, 9,
+		EncodeRequest(&Request{ID: 9, Op: OpScan, Keyspace: "ks", Low: []byte{1}, High: []byte{2}, Limit: 10})))
+	resp := &Response{ID: 2, Op: OpScan, Status: StatusOK,
+		Pairs: []nvme.KVPair{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Tombstone: true}}}
+	f.Add(AppendFrame(nil, KindResponse, OpScan, FlagMore, 2, EncodeResponse(resp)))
+	f.Add(AppendFrame(nil, KindResponse, OpStats, 0, 3,
+		EncodeResponse(&Response{ID: 3, Op: OpStats, Status: StatusOK,
+			Stats: &StatsReport{Devices: 2, Health: []DeviceHealth{{ID: 1, Down: true, Failures: 3}}}})))
+	// ...and corrupted variants: torn, bit-flipped, truncated header.
+	torn := AppendFrame(nil, KindRequest, OpGet, 0, 4, EncodeRequest(&Request{ID: 4, Op: OpGet, Keyspace: "ks"}))
+	f.Add(torn[:len(torn)-6])
+	flipped := append([]byte(nil), torn...)
+	flipped[HeaderSize] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte{0x4B, 0x43})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the contract
+		}
+		switch h.Kind {
+		case KindRequest:
+			req, derr := DecodeRequest(h, payload)
+			if derr != nil {
+				return
+			}
+			re := EncodeRequest(req)
+			h2, p2, rerr := ReadFrame(bytes.NewReader(AppendFrame(nil, KindRequest, req.Op, h.Flags, req.ID, re)))
+			if rerr != nil {
+				t.Fatalf("re-encoded request frame rejected: %v", rerr)
+			}
+			if _, derr2 := DecodeRequest(h2, p2); derr2 != nil {
+				t.Fatalf("re-encoded request payload rejected: %v", derr2)
+			}
+		case KindResponse:
+			resp, derr := DecodeResponse(h, payload)
+			if derr != nil {
+				return
+			}
+			re := EncodeResponse(resp)
+			h2, p2, rerr := ReadFrame(bytes.NewReader(AppendFrame(nil, KindResponse, resp.Op, h.Flags, resp.ID, re)))
+			if rerr != nil {
+				t.Fatalf("re-encoded response frame rejected: %v", rerr)
+			}
+			if _, derr2 := DecodeResponse(h2, p2); derr2 != nil {
+				t.Fatalf("re-encoded response payload rejected: %v", derr2)
+			}
+		}
+	})
+}

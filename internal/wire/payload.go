@@ -1,0 +1,425 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+)
+
+// Payload encoding: a flat field sequence per message type. Variable-length
+// byte strings and lists are uvarint-length-prefixed; integers are uvarint
+// (values) or fixed little-endian 64-bit (counters that can be negative are
+// zig-zag varints). Every decode path is bounds-checked: malformed input
+// yields ErrDecode, never a panic — the frame-decoder fuzz target holds the
+// package to that.
+
+// ErrDecode reports a structurally invalid payload.
+var ErrDecode = errors.New("wire: malformed payload")
+
+// --- encoder ---------------------------------------------------------------
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8) { e.b = append(e.b, v) }
+func (e *encoder) uvarint(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+func (e *encoder) varint(v int64) {
+	e.b = binary.AppendVarint(e.b, v)
+}
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) bytes(v []byte) {
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *encoder) str(v string) {
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// --- decoder ---------------------------------------------------------------
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrDecode
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	v := string(d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads a list length and rejects lengths that could not possibly fit
+// in the remaining payload (each element needs at least min bytes), bounding
+// allocations on corrupt input.
+func (d *decoder) count(min int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(d.b)/min)+1 {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(d.b))
+	}
+	return nil
+}
+
+// --- pairs -----------------------------------------------------------------
+
+func encodePairs(e *encoder, pairs []nvme.KVPair) {
+	e.uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		e.bytes(p.Key)
+		e.bytes(p.Value)
+		e.boolean(p.Tombstone)
+	}
+}
+
+func decodePairs(d *decoder) []nvme.KVPair {
+	n := d.count(3)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	pairs := make([]nvme.KVPair, 0, n)
+	for i := 0; i < n; i++ {
+		p := nvme.KVPair{Key: d.bytes(), Value: d.bytes(), Tombstone: d.boolean()}
+		if d.err != nil {
+			return nil
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+func encodeIndexSpec(e *encoder, s IndexSpec) {
+	e.str(s.Name)
+	e.uvarint(uint64(s.Offset))
+	e.uvarint(uint64(s.Length))
+	e.u8(s.Type)
+}
+
+func decodeIndexSpec(d *decoder) IndexSpec {
+	return IndexSpec{
+		Name:   d.str(),
+		Offset: uint32(d.uvarint()),
+		Length: uint32(d.uvarint()),
+		Type:   d.u8(),
+	}
+}
+
+// --- request ---------------------------------------------------------------
+
+// EncodeRequest serializes a request payload (everything but the frame
+// header, which carries ID and Op).
+func EncodeRequest(r *Request) []byte {
+	e := &encoder{}
+	e.str(r.Keyspace)
+	e.bytes(r.Key)
+	e.bytes(r.Value)
+	e.bytes(r.Low)
+	e.bytes(r.High)
+	encodePairs(e, r.Pairs)
+	encodeIndexSpec(e, r.Index)
+	e.uvarint(uint64(len(r.Indexes)))
+	for _, ix := range r.Indexes {
+		encodeIndexSpec(e, ix)
+	}
+	e.uvarint(uint64(r.Limit))
+	e.uvarint(uint64(r.Parts))
+	e.uvarint(uint64(r.Device))
+	return e.b
+}
+
+// DecodeRequest parses a request payload for the given frame header.
+func DecodeRequest(h Header, payload []byte) (*Request, error) {
+	if !h.Op.Valid() {
+		return nil, fmt.Errorf("%w: opcode %d", ErrDecode, uint8(h.Op))
+	}
+	d := &decoder{b: payload}
+	r := &Request{ID: h.ID, Op: h.Op}
+	r.Keyspace = d.str()
+	r.Key = d.bytes()
+	r.Value = d.bytes()
+	r.Low = d.bytes()
+	r.High = d.bytes()
+	r.Pairs = decodePairs(d)
+	r.Index = decodeIndexSpec(d)
+	n := d.count(4)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Indexes = append(r.Indexes, decodeIndexSpec(d))
+	}
+	r.Limit = uint32(d.uvarint())
+	r.Parts = uint32(d.uvarint())
+	r.Device = uint32(d.uvarint())
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// --- response --------------------------------------------------------------
+
+func encodeInfo(e *encoder, info *nvme.KeyspaceInfo) {
+	e.str(info.Name)
+	e.str(info.State)
+	e.varint(info.Pairs)
+	e.varint(info.Bytes)
+	e.bytes(info.MinKey)
+	e.bytes(info.MaxKey)
+	e.uvarint(uint64(len(info.Secondary)))
+	for _, s := range info.Secondary {
+		e.str(s)
+	}
+	e.uvarint(uint64(info.ZoneCount))
+	e.varint(int64(info.CompactDur))
+}
+
+func decodeInfo(d *decoder) nvme.KeyspaceInfo {
+	var info nvme.KeyspaceInfo
+	info.Name = d.str()
+	info.State = d.str()
+	info.Pairs = d.varint()
+	info.Bytes = d.varint()
+	info.MinKey = d.bytes()
+	info.MaxKey = d.bytes()
+	n := d.count(1)
+	for i := 0; i < n && d.err == nil; i++ {
+		info.Secondary = append(info.Secondary, d.str())
+	}
+	info.ZoneCount = int(d.uvarint())
+	info.CompactDur = sim.Time(d.varint())
+	return info
+}
+
+func encodeStats(e *encoder, s *StatsReport) {
+	e.uvarint(uint64(s.Devices))
+	e.varint(s.Commands)
+	e.varint(s.MediaRead)
+	e.varint(s.MediaWrite)
+	e.varint(s.HostToDevice)
+	e.varint(s.DeviceToHost)
+	e.varint(s.AppWrite)
+	e.varint(s.VirtualNanos)
+	e.uvarint(uint64(len(s.Health)))
+	for _, h := range s.Health {
+		e.uvarint(uint64(h.ID))
+		e.boolean(h.Down)
+		e.uvarint(uint64(h.Failures))
+	}
+}
+
+func decodeStats(d *decoder) *StatsReport {
+	s := &StatsReport{
+		Devices:      uint32(d.uvarint()),
+		Commands:     d.varint(),
+		MediaRead:    d.varint(),
+		MediaWrite:   d.varint(),
+		HostToDevice: d.varint(),
+		DeviceToHost: d.varint(),
+		AppWrite:     d.varint(),
+		VirtualNanos: d.varint(),
+	}
+	n := d.count(3)
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Health = append(s.Health, DeviceHealth{
+			ID:       uint32(d.uvarint()),
+			Down:     d.boolean(),
+			Failures: uint32(d.uvarint()),
+		})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return s
+}
+
+// EncodeResponse serializes a response payload.
+func EncodeResponse(r *Response) []byte {
+	e := &encoder{}
+	e.u8(uint8(r.Status))
+	e.str(r.Err)
+	e.bytes(r.Value)
+	e.boolean(r.Exists)
+	e.boolean(r.Done)
+	encodePairs(e, r.Pairs)
+	e.boolean(r.HasInfo)
+	if r.HasInfo {
+		encodeInfo(e, &r.Info)
+	}
+	e.boolean(r.Stats != nil)
+	if r.Stats != nil {
+		encodeStats(e, r.Stats)
+	}
+	e.str(r.Report)
+	return e.b
+}
+
+// DecodeResponse parses a response payload for the given frame header.
+func DecodeResponse(h Header, payload []byte) (*Response, error) {
+	d := &decoder{b: payload}
+	r := &Response{ID: h.ID, Op: h.Op, More: h.Flags&FlagMore != 0}
+	r.Status = Status(d.u8())
+	r.Err = d.str()
+	r.Value = d.bytes()
+	r.Exists = d.boolean()
+	r.Done = d.boolean()
+	r.Pairs = decodePairs(d)
+	r.HasInfo = d.boolean()
+	if d.err == nil && r.HasInfo {
+		r.Info = decodeInfo(d)
+	}
+	if d.boolean() {
+		r.Stats = decodeStats(d)
+	}
+	r.Report = d.str()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// --- streaming -------------------------------------------------------------
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, r *Request) error {
+	return WriteFrame(w, KindRequest, r.Op, 0, r.ID, EncodeRequest(r))
+}
+
+// WriteResponse frames and writes a response, streaming its pairs in chunks
+// of chunkPairs per frame (0 = everything in one frame). Non-final chunks
+// carry FlagMore and StatusOK; the final frame carries the real status and
+// every scalar field — the shape clients reassemble in ReadResponse order.
+func WriteResponse(w io.Writer, r *Response, chunkPairs int) error {
+	if chunkPairs <= 0 || len(r.Pairs) <= chunkPairs || r.Status != StatusOK {
+		return WriteFrame(w, KindResponse, r.Op, 0, r.ID, EncodeResponse(r))
+	}
+	pairs := r.Pairs
+	for len(pairs) > chunkPairs {
+		chunk := &Response{ID: r.ID, Op: r.Op, Status: StatusOK, Pairs: pairs[:chunkPairs]}
+		if err := WriteFrame(w, KindResponse, r.Op, FlagMore, r.ID, EncodeResponse(chunk)); err != nil {
+			return err
+		}
+		pairs = pairs[chunkPairs:]
+	}
+	last := *r
+	last.Pairs = pairs
+	return WriteFrame(w, KindResponse, r.Op, 0, r.ID, EncodeResponse(&last))
+}
+
+// Accumulate folds a streamed chunk into acc (nil acc starts a new
+// accumulation) and reports whether the response is complete.
+func Accumulate(acc, chunk *Response) (*Response, bool) {
+	if acc == nil {
+		cp := *chunk
+		return &cp, !chunk.More
+	}
+	acc.Pairs = append(acc.Pairs, chunk.Pairs...)
+	if !chunk.More {
+		acc.Status = chunk.Status
+		acc.Err = chunk.Err
+		acc.Value = chunk.Value
+		acc.Exists = chunk.Exists
+		acc.Done = chunk.Done
+		acc.HasInfo = chunk.HasInfo
+		acc.Info = chunk.Info
+		acc.Stats = chunk.Stats
+		acc.Report = chunk.Report
+		acc.More = false
+		return acc, true
+	}
+	return acc, false
+}

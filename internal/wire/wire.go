@@ -1,0 +1,364 @@
+// Package wire defines the KV-CSD network protocol: the command vocabulary a
+// kvcsd-server speaks over TCP and the length-prefixed, CRC-framed binary
+// encoding both ends use.
+//
+// The protocol is deliberately narrow — the same host/device command boundary
+// the paper draws at NVMe, lifted onto a socket so many remote clients can
+// drive one device (or a sharded array) concurrently:
+//
+//   - every frame carries a request ID, so responses may complete out of
+//     order and a client can keep a deep pipeline per connection;
+//   - range scans stream: a response with FlagMore set carries a chunk of
+//     pairs and promises further frames under the same ID;
+//   - every frame ends in a CRC32-C over header and payload, so a torn or
+//     bit-flipped frame is detected at the boundary instead of corrupting
+//     state behind it.
+//
+// Wire statuses 0..15 mirror nvme.Status values exactly; statuses >= 32 are
+// transport-level outcomes (overloaded, shutting down, bad request) that have
+// no device-side equivalent.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"kvcsd/internal/nvme"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every frame ("KCSW" little-endian).
+	Magic uint32 = 0x5753434B
+	// Version is the protocol revision; both ends must match.
+	Version uint8 = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 20
+	// TrailerSize is the CRC32-C trailer length in bytes.
+	TrailerSize = 4
+	// MaxPayload caps a frame's payload so a corrupt length field cannot
+	// trigger an unbounded allocation.
+	MaxPayload = 16 << 20
+)
+
+// Kind distinguishes frame directions.
+type Kind uint8
+
+// Frame kinds.
+const (
+	KindRequest  Kind = 1
+	KindResponse Kind = 2
+)
+
+// Frame flags.
+const (
+	// FlagMore marks a streaming response frame: further frames with the
+	// same request ID follow; only the final frame (FlagMore clear) carries
+	// the definitive status and scalar fields.
+	FlagMore uint8 = 1 << 0
+)
+
+// Op identifies a request verb.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpPing Op = iota + 1
+	OpCreateKeyspace
+	OpOpenKeyspace
+	OpDeleteKeyspace
+	OpPut
+	OpDelete
+	OpBulkPut
+	OpSync
+	OpGet
+	OpExist
+	OpScan
+	OpSecondaryRange
+	OpSecondaryPoint
+	OpCompact
+	OpCompactWithIndexes
+	OpCompactStatus
+	OpBuildIndex
+	OpIndexStatus
+	OpKeyspaceInfo
+	OpStats
+	OpPowerCut
+	OpRecover
+
+	opMax // one past the last valid opcode
+)
+
+var opNames = map[Op]string{
+	OpPing:               "Ping",
+	OpCreateKeyspace:     "CreateKeyspace",
+	OpOpenKeyspace:       "OpenKeyspace",
+	OpDeleteKeyspace:     "DeleteKeyspace",
+	OpPut:                "Put",
+	OpDelete:             "Delete",
+	OpBulkPut:            "BulkPut",
+	OpSync:               "Sync",
+	OpGet:                "Get",
+	OpExist:              "Exist",
+	OpScan:               "Scan",
+	OpSecondaryRange:     "SecondaryRange",
+	OpSecondaryPoint:     "SecondaryPoint",
+	OpCompact:            "Compact",
+	OpCompactWithIndexes: "CompactWithIndexes",
+	OpCompactStatus:      "CompactStatus",
+	OpBuildIndex:         "BuildIndex",
+	OpIndexStatus:        "IndexStatus",
+	OpKeyspaceInfo:       "KeyspaceInfo",
+	OpStats:              "Stats",
+	OpPowerCut:           "PowerCut",
+	OpRecover:            "Recover",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a known request opcode.
+func (o Op) Valid() bool { return o >= OpPing && o < opMax }
+
+// NVMe maps a wire verb to the NVMe opcode the device executes for it, so
+// remote errors can be expressed with the client library's error types
+// (client.StatusError carries an nvme.Opcode). Transport-only verbs map to
+// the nearest device-side equivalent.
+func (o Op) NVMe() nvme.Opcode {
+	switch o {
+	case OpCreateKeyspace:
+		return nvme.OpCreateKeyspace
+	case OpOpenKeyspace, OpPing:
+		return nvme.OpOpenKeyspace
+	case OpDeleteKeyspace:
+		return nvme.OpDeleteKeyspace
+	case OpPut:
+		return nvme.OpStore
+	case OpDelete:
+		return nvme.OpDelete
+	case OpBulkPut:
+		return nvme.OpBulkStore
+	case OpSync:
+		return nvme.OpSync
+	case OpGet:
+		return nvme.OpRetrieve
+	case OpExist:
+		return nvme.OpExist
+	case OpScan:
+		return nvme.OpQueryPrimaryRange
+	case OpSecondaryRange:
+		return nvme.OpQuerySecondaryRange
+	case OpSecondaryPoint:
+		return nvme.OpQuerySecondaryPoint
+	case OpCompact:
+		return nvme.OpCompact
+	case OpCompactWithIndexes:
+		return nvme.OpCompactWithIndexes
+	case OpCompactStatus:
+		return nvme.OpCompactStatus
+	case OpBuildIndex:
+		return nvme.OpBuildSecondaryIndex
+	case OpIndexStatus:
+		return nvme.OpIndexStatus
+	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover:
+		return nvme.OpKeyspaceInfo
+	}
+	return nvme.OpKeyspaceInfo
+}
+
+// Idempotent reports whether a verb can be replayed after an ambiguous
+// failure (connection loss, timeout, shed) without changing the outcome —
+// the same replay rules the client library applies to NVMe commands: reads
+// and status polls trivially, writes because duplicate log records
+// deduplicate at compaction, and PowerCut because it is idempotent while the
+// device is off. Lifecycle verbs (create/delete keyspace, compaction and
+// index kicks, recover) are not replayed: a replay of one that actually
+// landed would report a different status.
+func (o Op) Idempotent() bool {
+	switch o {
+	case OpPing, OpOpenKeyspace, OpPut, OpDelete, OpBulkPut, OpSync,
+		OpGet, OpExist, OpScan, OpSecondaryRange, OpSecondaryPoint,
+		OpCompactStatus, OpIndexStatus, OpKeyspaceInfo, OpStats, OpPowerCut:
+		return true
+	}
+	return false
+}
+
+// Status is a response outcome. Values 0..15 mirror nvme.Status; values from
+// 32 are transport-level.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK            = Status(nvme.StatusOK)
+	StatusNotFound      = Status(nvme.StatusNotFound)
+	StatusExists        = Status(nvme.StatusExists)
+	StatusInvalid       = Status(nvme.StatusInvalid)
+	StatusKeyspaceState = Status(nvme.StatusKeyspaceState)
+	StatusNoSpace       = Status(nvme.StatusNoSpace)
+	StatusInternal      = Status(nvme.StatusInternal)
+	StatusPoweredOff    = Status(nvme.StatusPoweredOff)
+
+	// StatusOverloaded is the admission-control shed: the server refused the
+	// request instead of queueing it unboundedly. Safe to retry with backoff.
+	StatusOverloaded Status = 32
+	// StatusShuttingDown reports a draining server that accepts no new work.
+	StatusShuttingDown Status = 33
+	// StatusBadRequest reports an undecodable or malformed request.
+	StatusBadRequest Status = 34
+	// StatusUnavailable reports that no replica could serve the request.
+	StatusUnavailable Status = 35
+)
+
+// FromNVMe converts a device completion status to its wire value.
+func FromNVMe(s nvme.Status) Status { return Status(s) }
+
+// NVMe converts back to the device status; ok is false for the
+// transport-level statuses that have no device equivalent.
+func (s Status) NVMe() (nvme.Status, bool) {
+	if s < 16 {
+		return nvme.Status(s), true
+	}
+	return 0, false
+}
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOverloaded:
+		return "Overloaded"
+	case StatusShuttingDown:
+		return "ShuttingDown"
+	case StatusBadRequest:
+		return "BadRequest"
+	case StatusUnavailable:
+		return "Unavailable"
+	}
+	if ns, ok := s.NVMe(); ok {
+		return ns.String()
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Transport-level errors, matched with errors.Is by both ends.
+var (
+	// ErrOverloaded is the typed load-shed outcome: the server's admission
+	// cap was reached and the request was refused, not queued.
+	ErrOverloaded = errors.New("wire: server overloaded (request shed by admission control)")
+	// ErrShuttingDown reports a request refused by a draining server.
+	ErrShuttingDown = errors.New("wire: server shutting down")
+	// ErrBadRequest reports a request the server could not decode.
+	ErrBadRequest = errors.New("wire: bad request")
+	// ErrUnavailable reports that no replica could serve the request.
+	ErrUnavailable = errors.New("wire: no replica available")
+)
+
+// Err maps a transport-level status to its sentinel error; device statuses
+// return nil (the client library renders those through client.StatusError).
+func (s Status) Err() error {
+	switch s {
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusShuttingDown:
+		return ErrShuttingDown
+	case StatusBadRequest:
+		return ErrBadRequest
+	case StatusUnavailable:
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// IndexSpec is the wire form of a secondary index declaration.
+type IndexSpec struct {
+	Name   string
+	Offset uint32
+	Length uint32
+	Type   uint8
+}
+
+// Request is one decoded client request. Fields are interpreted per opcode;
+// unused fields are zero.
+type Request struct {
+	ID       uint64
+	Op       Op
+	Keyspace string
+
+	Key   []byte
+	Value []byte
+
+	// Low/High bound range queries (inclusive low, exclusive high; nil open).
+	Low, High []byte
+
+	// Pairs is the bulk-put payload.
+	Pairs []nvme.KVPair
+
+	// Index names/configures a secondary index; Indexes declares several at
+	// compaction time (OpCompactWithIndexes).
+	Index   IndexSpec
+	Indexes []IndexSpec
+
+	// Limit caps query results (0 = unlimited).
+	Limit uint32
+
+	// Parts asks CreateKeyspace for a range-sharded keyspace with that many
+	// partitions (0 or 1 = pinned) — meaningful only against an array.
+	Parts uint32
+
+	// Device targets an array member (PowerCut/Recover); ignored by a
+	// single-device server.
+	Device uint32
+}
+
+// DeviceHealth is one array member's health in a stats report.
+type DeviceHealth struct {
+	ID       uint32
+	Down     bool
+	Failures uint32
+}
+
+// StatsReport is the server-side statistics snapshot the Stats verb returns.
+type StatsReport struct {
+	Devices      uint32
+	Commands     int64
+	MediaRead    int64
+	MediaWrite   int64
+	HostToDevice int64
+	DeviceToHost int64
+	AppWrite     int64
+	VirtualNanos int64 // server virtual clock at snapshot time
+	Health       []DeviceHealth
+}
+
+// Response is one decoded server response (or one streamed chunk of one —
+// see FlagMore).
+type Response struct {
+	ID     uint64
+	Op     Op
+	Status Status
+	// More mirrors FlagMore: this frame is a chunk; further frames follow.
+	More bool
+
+	// Err carries optional server-side detail for non-OK statuses.
+	Err string
+
+	Value  []byte
+	Exists bool
+	Done   bool
+	Pairs  []nvme.KVPair
+
+	// Info answers KeyspaceInfo (valid when HasInfo).
+	HasInfo bool
+	Info    nvme.KeyspaceInfo
+
+	// Stats answers OpStats.
+	Stats *StatsReport
+
+	// Report carries a human-readable recovery/power-cut summary.
+	Report string
+}

@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+)
+
+func sampleRequest() *Request {
+	return &Request{
+		ID:       42,
+		Op:       OpScan,
+		Keyspace: "particles",
+		Key:      []byte("k1"),
+		Value:    []byte("v1"),
+		Low:      []byte{0x00, 0x01},
+		High:     []byte{0xFF},
+		Pairs: []nvme.KVPair{
+			{Key: []byte("a"), Value: []byte("va")},
+			{Key: []byte("b"), Tombstone: true},
+		},
+		Index:   IndexSpec{Name: "temp", Offset: 4, Length: 8, Type: 3},
+		Indexes: []IndexSpec{{Name: "x", Offset: 0, Length: 4, Type: 1}, {Name: "y", Offset: 4, Length: 4, Type: 2}},
+		Limit:   128,
+		Parts:   4,
+		Device:  2,
+	}
+}
+
+func sampleResponse() *Response {
+	return &Response{
+		ID:     42,
+		Op:     OpScan,
+		Status: StatusOK,
+		Value:  []byte("value"),
+		Exists: true,
+		Done:   true,
+		Pairs: []nvme.KVPair{
+			{Key: []byte("a"), Value: []byte("va")},
+			{Key: []byte("b"), Value: []byte("vb")},
+			{Key: []byte("c"), Value: nil, Tombstone: true},
+		},
+		HasInfo: true,
+		Info: nvme.KeyspaceInfo{
+			Name:       "particles",
+			State:      "COMPACTED",
+			Pairs:      1234,
+			Bytes:      99999,
+			MinKey:     []byte{0},
+			MaxKey:     []byte{0xFE},
+			Secondary:  []string{"temp", "energy"},
+			ZoneCount:  7,
+			CompactDur: sim.Time(123456789),
+		},
+		Stats: &StatsReport{
+			Devices:      3,
+			Commands:     10,
+			MediaRead:    20,
+			MediaWrite:   30,
+			HostToDevice: 40,
+			DeviceToHost: 50,
+			AppWrite:     60,
+			VirtualNanos: 70,
+			Health: []DeviceHealth{
+				{ID: 0, Down: false, Failures: 0},
+				{ID: 1, Down: true, Failures: 5},
+			},
+		},
+		Report: "recovered",
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, want); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	h, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if h.Kind != KindRequest || h.Op != want.Op || h.ID != want.ID {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	got, err := DecodeRequest(h, payload)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("request round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	want := sampleResponse()
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, want, 0); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	h, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := DecodeResponse(h, payload)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("response round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestResponseStreaming(t *testing.T) {
+	want := sampleResponse()
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, want, 1); err != nil { // 1 pair per frame -> 3 frames
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	var acc *Response
+	frames := 0
+	for {
+		h, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame (frame %d): %v", frames, err)
+		}
+		chunk, err := DecodeResponse(h, payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse (frame %d): %v", frames, err)
+		}
+		frames++
+		var done bool
+		acc, done = Accumulate(acc, chunk)
+		if done {
+			break
+		}
+	}
+	if frames != 3 {
+		t.Fatalf("streamed frames = %d, want 3", frames)
+	}
+	if !reflect.DeepEqual(acc, want) {
+		t.Fatalf("streamed accumulate mismatch:\n got %+v\nwant %+v", acc, want)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after final frame", buf.Len())
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	frame := AppendFrame(nil, KindRequest, OpGet, 0, 7, EncodeRequest(&Request{ID: 7, Op: OpGet, Keyspace: "ks", Key: []byte("k")}))
+
+	// A flipped bit anywhere in header or payload must fail the CRC.
+	for _, off := range []int{6, 7, HeaderSize + 1, len(frame) - TrailerSize - 1} {
+		bad := append([]byte(nil), frame...)
+		bad[off] ^= 0x40
+		if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrFrameCorrupt", off, err)
+		}
+	}
+
+	// Truncation at every boundary must yield EOF-family errors, not panics.
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("truncated at %d: decoded successfully", cut)
+		}
+		if cut == 0 && !errors.Is(err, io.EOF) {
+			t.Fatalf("empty input: err = %v, want io.EOF", err)
+		}
+	}
+
+	// Wrong magic.
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	// Wrong version.
+	bad = append([]byte(nil), frame...)
+	bad[4] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	// Oversized length field.
+	bad = append([]byte(nil), frame...)
+	bad[16], bad[17], bad[18], bad[19] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length: err = %v", err)
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	h := Header{Kind: KindRequest, Op: OpPut, ID: 1}
+	if _, err := DecodeRequest(h, []byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage payload decoded")
+	}
+	// Trailing bytes after a valid request are rejected.
+	payload := EncodeRequest(&Request{ID: 1, Op: OpPut, Keyspace: "ks"})
+	if _, err := DecodeRequest(h, append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Unknown opcode.
+	if _, err := DecodeRequest(Header{Kind: KindRequest, Op: Op(200), ID: 1}, payload); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestStatusMapping(t *testing.T) {
+	for _, ns := range []nvme.Status{nvme.StatusOK, nvme.StatusNotFound, nvme.StatusNoSpace, nvme.StatusPoweredOff} {
+		ws := FromNVMe(ns)
+		back, ok := ws.NVMe()
+		if !ok || back != ns {
+			t.Fatalf("nvme status %v did not round trip (got %v, ok=%v)", ns, back, ok)
+		}
+	}
+	if _, ok := StatusOverloaded.NVMe(); ok {
+		t.Fatal("transport status mapped to nvme")
+	}
+	if !errors.Is(StatusOverloaded.Err(), ErrOverloaded) {
+		t.Fatal("StatusOverloaded.Err is not ErrOverloaded")
+	}
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK.Err should be nil")
+	}
+}
+
+func TestIdempotentMirrorsClientRules(t *testing.T) {
+	for _, tc := range []struct {
+		op   Op
+		want bool
+	}{
+		{OpGet, true}, {OpPut, true}, {OpBulkPut, true}, {OpScan, true},
+		{OpStats, true}, {OpPowerCut, true},
+		{OpCreateKeyspace, false}, {OpCompact, false}, {OpRecover, false},
+		{OpBuildIndex, false}, {OpDeleteKeyspace, false},
+	} {
+		if got := tc.op.Idempotent(); got != tc.want {
+			t.Errorf("%v.Idempotent() = %v, want %v", tc.op, got, tc.want)
+		}
+	}
+}
