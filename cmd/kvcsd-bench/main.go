@@ -15,6 +15,12 @@
 //	kvcsd-bench -trace=out.json     # Chrome trace of every command (Perfetto)
 //	kvcsd-bench -metrics            # stage histograms, gauges, counters
 //	kvcsd-bench -sample-interval=1ms -sample-csv=series.csv
+//
+// Perf trajectory (machine-readable results for regression gating):
+//
+//	kvcsd-bench -fig all -json-dir out/        # BENCH_<fig>.json per figure
+//	kvcsd-bench -remote-trace merged.json      # merged client+server trace
+//	bench-compare -baseline base/ -current out/
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics registry of an instrumented run")
 	sampleInterval := flag.Duration("sample-interval", 0, "virtual-time sampling period for the instrumented run (default 250µs)")
 	sampleCSV := flag.String("sample-csv", "", "write the sampler time series to FILE (- for stdout)")
+	jsonDir := flag.String("json-dir", "", "also write each figure as DIR/BENCH_<fig>.json for bench-compare")
+	remoteTrace := flag.String("remote-trace", "", "run a traced remote session and write the merged client+server Chrome trace to FILE")
 	flag.Parse()
 
 	s := bench.DefaultScale().Multiply(*scale)
@@ -49,6 +57,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	// emit mirrors a printed figure into -json-dir as one trajectory file.
+	emit := func(figID, clock string, t *bench.Table, keys ...string) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := bench.WriteTrajectory(*jsonDir, bench.TrajectoryFromTable(figID, clock, s, t, keys...))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: wrote %s\n", path)
+	}
+
+	if *remoteTrace != "" {
+		if err := runRemoteTraceDemo(s, out, *remoteTrace); err != nil {
+			fail(err)
+		}
+		figRequestedEarly := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "fig" {
+				figRequestedEarly = true
+			}
+		})
+		if !figRequestedEarly {
+			return
+		}
+	}
+
 	obsRequested := *traceFile != "" || *metrics || *sampleInterval > 0 || *sampleCSV != ""
 	figRequested := false
 	flag.Visit(func(f *flag.Flag) {
@@ -56,8 +91,8 @@ func main() {
 			figRequested = true
 		}
 	})
-	if obsRequested {
-		if err := runObserve(s, out, *traceFile, *metrics, *sampleInterval, *sampleCSV); err != nil {
+	if obsRequested || *jsonDir != "" {
+		if err := runObserve(s, out, *jsonDir, *traceFile, *metrics, *sampleInterval, *sampleCSV); err != nil {
 			fail(err)
 		}
 		if !figRequested {
@@ -89,9 +124,11 @@ func main() {
 		}
 		if want("7a", "7") {
 			a.Print(out)
+			emit("7a", bench.ClockVirtual, a, "threads")
 		}
 		if want("7b", "7") {
 			b.Print(out)
+			emit("7b", bench.ClockVirtual, b, "threads", "engine")
 		}
 		ran = true
 	}
@@ -101,6 +138,7 @@ func main() {
 			fail(err)
 		}
 		t.Print(out)
+		emit("8", bench.ClockVirtual, t, "value_size")
 		ran = true
 	}
 	if want("9") {
@@ -109,6 +147,7 @@ func main() {
 			fail(err)
 		}
 		t.Print(out)
+		emit("9", bench.ClockVirtual, t, "keyspaces")
 		ran = true
 	}
 	if want("10a", "10b", "10") {
@@ -118,9 +157,11 @@ func main() {
 		}
 		if want("10a", "10") {
 			a.Print(out)
+			emit("10a", bench.ClockVirtual, a, "queries")
 		}
 		if want("10b", "10") {
 			b.Print(out)
+			emit("10b", bench.ClockVirtual, b, "queries", "engine")
 		}
 		ran = true
 	}
@@ -130,6 +171,7 @@ func main() {
 			fail(err)
 		}
 		t.Print(out)
+		emit("remote", bench.ClockWall, t, "conns", "pipeline")
 		ran = true
 	}
 	if want("array") {
@@ -138,28 +180,31 @@ func main() {
 			fail(err)
 		}
 		t.Print(out)
+		emit("array", bench.ClockVirtual, t, "devices", "replicas")
 		ran = true
 	}
 	if want("ablations") {
 		type abl struct {
 			name string
+			key  string
 			fn   func(bench.Scale) (*bench.Table, error)
 		}
 		for _, a := range []abl{
-			{"bulk-put", bench.AblationBulkPut},
-			{"kv-separation", bench.AblationKVSeparation},
-			{"striping", bench.AblationStriping},
-			{"deferred-compaction", bench.AblationDeferredCompaction},
-			{"sort-budget", bench.AblationSortBudget},
-			{"ingest-buffer", bench.AblationIngestBuffer},
-			{"consolidated-indexing", bench.AblationConsolidatedIndexing},
-			{"remote-access", bench.AblationRemoteAccess},
+			{"bulk-put", "mode", bench.AblationBulkPut},
+			{"kv-separation", "layout", bench.AblationKVSeparation},
+			{"striping", "stripe_width", bench.AblationStriping},
+			{"deferred-compaction", "policy", bench.AblationDeferredCompaction},
+			{"sort-budget", "budget", bench.AblationSortBudget},
+			{"ingest-buffer", "buffer", bench.AblationIngestBuffer},
+			{"consolidated-indexing", "strategy", bench.AblationConsolidatedIndexing},
+			{"remote-access", "link", bench.AblationRemoteAccess},
 		} {
 			t, err := a.fn(s)
 			if err != nil {
 				fail(fmt.Errorf("%s: %w", a.name, err))
 			}
 			t.Print(out)
+			emit("ablation-"+a.name, bench.ClockVirtual, t, a.key)
 		}
 		ran = true
 	}
@@ -171,7 +216,7 @@ func main() {
 
 // runObserve executes the instrumented session and writes whichever outputs
 // were requested.
-func runObserve(s bench.Scale, out io.Writer, traceFile string, metrics bool, sampleInterval time.Duration, sampleCSV string) error {
+func runObserve(s bench.Scale, out io.Writer, jsonDir, traceFile string, metrics bool, sampleInterval time.Duration, sampleCSV string) error {
 	res, err := bench.Observe(s, bench.ObserveConfig{
 		SampleInterval: sampleInterval,
 		Trace:          true, // the stage-breakdown summary needs spans
@@ -180,6 +225,14 @@ func runObserve(s bench.Scale, out io.Writer, traceFile string, metrics bool, sa
 		return err
 	}
 	res.Summary.Print(out)
+	if jsonDir != "" {
+		path, err := bench.WriteTrajectory(jsonDir,
+			bench.TrajectoryFromTable("stages", bench.ClockVirtual, s, res.Summary, "op"))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: wrote %s\n", path)
+	}
 	if metrics {
 		fmt.Fprintf(out, "\n== Metrics registry ==\n")
 		if err := res.Registry.Dump(out); err != nil {

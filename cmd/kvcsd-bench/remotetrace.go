@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"kvcsd/internal/bench"
+	"kvcsd/internal/device"
+	"kvcsd/internal/obs"
+	"kvcsd/internal/remote"
+	"kvcsd/internal/server"
+)
+
+// runRemoteTraceDemo runs a small traced remote session — a real loopback TCP
+// server in front of the simulated device — and writes the merged two-process
+// Chrome trace: client RPC spans (wall clock) flow-linked to the gateway and
+// device spans (virtual clock) they caused.
+func runRemoteTraceDemo(s bench.Scale, out io.Writer, path string) error {
+	opts := device.DefaultOptions()
+	opts.Seed = s.Seed
+	opts.Trace = true
+	opts.Metrics = true
+	srv := server.NewDevice(opts, server.DefaultConfig())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	wt := obs.NewWallTracer(uint64(s.Seed))
+	ropts := remote.DefaultOptions()
+	ropts.Tracer = wt
+	rc, err := remote.Dial(addr.String(), ropts)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+
+	ks, err := rc.CreateKeyspace("trace-demo")
+	if err != nil {
+		return err
+	}
+	const pairs = 64
+	for i := 0; i < pairs; i++ {
+		if err := ks.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+			return err
+		}
+	}
+	if err := ks.Compact(); err != nil {
+		return err
+	}
+	if err := ks.WaitCompacted(); err != nil {
+		return err
+	}
+	for i := 0; i < pairs; i += 8 {
+		if _, _, err := ks.Get([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			return err
+		}
+	}
+	tr := srv.Backend().Tracer()
+	// Stop the server first: the sim must finish before its tracer is read.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMergedChromeTrace(f, wt, tr); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("write merged trace: %w", err)
+	}
+	fmt.Fprintf(out, "merged remote trace written to %s (open in https://ui.perfetto.dev)\n", path)
+	return nil
+}

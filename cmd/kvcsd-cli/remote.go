@@ -200,6 +200,19 @@ func remoteStats(c *remote.Client) error {
 			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
 		}
 	}
+	if r := rep.RPC; r != nil {
+		fmt.Printf("rpc gateway:\n")
+		fmt.Printf("  accepted: %d  shed: %d  refused: %d  bad frames: %d  slow ops: %d\n",
+			r.Accepted, r.Shed, r.Refused, r.BadFrames, r.SlowOps)
+		if r.Batches > 0 {
+			fmt.Printf("  coalesced puts: %d into %d batches\n", r.Coalesced, r.Batches)
+		}
+		for _, op := range r.Ops {
+			fmt.Printf("  %-16s n=%-6d errs=%-4d svc=%v virt=%v queue=%v\n",
+				op.Op, op.Count, op.Errs,
+				time.Duration(op.ServiceNs), time.Duration(op.VirtualNs), time.Duration(op.QueueNs))
+		}
+	}
 	fmt.Printf("server virtual time: %v\n", time.Duration(rep.VirtualNanos))
 	return nil
 }

@@ -15,6 +15,8 @@
 //	kvcsd-server                                 # one device on 127.0.0.1:7411
 //	kvcsd-server -addr :9000 -devices 4 -replicas 2
 //	kvcsd-server -max-inflight 512 -pipeline 128
+//	kvcsd-server -telemetry 127.0.0.1:7412       # /metrics, /healthz, pprof
+//	kvcsd-server -slow-op 500us                  # log ops over a virtual-time budget
 //
 // SIGINT/SIGTERM drains in-flight requests, shuts the simulated devices
 // down cleanly, and prints the per-opcode RPC metrics table.
@@ -43,6 +45,9 @@ func main() {
 		pipeline    = flag.Int("pipeline", 0, "per-connection pipeline window (0 = default)")
 		noCoalesce  = flag.Bool("no-coalesce", false, "disable write coalescing of batched puts")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain timeout on shutdown")
+		telemetry   = flag.String("telemetry", "", "serve /metrics, /healthz, /slowops and pprof on this HTTP address")
+		slowOp      = flag.Duration("slow-op", 0, "flag ops whose virtual service time exceeds this budget (0 = off)")
+		trace       = flag.Bool("trace", false, "record device spans (gives slow-op records their stage breakdown)")
 	)
 	flag.Parse()
 
@@ -55,17 +60,25 @@ func main() {
 	}
 	cfg.DisableWriteCoalescing = *noCoalesce
 	cfg.DrainTimeout = *drain
+	if *slowOp > 0 {
+		cfg.SlowOpThreshold = *slowOp
+		cfg.SlowOpLog = os.Stderr
+	}
 
 	var srv *server.Server
 	if *devices <= 1 {
 		opts := device.DefaultOptions()
 		opts.Seed = *seed
+		opts.Trace = *trace
+		opts.Metrics = true
 		srv = server.NewDevice(opts, cfg)
 	} else {
 		opts := array.DefaultOptions()
 		opts.Devices = *devices
 		opts.Replicas = *replicas
 		opts.Seed = *seed
+		opts.Trace = *trace
+		opts.Metrics = true
 		srv = server.NewArray(opts, cfg)
 	}
 
@@ -76,6 +89,14 @@ func main() {
 	}
 	fmt.Printf("kvcsd-server: listening on %s (devices=%d replicas=%d seed=%d inflight=%d pipeline=%d)\n",
 		got, *devices, *replicas, *seed, cfg.MaxInflight, cfg.MaxPipeline)
+	if *telemetry != "" {
+		taddr, err := srv.ServeTelemetry(*telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvcsd-server: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kvcsd-server: telemetry on http://%s (/metrics /healthz /slowops /debug/pprof)\n", taddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

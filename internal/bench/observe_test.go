@@ -62,4 +62,8 @@ func TestObserveStageSumsAndSampler(t *testing.T) {
 	if !strings.HasPrefix(buf.String(), "time_s,cmds_per_s,") {
 		t.Errorf("csv header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
 	}
+	csvLines := strings.SplitN(buf.String(), "\n", 3)
+	if len(csvLines) < 2 || !strings.HasPrefix(csvLines[1], "# units: s,1/s,B/s,") {
+		t.Errorf("csv units line = %q", csvLines[1])
+	}
 }

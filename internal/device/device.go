@@ -186,6 +186,12 @@ var SamplerColumns = []string{
 	"bg_jobs", // running background jobs (compaction, index builds)
 }
 
+// SamplerUnits carries one unit per SamplerColumns entry; StartSampler
+// attaches them so WriteCSV emits a "# units:" line under the header.
+var SamplerUnits = []string{
+	"1/s", "B/s", "B/s", "B/s", "B/s", "B/s", "cmds", "zones", "jobs",
+}
+
 // StartSampler begins recording a device time-series every interval of
 // virtual time. The sampler is stopped automatically at Shutdown (or earlier
 // via its own Stop). Rows follow SamplerColumns.
@@ -217,6 +223,7 @@ func (d *Device) StartSampler(interval time.Duration) *obs.Sampler {
 			float64(d.engine.BackgroundJobs()),
 		}
 	})
+	s.SetUnits(SamplerUnits)
 	d.samplers = append(d.samplers, s)
 	return s
 }

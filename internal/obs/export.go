@@ -79,36 +79,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		events = append(events, ev)
 	}
 
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
-		return err
-	}
-	for i, ev := range events {
-		if i > 0 {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		if _, err := bw.Write(b); err != nil {
-			return err
-		}
-	}
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return writeTraceEvents(w, events)
 }
 
 func spanCat(s *Span) string {
 	switch {
-	case s.parent == nil:
+	case s == s.root:
 		return "cmd"
 	case s.stage != "":
 		return s.stage
@@ -118,33 +94,42 @@ func spanCat(s *Span) string {
 }
 
 // spanArgs builds the args payload: annotations plus, for root spans, the
-// per-stage latency breakdown in nanoseconds.
+// per-stage latency breakdown in nanoseconds and (when remote-caused) the
+// distributed-trace identity.
 func spanArgs(s *Span) map[string]any {
 	args := make(map[string]any, len(s.attrs)+len(s.stages))
 	for _, a := range s.attrs {
 		args[a.Key] = a.Value
 	}
-	if s.parent == nil {
+	if s == s.root {
 		for stage, d := range s.stages {
 			args["stage_"+stage+"_ns"] = int64(d)
 		}
 		args["total_ns"] = int64(s.end - s.start)
+		if s.traceID != 0 {
+			args["trace_id"] = s.traceID
+		}
+		if s.remoteParent != 0 {
+			args["remote_parent"] = s.remoteParent
+		}
 	}
 	return args
 }
 
 // jsonlSpan is the JSONL stream record for one finished span.
 type jsonlSpan struct {
-	ID     uint64           `json:"id"`
-	Parent uint64           `json:"parent,omitempty"`
-	Name   string           `json:"name"`
-	Stage  string           `json:"stage,omitempty"`
-	Op     string           `json:"op,omitempty"`
-	Tid    int              `json:"tid"`
-	Start  int64            `json:"start_ns"`
-	End    int64            `json:"end_ns"`
-	Attrs  map[string]int64 `json:"attrs,omitempty"`
-	Stages map[string]int64 `json:"stages_ns,omitempty"`
+	ID           uint64           `json:"id"`
+	Parent       uint64           `json:"parent,omitempty"`
+	TraceID      uint64           `json:"trace_id,omitempty"`
+	RemoteParent uint64           `json:"remote_parent,omitempty"`
+	Name         string           `json:"name"`
+	Stage        string           `json:"stage,omitempty"`
+	Op           string           `json:"op,omitempty"`
+	Tid          int              `json:"tid"`
+	Start        int64            `json:"start_ns"`
+	End          int64            `json:"end_ns"`
+	Attrs        map[string]int64 `json:"attrs,omitempty"`
+	Stages       map[string]int64 `json:"stages_ns,omitempty"`
 }
 
 // WriteJSONL streams every finished span as one JSON object per line, in
@@ -167,8 +152,11 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		}
 		if s.parent != nil {
 			rec.Parent = s.parent.id
-		} else {
+		}
+		if s == s.root {
 			rec.Op = s.op
+			rec.TraceID = s.traceID
+			rec.RemoteParent = s.remoteParent
 			rec.Stages = make(map[string]int64, len(s.stages))
 			for stage, d := range s.stages {
 				rec.Stages[stage] = int64(d)

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+var updateMergedGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildMergedTrace simulates one remote Put end to end with fully
+// deterministic clocks: a fake wall clock on the client side and sim virtual
+// time on the server side, joined by a propagated trace context.
+func buildMergedTrace(t *testing.T) (*WallTracer, *Tracer) {
+	t.Helper()
+
+	// Client side: fake wall clock ticking 1µs per reading.
+	wall := NewWallTracer(7)
+	var wallNow int64
+	wall.SetClock(func() int64 { wallNow += 1000; return wallNow })
+	rpc := wall.Start("remote:Put", 0)
+	rpc.SetInt("attempt", 1)
+
+	// Server side: the rpc span's context arrives in the frame header and
+	// seeds a remote root, under which the device command span nests.
+	env := sim.NewEnv()
+	srv := NewTracer(env)
+	env.Go("gateway", func(p *sim.Proc) {
+		root := srv.StartRemoteRoot(p, "rpc:Put", "rpc/Put", rpc.TraceID(), rpc.ID())
+		srv.Push(p, root)
+
+		cmd := srv.StartRoot(p, "cmd:Store", "Store")
+		srv.Push(p, cmd)
+		media := cmd.Child("media:write", StageMedia)
+		p.Sleep(5 * time.Microsecond)
+		media.End()
+		srv.Pop(p)
+		cmd.End()
+
+		srv.Pop(p)
+		root.End()
+	})
+	env.Run()
+
+	rpc.End()
+	return wall, srv
+}
+
+func TestMergedTraceAncestry(t *testing.T) {
+	wall, srv := buildMergedTrace(t)
+
+	spans := srv.Finished()
+	if len(spans) != 3 {
+		t.Fatalf("server spans = %d, want 3", len(spans))
+	}
+	var rpcRoot, cmdRoot *Span
+	for _, s := range spans {
+		switch s.Name() {
+		case "rpc:Put":
+			rpcRoot = s
+		case "cmd:Store":
+			cmdRoot = s
+		}
+	}
+	client := wall.Finished()[0]
+	if rpcRoot.TraceID() != client.TraceID() {
+		t.Errorf("rpc span trace id %#x != client trace id %#x", rpcRoot.TraceID(), client.TraceID())
+	}
+	if rpcRoot.RemoteParent() != client.ID() {
+		t.Errorf("rpc span remote parent %d != client span id %d", rpcRoot.RemoteParent(), client.ID())
+	}
+	if !cmdRoot.IsRoot() {
+		t.Error("cmd span lost its root status")
+	}
+	if cmdRoot.Parent() != rpcRoot {
+		t.Errorf("cmd span parent = %v, want the rpc span", cmdRoot.Parent().Name())
+	}
+	if cmdRoot.TraceID() != client.TraceID() {
+		t.Errorf("cmd span did not inherit the trace id: %#x", cmdRoot.TraceID())
+	}
+	// The nested cmd root owns its own media time, and on finish rolls it up
+	// into the enclosing rpc root so the rpc span's breakdown accounts for
+	// the device time it caused.
+	if got := cmdRoot.Stages()[StageMedia]; got != 5*time.Microsecond {
+		t.Errorf("cmd media stage = %v, want 5µs", got)
+	}
+	if got := rpcRoot.Stages()[StageMedia]; got != 5*time.Microsecond {
+		t.Errorf("rpc root rolled-up media stage = %v, want 5µs", got)
+	}
+}
+
+func TestMergedChromeTraceGolden(t *testing.T) {
+	wall, srv := buildMergedTrace(t)
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, wall, srv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural checks: valid JSON, a flow pair sharing the trace id, and
+	// both processes present.
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			ID   uint64  `json:"id"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var flowStart, flowEnd int
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+		switch ev.Ph {
+		case "s":
+			flowStart++
+		case "f":
+			flowEnd++
+		}
+	}
+	if flowStart != 1 || flowEnd != 1 {
+		t.Errorf("flow events = %d start / %d end, want 1/1", flowStart, flowEnd)
+	}
+	if !pids[mergedClientPid] || !pids[mergedServerPid] {
+		t.Errorf("merged trace missing a process: %v", pids)
+	}
+
+	golden := filepath.Join("testdata", "merged_trace.json")
+	if *updateMergedGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs -run MergedChromeTraceGolden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("merged trace differs from golden %s (re-run with -update after intentional changes)\ngot %d bytes, want %d bytes\n%s", golden, buf.Len(), len(want), buf.String())
+	}
+}
+
+func TestNilWallTracerMergedExport(t *testing.T) {
+	var wall *WallTracer
+	s := wall.Start("x", 0)
+	s.SetInt("k", 1)
+	s.End()
+	if s.TraceID() != 0 || s.ID() != 0 || s.Duration() != 0 || s.Name() != "" {
+		t.Error("nil wall span accessors should return zero values")
+	}
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil merged export not JSON: %v", err)
+	}
+}

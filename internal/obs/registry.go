@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
@@ -18,9 +19,15 @@ import (
 // A registry can hand out namespaced views (Namespace) that share its
 // backing maps but prefix every metric name — how a multi-device array keeps
 // one registry while each device publishes gauges under "dev<N>/".
+//
+// Registration and lookup are safe for concurrent use: the live telemetry
+// endpoint walks the registry from HTTP goroutines while the simulation
+// registers metrics. All views share one lock, so a namespaced view and its
+// root never race on the common maps.
 type Registry struct {
 	env    *sim.Env
-	prefix string // name prefix of this view ("" for the root)
+	prefix string        // name prefix of this view ("" for the root)
+	mu     *sync.RWMutex // shared across all views of one registry
 	gauges map[string]*sim.Gauge
 	hists  map[string]*stats.Histogram
 	io     *stats.IOStats
@@ -30,6 +37,7 @@ type Registry struct {
 func NewRegistry(env *sim.Env) *Registry {
 	return &Registry{
 		env:    env,
+		mu:     &sync.RWMutex{},
 		gauges: make(map[string]*sim.Gauge),
 		hists:  make(map[string]*stats.Histogram),
 	}
@@ -53,6 +61,7 @@ func (r *Registry) Namespace(prefix string) *Registry {
 	return &Registry{
 		env:    r.env,
 		prefix: r.prefix + prefix,
+		mu:     r.mu,
 		gauges: r.gauges,
 		hists:  r.hists,
 	}
@@ -64,6 +73,8 @@ func (r *Registry) Prefix() string { return r.prefix }
 // Gauge returns the named gauge, creating it at zero on first use.
 func (r *Registry) Gauge(name string) *sim.Gauge {
 	name = r.prefix + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = sim.NewGauge(r.env)
@@ -74,11 +85,17 @@ func (r *Registry) Gauge(name string) *sim.Gauge {
 
 // AddGauge adopts an existing gauge under the given name (for components
 // that created their gauge before a registry was attached).
-func (r *Registry) AddGauge(name string, g *sim.Gauge) { r.gauges[r.prefix+name] = g }
+func (r *Registry) AddGauge(name string, g *sim.Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[r.prefix+name] = g
+}
 
 // Histogram returns the named histogram, creating it empty on first use.
 func (r *Registry) Histogram(name string) *stats.Histogram {
 	name = r.prefix + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		h = stats.NewHistogram(name)
@@ -96,12 +113,14 @@ func (r *Registry) StageHistogram(op, stage string) *stats.Histogram {
 // GaugeNames returns all gauge names visible from this view (full names,
 // filtered by the view's prefix), sorted.
 func (r *Registry) GaugeNames() []string {
+	r.mu.RLock()
 	names := make([]string, 0, len(r.gauges))
 	for n := range r.gauges {
 		if strings.HasPrefix(n, r.prefix) {
 			names = append(names, n)
 		}
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -109,14 +128,32 @@ func (r *Registry) GaugeNames() []string {
 // HistogramNames returns all histogram names visible from this view (full
 // names, filtered by the view's prefix), sorted.
 func (r *Registry) HistogramNames() []string {
+	r.mu.RLock()
 	names := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		if strings.HasPrefix(n, r.prefix) {
 			names = append(names, n)
 		}
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
+}
+
+// LookupGauge returns the named gauge (full name) or nil — a read-only probe
+// that never registers.
+func (r *Registry) LookupGauge(name string) *sim.Gauge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gauges[name]
+}
+
+// LookupHistogram returns the named histogram (full name) or nil — a
+// read-only probe that never registers.
+func (r *Registry) LookupHistogram(name string) *stats.Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[name]
 }
 
 // Dump renders the registry: attached counters, then gauges (current, time-
@@ -140,14 +177,14 @@ func (r *Registry) Dump(w io.Writer) error {
 		}
 	}
 	for _, n := range r.GaugeNames() {
-		g := r.gauges[n]
+		g := r.LookupGauge(n)
 		if _, err := fmt.Fprintf(w, "gauge   %-28s cur=%.6g mean=%.6g max=%.6g\n",
 			n, g.Value(), g.Mean(), g.Max()); err != nil {
 			return err
 		}
 	}
 	for _, n := range r.HistogramNames() {
-		h := r.hists[n]
+		h := r.LookupHistogram(n)
 		if h.Count() == 0 {
 			continue
 		}

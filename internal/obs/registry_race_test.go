@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+)
+
+// TestRegistryConcurrentAccess hammers one registry (and namespaced views of
+// it) from many goroutines — registering, recording, and reading while a
+// dumper walks it — the access pattern of the live telemetry endpoint. Run
+// under -race, it proves the shared-map locking holds.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	env := sim.NewEnv()
+	root := NewRegistry(env)
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := root.Namespace("w" + strconv.Itoa(w) + "/")
+			for i := 0; i < perWorker; i++ {
+				view.Gauge("depth").Set(float64(i))
+				view.Histogram("lat").Record(time.Duration(i) * time.Microsecond)
+				root.StageHistogram("Store", StageMedia).Record(time.Microsecond)
+				_ = view.Gauge("depth").Value()
+				_ = view.Gauge("depth").Max()
+			}
+		}(w)
+	}
+	// Concurrent readers: name walks, lookups, and full dumps.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, n := range root.GaugeNames() {
+					_ = root.LookupGauge(n).Value()
+				}
+				for _, n := range root.HistogramNames() {
+					h := root.LookupHistogram(n).Clone()
+					_ = h.Quantile(0.99)
+				}
+				_ = root.Dump(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := root.StageHistogram("Store", StageMedia).Count(); got != workers*perWorker {
+		t.Errorf("stage histogram count = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		name := "w" + strconv.Itoa(w) + "/lat"
+		if h := root.LookupHistogram(name); h == nil || h.Count() != perWorker {
+			t.Errorf("histogram %s missing or short", name)
+		}
+	}
+}

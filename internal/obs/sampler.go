@@ -23,6 +23,7 @@ type Sampler struct {
 	env      *sim.Env
 	interval time.Duration
 	header   []string
+	units    []string
 	probe    func(now sim.Time, dt time.Duration) []float64
 
 	times   []sim.Time
@@ -75,13 +76,49 @@ func (s *Sampler) Stop() {
 // Header returns the column names (without the leading time column).
 func (s *Sampler) Header() []string { return s.header }
 
+// SetUnits attaches one unit string per header column (e.g. "1/s", "B/s").
+// When set, WriteCSV emits them as a "# units:" comment line under the
+// header; the leading time_s column is always in seconds and is added
+// automatically. A mismatched length panics: silently misaligned units are
+// worse than no units.
+func (s *Sampler) SetUnits(units []string) {
+	if len(units) != len(s.header) {
+		panic("obs: sampler units must match header length")
+	}
+	s.units = units
+}
+
+// Units returns the column units set via SetUnits, or nil.
+func (s *Sampler) Units() []string { return s.units }
+
 // Times returns the sample timestamps.
 func (s *Sampler) Times() []sim.Time { return s.times }
 
 // Rows returns the sampled values, one row per timestamp.
 func (s *Sampler) Rows() [][]float64 { return s.rows }
 
-// WriteCSV renders the series as CSV with a leading time_s column.
+// WriteCSV renders the series as CSV.
+//
+// Output layout:
+//
+//	time_s,<col1>,<col2>,...        header row: column names
+//	# units: s,<u1>,<u2>,...        only when SetUnits was called
+//	0,0,...                         one row per sample
+//
+// Column meanings:
+//
+//   - time_s: virtual timestamp of the sample, in seconds since the
+//     simulation epoch. Row 0 is the baseline sample taken at sampler
+//     creation (dt = 0, so every rate column reads 0); the final row covers
+//     the partial interval between the last tick and Stop.
+//   - *_per_s / *_Bps rate columns: per-interval averages — the delta of a
+//     cumulative counter over the interval divided by the interval's length
+//     in seconds, NOT instantaneous rates at the sample instant.
+//   - level columns (no rate suffix): gauges read at the sample instant,
+//     e.g. outstanding commands or running background jobs.
+//
+// The "# units:" line is a comment under RFC 4180 readers that tolerate
+// them; strict parsers should skip lines starting with '#'.
 func (s *Sampler) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("time_s"); err != nil {
@@ -94,6 +131,19 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 	}
 	if err := bw.WriteByte('\n'); err != nil {
 		return err
+	}
+	if s.units != nil {
+		if _, err := bw.WriteString("# units: s"); err != nil {
+			return err
+		}
+		for _, u := range s.units {
+			if _, err := fmt.Fprintf(bw, ",%s", u); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
 	}
 	for i, t := range s.times {
 		if _, err := bw.WriteString(strconv.FormatFloat(t.Seconds(), 'g', -1, 64)); err != nil {

@@ -58,6 +58,12 @@ type Span struct {
 	ended  bool
 	attrs  []Attr
 
+	// traceID is the distributed-trace identity carried across the wire
+	// (0 = purely local). remoteParent is the span id of the remote caller
+	// that caused this root, in the caller's process (0 = no remote parent).
+	traceID      uint64
+	remoteParent uint64
+
 	// attributed is the portion of this span's duration already claimed by
 	// descendant stage spans; the remainder is this span's self time.
 	attributed time.Duration
@@ -96,7 +102,11 @@ func (t *Tracer) SetRegistry(r *Registry) {
 }
 
 // StartRoot opens a root span on process p. op names the histogram family
-// the span's stage breakdown is recorded under (e.g. the NVMe opcode).
+// the span's stage breakdown is recorded under (e.g. the NVMe opcode). When
+// process p already has an active span (e.g. an RPC span driving a backend
+// command), the new root attaches to it as a child for lineage while keeping
+// its own stage accounting — so a gateway's rpc span becomes the ancestor of
+// the device command spans it causes.
 func (t *Tracer) StartRoot(p *sim.Proc, name, op string) *Span {
 	if t == nil {
 		return nil
@@ -112,8 +122,28 @@ func (t *Tracer) StartRoot(p *sim.Proc, name, op string) *Span {
 		stages: make(map[string]time.Duration, 4),
 	}
 	s.root = s
+	if cur := t.Current(p); cur != nil {
+		s.parent = cur
+		s.traceID = cur.root.traceID
+	}
 	if _, ok := t.tracks[s.tid]; !ok {
 		t.tracks[s.tid] = p.Name()
+	}
+	return s
+}
+
+// StartRemoteRoot opens a root span caused by a remote caller: traceID is the
+// distributed-trace id propagated in the wire frame header and parentSpanID
+// is the caller-side span id (both 0 for untraced requests). The span is
+// otherwise a normal root: its stage breakdown is recorded under op.
+func (t *Tracer) StartRemoteRoot(p *sim.Proc, name, op string, traceID, parentSpanID uint64) *Span {
+	s := t.StartRoot(p, name, op)
+	if s == nil {
+		return nil
+	}
+	if traceID != 0 {
+		s.traceID = traceID
+		s.remoteParent = parentSpanID
 	}
 	return s
 }
@@ -170,7 +200,18 @@ func (t *Tracer) Finished() []*Span {
 // finish records an ended span.
 func (t *Tracer) finish(s *Span) {
 	t.done = append(t.done, s)
-	if s == s.root && t.reg != nil && s.op != "" {
+	if s != s.root {
+		return
+	}
+	// A nested root (a command caused by an enclosing rpc span) rolls its
+	// stage totals up into the enclosing root, so the outer span's breakdown
+	// accounts for the device time it caused.
+	if s.parent != nil && s.parent.root != nil && s.parent.root.stages != nil {
+		for stage, d := range s.stages {
+			s.parent.root.stages[stage] += d
+		}
+	}
+	if t.reg != nil && s.op != "" {
 		for stage, d := range s.stages {
 			t.reg.StageHistogram(s.op, stage).Record(d)
 		}
@@ -284,12 +325,40 @@ func (s *Span) Duration() time.Duration {
 	return time.Duration(s.end - s.start)
 }
 
-// Parent returns the parent span (nil for roots).
+// Parent returns the parent span (nil for detached roots; a root started
+// under an active span reports that span as its parent).
 func (s *Span) Parent() *Span {
 	if s == nil {
 		return nil
 	}
 	return s.parent
+}
+
+// ID returns the span's tracer-local id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// IsRoot reports whether s heads its own stage-accounting tree.
+func (s *Span) IsRoot() bool { return s != nil && s == s.root }
+
+// TraceID returns the distributed-trace id this span belongs to (0 = local).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.root.traceID
+}
+
+// RemoteParent returns the remote caller's span id (0 = none).
+func (s *Span) RemoteParent() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.remoteParent
 }
 
 // Stage returns the stage bucket this span's self time is attributed to.

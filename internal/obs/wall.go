@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WallTracer records wall-clock spans on the real-time side of the clock
+// boundary: the remote client runs on OS goroutines against wall time, while
+// the server's device spans run on virtual sim time. Each wall span carries a
+// distributed-trace id that the client stamps into the wire frame header, so
+// server-side spans caused by the call can be re-attached to it when the two
+// timelines are merged (WriteMergedChromeTrace).
+//
+// Like Tracer, a nil *WallTracer is the disabled tracer: all methods no-op.
+// Unlike Tracer it is safe for concurrent use — remote clients multiplex
+// calls over many goroutines.
+type WallTracer struct {
+	mu     sync.Mutex
+	nowNs  func() int64
+	base   uint64
+	nextID uint64
+	done   []*WallSpan
+}
+
+// WallSpan is one timed wall-clock operation (e.g. a remote RPC as observed
+// by the client). All methods are no-ops on a nil receiver.
+type WallSpan struct {
+	tr      *WallTracer
+	id      uint64
+	traceID uint64
+	parent  uint64 // parent wall-span id within the same tracer (0 = root)
+	name    string
+	startNs int64
+	endNs   int64
+	attrs   []Attr
+}
+
+// NewWallTracer creates an enabled wall-clock tracer. Trace ids are formed as
+// base<<32|spanID; pass a nonzero base (e.g. a seed) to keep ids from
+// different client processes distinguishable in a merged trace.
+func NewWallTracer(base uint64) *WallTracer {
+	if base == 0 {
+		base = 1
+	}
+	return &WallTracer{base: base, nowNs: func() int64 { return time.Now().UnixNano() }}
+}
+
+// SetClock replaces the wall-clock source (tests use a fake clock to make
+// merged-trace goldens byte-stable).
+func (t *WallTracer) SetClock(nowNs func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nowNs = nowNs
+	t.mu.Unlock()
+}
+
+// Start opens a wall span. parent is the id of the enclosing wall span
+// (0 for a top-level operation).
+func (t *WallTracer) Start(name string, parent uint64) *WallSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &WallSpan{
+		tr:      t,
+		id:      t.nextID,
+		traceID: t.base<<32 | t.nextID,
+		parent:  parent,
+		name:    name,
+		startNs: t.nowNs(),
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Finished returns a snapshot of all ended spans in end order.
+func (t *WallTracer) Finished() []*WallSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*WallSpan(nil), t.done...)
+}
+
+// End closes the span at the current wall time.
+func (s *WallSpan) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.endNs == 0 {
+		s.endNs = s.tr.nowNs()
+		s.tr.done = append(s.tr.done, s)
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetInt attaches an integer annotation to the span. Must not race End.
+func (s *WallSpan) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// ID returns the span's tracer-local id (0 for nil).
+func (s *WallSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the distributed-trace id to propagate in the frame header.
+func (s *WallSpan) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// Name returns the span name.
+func (s *WallSpan) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns end-start for an ended span.
+func (s *WallSpan) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.endNs - s.startNs)
+}

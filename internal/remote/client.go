@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"kvcsd/internal/client"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/wire"
 )
 
@@ -48,6 +49,11 @@ type Options struct {
 	Retry client.RetryPolicy
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// Tracer, when set, records one wall-clock span per RPC attempt and
+	// propagates its trace context in the frame header, so server-side spans
+	// caused by the call become its descendants in a merged trace
+	// (obs.WriteMergedChromeTrace).
+	Tracer *obs.WallTracer
 }
 
 // DefaultOptions returns the default client tuning with the client
@@ -275,8 +281,14 @@ func respError(op wire.Op, resp *wire.Response) error {
 }
 
 // doOnce performs a single attempt: admit into the pipeline, write the
-// frame, wait for the demultiplexed response or a timeout.
+// frame, wait for the demultiplexed response or a timeout. Each attempt gets
+// its own wall span (and trace context), so a retried call shows every
+// attempt — and which one the server-side work belongs to — in the trace.
 func (c *Client) doOnce(req *wire.Request, timeout time.Duration) (*wire.Response, error) {
+	span := c.opts.Tracer.Start("remote:"+req.Op.String(), 0)
+	defer span.End()
+	req.Trace = wire.TraceContext{TraceID: span.TraceID(), SpanID: span.ID()}
+
 	pc, err := c.conn()
 	if err != nil {
 		return nil, err

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"time"
 
 	"kvcsd/internal/nvme"
+	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/wire"
 )
@@ -128,10 +130,13 @@ func coalescePuts(batch []*task) ([]*putGroup, []*task) {
 	return groups, singles
 }
 
-// handle runs one request in its own sim proc.
+// handle runs one request in its own sim proc. The request's trace context
+// (propagated in the frame header) seeds the rpc span, so device spans the
+// request causes are descendants of the remote client span that sent it.
 func (s *Server) handle(q *sim.Proc, t *task) {
 	queueWait := time.Since(t.enq)
-	span := s.tr.StartRoot(q, "rpc:"+t.req.Op.String(), "rpc/"+t.req.Op.String())
+	span := s.tr.StartRemoteRoot(q, "rpc:"+t.req.Op.String(), "rpc/"+t.req.Op.String(),
+		t.req.Trace.TraceID, t.req.Trace.SpanID)
 	if span != nil {
 		s.tr.Push(q, span)
 	}
@@ -144,8 +149,14 @@ func (s *Server) handle(q *sim.Proc, t *task) {
 		s.tr.Pop(q)
 		span.End()
 	}
-	resp.ID, resp.Op = t.req.ID, t.req.Op
+	resp.ID, resp.Op, resp.Trace = t.req.ID, t.req.Op, t.req.Trace
+	if resp.Stats != nil {
+		// Stats responses carry the gateway's RPC counters alongside the
+		// engine's, so remote clients see the whole stack in one report.
+		resp.Stats.RPC = s.met.snapshot().wireReport()
+	}
 	s.met.observeService(t.req.Op, queueWait, svc, virt, resp.Status)
+	s.noteSlowOp(t.req.Op.String(), queueWait, svc, virt, span)
 	t.c.respond(resp)
 }
 
@@ -156,6 +167,8 @@ func (s *Server) handleGroup(q *sim.Proc, g *putGroup) {
 	for i, t := range g.tasks {
 		pairs[i] = nvme.KVPair{Key: t.req.Key, Value: t.req.Value}
 	}
+	// A coalesced group has many remote parents; the batch span stays local
+	// and each constituent response echoes its own request's trace context.
 	span := s.tr.StartRoot(q, "rpc:PutBatch", "rpc/PutBatch")
 	if span != nil {
 		s.tr.Push(q, span)
@@ -169,13 +182,46 @@ func (s *Server) handleGroup(q *sim.Proc, g *putGroup) {
 		s.tr.Pop(q)
 		span.End()
 	}
+	s.noteSlowOp("PutBatch", 0, svc, virt, span)
 	for _, t := range g.tasks {
 		s.met.observeService(t.req.Op, r0.Sub(t.enq), svc, virt, out.Status)
 		t.c.respond(&wire.Response{
 			ID:     t.req.ID,
 			Op:     t.req.Op,
+			Trace:  t.req.Trace,
 			Status: out.Status,
 			Err:    out.Err,
 		})
+	}
+}
+
+// noteSlowOp applies the slow-op budget: an op whose virtual service time
+// exceeds the threshold is recorded in the bounded ring and, when a log
+// writer is configured, dumped as one JSON line with the stage breakdown
+// accumulated on its span (device stages roll up into the rpc span).
+func (s *Server) noteSlowOp(op string, queue, real, virt time.Duration, span *obs.Span) {
+	if s.cfg.SlowOpThreshold <= 0 || virt <= s.cfg.SlowOpThreshold {
+		return
+	}
+	rec := SlowOp{
+		Op:          op,
+		QueueNs:     int64(queue),
+		RealNs:      int64(real),
+		VirtualNs:   int64(virt),
+		ThresholdNs: int64(s.cfg.SlowOpThreshold),
+	}
+	if st := span.Stages(); len(st) > 0 {
+		rec.Stages = make(map[string]int64, len(st))
+		for stage, d := range st {
+			rec.Stages[stage] = int64(d)
+		}
+	}
+	rec = s.met.addSlowOp(rec)
+	if s.cfg.SlowOpLog != nil {
+		if b, err := json.Marshal(rec); err == nil {
+			s.slowMu.Lock()
+			s.cfg.SlowOpLog.Write(append(b, '\n'))
+			s.slowMu.Unlock()
+		}
 	}
 }

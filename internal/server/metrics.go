@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"kvcsd/internal/stats"
 	"kvcsd/internal/wire"
 )
 
@@ -14,6 +15,8 @@ import (
 // measured in real (wall-clock) time because they happen on socket
 // goroutines; the service stage is measured in both real time and virtual
 // device time, which is the figure comparable to the in-process benchmarks.
+// The two histograms carry the full service-latency distribution on both
+// clocks for quantile exposition.
 type rpcStats struct {
 	Count   int64
 	Errs    int64
@@ -22,11 +25,29 @@ type rpcStats struct {
 	Service time.Duration // backend execution, real time
 	Virtual time.Duration // backend execution, virtual device time
 	Write   time.Duration // response encode + socket write, real time
+
+	RealHist *stats.Histogram // service latency distribution, real clock
+	VirtHist *stats.Histogram // service latency distribution, virtual clock
 }
 
+// SlowOp is one over-budget operation: an op whose virtual service time
+// exceeded the configured threshold, captured with its full stage breakdown.
+type SlowOp struct {
+	Seq         int64            `json:"seq"`
+	Op          string           `json:"op"`
+	QueueNs     int64            `json:"queue_ns"`
+	RealNs      int64            `json:"real_ns"`
+	VirtualNs   int64            `json:"virtual_ns"`
+	ThresholdNs int64            `json:"threshold_ns"`
+	Stages      map[string]int64 `json:"stages_ns,omitempty"`
+}
+
+// slowRingCap bounds the in-memory slow-op history served at /slowops.
+const slowRingCap = 128
+
 // metrics is the server-wide RPC counter block. It is written from socket
-// goroutines and sim handler procs concurrently, so unlike the sim-internal
-// stats.Histogram it guards itself with a mutex.
+// goroutines and sim handler procs concurrently, so it guards itself with a
+// mutex.
 type metrics struct {
 	mu        sync.Mutex
 	perOp     map[wire.Op]*rpcStats
@@ -36,6 +57,8 @@ type metrics struct {
 	badFrames int64
 	coalesced int64 // puts absorbed into coalesced bulk submissions
 	batches   int64 // coalesced bulk submissions issued
+	slowOps   int64 // ops over the slow-op budget
+	slowRing  []SlowOp
 }
 
 func newMetrics() *metrics {
@@ -45,7 +68,10 @@ func newMetrics() *metrics {
 func (m *metrics) op(op wire.Op) *rpcStats {
 	s, ok := m.perOp[op]
 	if !ok {
-		s = &rpcStats{}
+		s = &rpcStats{
+			RealHist: stats.NewHistogram(op.String() + "/real"),
+			VirtHist: stats.NewHistogram(op.String() + "/virtual"),
+		}
 		m.perOp[op] = s
 	}
 	return s
@@ -67,7 +93,11 @@ func (m *metrics) observeService(op wire.Op, queue, service, virtual time.Durati
 	s.Queue += queue
 	s.Service += service
 	s.Virtual += virtual
+	real, virt := s.RealHist, s.VirtHist
 	m.mu.Unlock()
+	// Histograms lock themselves; record outside the metrics lock.
+	real.Record(service)
+	virt.Record(virtual)
 }
 
 func (m *metrics) observeWrite(op wire.Op, d time.Duration) {
@@ -88,7 +118,31 @@ func (m *metrics) addCoalesced(puts int) {
 	m.mu.Unlock()
 }
 
-// MetricsSnapshot is a copy of the server's RPC counters at one instant.
+// addSlowOp records one over-budget op in the bounded ring and returns it
+// stamped with its sequence number.
+func (m *metrics) addSlowOp(s SlowOp) SlowOp {
+	m.mu.Lock()
+	m.slowOps++
+	s.Seq = m.slowOps
+	if len(m.slowRing) == slowRingCap {
+		copy(m.slowRing, m.slowRing[1:])
+		m.slowRing = m.slowRing[:slowRingCap-1]
+	}
+	m.slowRing = append(m.slowRing, s)
+	m.mu.Unlock()
+	return s
+}
+
+// slowOpsSnapshot returns a copy of the slow-op ring, oldest first.
+func (m *metrics) slowOpsSnapshot() []SlowOp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SlowOp(nil), m.slowRing...)
+}
+
+// MetricsSnapshot is a copy of the server's RPC counters at one instant. The
+// per-op histograms are deep-copied, so the snapshot can be sorted and
+// quantiled without racing live recording.
 type MetricsSnapshot struct {
 	PerOp     map[wire.Op]rpcStats
 	Accepted  int64
@@ -97,6 +151,7 @@ type MetricsSnapshot struct {
 	BadFrames int64
 	Coalesced int64
 	Batches   int64
+	SlowOps   int64
 }
 
 func (m *metrics) snapshot() MetricsSnapshot {
@@ -110,11 +165,48 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		BadFrames: m.badFrames,
 		Coalesced: m.coalesced,
 		Batches:   m.batches,
+		SlowOps:   m.slowOps,
 	}
 	for op, s := range m.perOp {
-		sn.PerOp[op] = *s
+		c := *s
+		c.RealHist = s.RealHist.Clone()
+		c.VirtHist = s.VirtHist.Clone()
+		sn.PerOp[op] = c
 	}
 	return sn
+}
+
+// wireReport converts the snapshot to its wire form, so remote stats clients
+// receive the gateway's RPC counters alongside engine stats.
+func (sn MetricsSnapshot) wireReport() *wire.RPCReport {
+	r := &wire.RPCReport{
+		Accepted:  sn.Accepted,
+		Shed:      sn.Shed,
+		Refused:   sn.Refused,
+		BadFrames: sn.BadFrames,
+		Coalesced: sn.Coalesced,
+		Batches:   sn.Batches,
+		SlowOps:   sn.SlowOps,
+	}
+	ops := make([]wire.Op, 0, len(sn.PerOp))
+	for op := range sn.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		s := sn.PerOp[op]
+		r.Ops = append(r.Ops, wire.RPCOpStats{
+			Op:        op,
+			Count:     s.Count,
+			Errs:      s.Errs,
+			DecodeNs:  int64(s.Decode),
+			QueueNs:   int64(s.Queue),
+			ServiceNs: int64(s.Service),
+			VirtualNs: int64(s.Virtual),
+			WriteNs:   int64(s.Write),
+		})
+	}
+	return r
 }
 
 // Dump renders the snapshot as a per-opcode stage table plus totals.
@@ -131,6 +223,6 @@ func (sn MetricsSnapshot) Dump(w io.Writer) {
 		fmt.Fprintf(w, "%-20s %8d %6d %12v %12v %12v %12v %12v\n",
 			op, s.Count, s.Errs, s.Decode, s.Queue, s.Service, s.Virtual, s.Write)
 	}
-	fmt.Fprintf(w, "accepted=%d shed=%d refused=%d bad_frames=%d coalesced_puts=%d coalesced_batches=%d\n",
-		sn.Accepted, sn.Shed, sn.Refused, sn.BadFrames, sn.Coalesced, sn.Batches)
+	fmt.Fprintf(w, "accepted=%d shed=%d refused=%d bad_frames=%d coalesced_puts=%d coalesced_batches=%d slow_ops=%d\n",
+		sn.Accepted, sn.Shed, sn.Refused, sn.BadFrames, sn.Coalesced, sn.Batches, sn.SlowOps)
 }

@@ -28,6 +28,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,15 @@ type Config struct {
 	// DrainTimeout bounds Close: connections that cannot absorb their final
 	// responses within it are cut. Default 5s (real time).
 	DrainTimeout time.Duration
+	// SlowOpThreshold, when positive, flags any op whose virtual service
+	// time exceeds it: the op is counted, kept in a bounded in-memory ring
+	// (served at /slowops by the telemetry endpoint), and — when SlowOpLog
+	// is set — dumped as one JSON line with its full stage breakdown.
+	// Virtual time is the budget clock because it is deterministic: the same
+	// workload flags the same ops on every run.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives one JSON line per over-budget op (nil = ring only).
+	SlowOpLog io.Writer
 }
 
 // DefaultConfig returns the default server tuning.
@@ -127,6 +137,10 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[*conn]struct{}
+
+	slowMu sync.Mutex // serializes SlowOpLog writes
+
+	telemetry *telemetryServer
 
 	simDone    chan struct{}
 	acceptDone chan struct{}
@@ -272,6 +286,9 @@ func (s *Server) Close() error {
 		}
 		s.connMu.Unlock()
 		<-s.acceptDone
+		if s.telemetry != nil {
+			s.telemetry.close()
+		}
 	})
 	return nil
 }
@@ -343,19 +360,19 @@ func (c *conn) readLoop() {
 		// Take a pipeline slot; the writer returns it after the response.
 		c.window <- struct{}{}
 		if h.Kind != wire.KindRequest {
-			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Status: wire.StatusBadRequest, Err: "expected request frame"})
+			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Trace: h.Trace, Status: wire.StatusBadRequest, Err: "expected request frame"})
 			continue
 		}
 		req, derr := wire.DecodeRequest(h, payload)
 		c.s.met.observeDecode(h.Op, time.Since(t0))
 		if derr != nil {
 			c.s.met.addBadFrame()
-			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Status: wire.StatusBadRequest, Err: derr.Error()})
+			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Trace: h.Trace, Status: wire.StatusBadRequest, Err: derr.Error()})
 			continue
 		}
 		if c.s.draining.Load() {
 			c.s.met.addRefused()
-			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusShuttingDown})
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Status: wire.StatusShuttingDown})
 			continue
 		}
 		select {
@@ -371,7 +388,7 @@ func (c *conn) readLoop() {
 		default:
 			// Pool exhausted: shed immediately instead of queueing.
 			c.s.met.addShed()
-			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOverloaded,
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Status: wire.StatusOverloaded,
 				Err: "admission cap reached"})
 		}
 	}

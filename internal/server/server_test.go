@@ -249,7 +249,7 @@ func TestGarbageBytesDropConnection(t *testing.T) {
 	defer bad.Close()
 	// More than one header's worth of non-protocol bytes, so the framing
 	// check fires immediately.
-	if _, err := bad.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\n\r\n")); err != nil {
+	if _, err := bad.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\nAccept: */*\r\n\r\n")); err != nil {
 		t.Fatalf("write garbage: %v", err)
 	}
 	// The server must cut the connection, not hang or crash.

@@ -20,6 +20,7 @@ import (
 	"math"
 	"runtime/debug"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -435,9 +436,13 @@ func (p *Proc) Join(procs ...*Proc) {
 }
 
 // Gauge tracks a time-weighted value (e.g. queue depth, DRAM in use) for
-// reporting mean and max over a run.
+// reporting mean and max over a run. Set/Add run on the simulation goroutine;
+// Value and Max may be read concurrently (the live telemetry endpoint polls
+// them), so the fields are mutex-guarded. Mean reads the environment's
+// current time and is only meaningful from the simulation goroutine.
 type Gauge struct {
 	env    *Env
+	mu     sync.Mutex
 	val    float64
 	max    float64
 	weight float64
@@ -451,30 +456,48 @@ func NewGauge(e *Env) *Gauge { return &Gauge{env: e, last: e.now, start: e.now} 
 // Set records a new instantaneous value.
 func (g *Gauge) Set(v float64) {
 	now := g.env.now
+	g.mu.Lock()
 	g.weight += g.val * float64(now-g.last)
 	g.last = now
 	g.val = v
 	if v > g.max {
 		g.max = v
 	}
+	g.mu.Unlock()
 }
 
 // Add increments the current value by delta.
-func (g *Gauge) Add(delta float64) { g.Set(g.val + delta) }
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	v := g.val + delta
+	g.mu.Unlock()
+	g.Set(v)
+}
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.val }
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
 
 // Max returns the maximum value observed.
-func (g *Gauge) Max() float64 { return g.max }
+func (g *Gauge) Max() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
 
 // Mean returns the time-weighted mean value since creation.
 func (g *Gauge) Mean() float64 {
-	elapsed := float64(g.env.now - g.start)
+	now := g.env.now
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	elapsed := float64(now - g.start)
 	if elapsed <= 0 {
 		return g.val
 	}
-	return (g.weight + g.val*float64(g.env.now-g.last)) / elapsed
+	return (g.weight + g.val*float64(now-g.last)) / elapsed
 }
 
 // TransferTime returns the virtual time needed to move n bytes over a link

@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
 // Histogram records latency samples with exact quantile computation. Runs in
 // the discrete-event simulator are modest in sample count, so we keep raw
-// samples; Quantile sorts lazily.
+// samples; Quantile sorts lazily. All methods are safe for concurrent use —
+// the telemetry endpoint reads histograms from HTTP goroutines while the
+// simulation records into them.
 type Histogram struct {
+	mu      sync.Mutex
 	name    string
 	samples []time.Duration
 	sorted  bool
@@ -29,6 +33,8 @@ func (h *Histogram) Name() string { return h.name }
 
 // Record adds one latency sample.
 func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.samples = append(h.samples, d)
 	h.sorted = false
 	h.sum += d
@@ -41,39 +47,78 @@ func (h *Histogram) Record(d time.Duration) {
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
 // Samples returns a copy of the raw samples. Order is unspecified: Quantile
 // sorts the histogram's backing storage in place, so samples recorded before
 // a Quantile call may no longer be in recording order. The copy is the
 // caller's to keep — later Record or Quantile calls never mutate it.
 func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]time.Duration, len(h.samples))
 	copy(out, h.samples)
 	return out
 }
 
+// Clone returns an independent copy of the histogram — a consistent snapshot
+// readers can sort and quantile without holding up writers.
+func (h *Histogram) Clone() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := &Histogram{
+		name:    h.name,
+		samples: append([]time.Duration(nil), h.samples...),
+		sorted:  h.sorted,
+		sum:     h.sum,
+		min:     h.min,
+		max:     h.max,
+	}
+	return c
+}
+
 // Merge adds every sample of other into h. The other histogram is unchanged.
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || len(other.samples) == 0 {
+	if other == nil {
 		return
 	}
-	h.samples = append(h.samples, other.samples...)
-	h.sorted = false
-	h.sum += other.sum
-	if other.min < h.min {
-		h.min = other.min
+	// Snapshot other before locking h, so Merge never holds two histogram
+	// locks at once (and self-merge cannot deadlock).
+	other.mu.Lock()
+	samples := append([]time.Duration(nil), other.samples...)
+	sum, min, max := other.sum, other.min, other.max
+	other.mu.Unlock()
+	if len(samples) == 0 {
+		return
 	}
-	if other.max > h.max {
-		h.max = other.max
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, samples...)
+	h.sorted = false
+	h.sum += sum
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
 	}
 }
 
 // Sum returns the total of all samples.
-func (h *Histogram) Sum() time.Duration { return h.sum }
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the average sample, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -82,6 +127,8 @@ func (h *Histogram) Mean() time.Duration {
 
 // Min returns the smallest sample, or 0 when empty.
 func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -89,11 +136,17 @@ func (h *Histogram) Min() time.Duration {
 }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return h.max }
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank on the
 // sorted samples; 0 when empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n == 0 {
 		return 0
@@ -117,7 +170,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 
 // String summarizes the distribution.
 func (h *Histogram) String() string {
-	if len(h.samples) == 0 {
+	if h.Count() == 0 {
 		return fmt.Sprintf("%s: empty", h.name)
 	}
 	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p99=%v max=%v",

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramMergePreservesDistribution is a property test: for random
+// sample sets split into random partitions, merging the parts must preserve
+// the total count, sum, min, and max exactly, and every quantile of the
+// merged histogram must equal the quantile of one histogram holding all
+// samples (merging is associative over the raw-sample representation).
+func TestHistogramMergePreservesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quantiles := []float64{0, 0.1, 0.5, 0.9, 0.99, 1}
+
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(time.Second)))
+		}
+
+		whole := NewHistogram("whole")
+		for _, s := range samples {
+			whole.Record(s)
+		}
+
+		// Split into 1..8 random parts, preserving multiplicity.
+		parts := 1 + rng.Intn(8)
+		shards := make([]*Histogram, parts)
+		for i := range shards {
+			shards[i] = NewHistogram("shard")
+		}
+		for _, s := range samples {
+			shards[rng.Intn(parts)].Record(s)
+		}
+
+		merged := NewHistogram("merged")
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+
+		if merged.Count() != whole.Count() {
+			t.Fatalf("trial %d: merged count = %d, want %d", trial, merged.Count(), whole.Count())
+		}
+		if merged.Sum() != whole.Sum() {
+			t.Fatalf("trial %d: merged sum = %v, want %v", trial, merged.Sum(), whole.Sum())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: merged min/max = %v/%v, want %v/%v",
+				trial, merged.Min(), merged.Max(), whole.Min(), whole.Max())
+		}
+		for _, q := range quantiles {
+			got, want := merged.Quantile(q), whole.Quantile(q)
+			if got != want {
+				t.Fatalf("trial %d: merged q%.2f = %v, want %v", trial, q, got, want)
+			}
+			if got < merged.Min() || got > merged.Max() {
+				t.Fatalf("trial %d: q%.2f = %v outside [min,max] = [%v,%v]",
+					trial, q, got, merged.Min(), merged.Max())
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord proves Record/Quantile/Clone are safe under
+// concurrent use (meaningful under -race).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram("conc")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			h.Record(time.Duration(i))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = h.Quantile(0.5)
+		_ = h.Clone().Mean()
+		_ = h.Count()
+	}
+	<-done
+	if h.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", h.Count())
+	}
+}

@@ -3,20 +3,23 @@
 // storage media, operation counts, and latency histograms. Figures 7b and 10b
 // are rendered directly from these counters.
 //
-// All collection happens inside a single-threaded discrete-event simulation,
-// so counters are plain fields without atomics.
+// Collection happens inside a single-threaded discrete-event simulation, but
+// the live telemetry endpoint reads counters from HTTP goroutines while the
+// simulation runs, so counters are atomics.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count of events or bytes.
+// Counter is a monotonically increasing count of events or bytes. Reads and
+// writes are atomic, so concurrent readers always see a consistent value.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Add increments the counter; negative deltas panic.
@@ -24,11 +27,11 @@ func (c *Counter) Add(n int64) {
 	if n < 0 {
 		panic("stats: negative add to counter " + c.name)
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.v }
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Name returns the counter name.
 func (c *Counter) Name() string { return c.name }
@@ -88,29 +91,29 @@ func NewIOStats() *IOStats {
 // WriteAmplification returns media-written bytes divided by app-written
 // bytes, or 0 when nothing was written.
 func (s *IOStats) WriteAmplification() float64 {
-	if s.AppWrite.v == 0 {
+	if s.AppWrite.Value() == 0 {
 		return 0
 	}
-	return float64(s.MediaWrite.v) / float64(s.AppWrite.v)
+	return float64(s.MediaWrite.Value()) / float64(s.AppWrite.Value())
 }
 
 // ReadInflation returns media-read bytes divided by app-read bytes — the
 // paper's "read inflation" (Fig 10b), where a software store reads whole file
 // blocks to return small values.
 func (s *IOStats) ReadInflation() float64 {
-	if s.AppRead.v == 0 {
+	if s.AppRead.Value() == 0 {
 		return 0
 	}
-	return float64(s.MediaRead.v) / float64(s.AppRead.v)
+	return float64(s.MediaRead.Value()) / float64(s.AppRead.Value())
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 with no lookups.
 func (s *IOStats) CacheHitRate() float64 {
-	total := s.CacheHits.v + s.CacheMisses.v
+	total := s.CacheHits.Value() + s.CacheMisses.Value()
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits.v) / float64(total)
+	return float64(s.CacheHits.Value()) / float64(total)
 }
 
 // Clone returns an independent copy of the stats block with the same
@@ -119,7 +122,7 @@ func (s *IOStats) Clone() *IOStats {
 	c := NewIOStats()
 	src := s.counters()
 	for i, dst := range c.counters() {
-		dst.v = src[i].v
+		dst.v.Store(src[i].Value())
 	}
 	return c
 }
@@ -134,7 +137,7 @@ func (s *IOStats) Delta(prev *IOStats) *IOStats {
 	}
 	pc := prev.counters()
 	for i, c := range d.counters() {
-		c.v -= pc[i].v
+		c.v.Add(-pc[i].Value())
 	}
 	return d
 }
@@ -149,7 +152,7 @@ func (s *IOStats) Merge(other *IOStats) {
 	}
 	oc := other.counters()
 	for i, c := range s.counters() {
-		c.v += oc[i].v
+		c.v.Add(oc[i].Value())
 	}
 }
 
@@ -157,7 +160,7 @@ func (s *IOStats) Merge(other *IOStats) {
 func (s *IOStats) Snapshot() map[string]int64 {
 	m := make(map[string]int64, 16)
 	for _, c := range s.counters() {
-		m[c.name] = c.v
+		m[c.name] = c.Value()
 	}
 	return m
 }
@@ -179,8 +182,8 @@ func (s *IOStats) String() string {
 	}
 	var rows []kv
 	for _, c := range s.counters() {
-		if c.v != 0 {
-			rows = append(rows, kv{c.name, c.v})
+		if v := c.Value(); v != 0 {
+			rows = append(rows, kv{c.name, v})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })

@@ -8,7 +8,7 @@ import (
 	"io"
 )
 
-// Frame layout (little-endian):
+// Frame layout (little-endian, version 2):
 //
 //	offset  size  field
 //	0       4     magic
@@ -17,9 +17,15 @@ import (
 //	6       1     opcode
 //	7       1     flags
 //	8       8     request ID
-//	16      4     payload length N
-//	20      N     payload
-//	20+N    4     CRC32-C over bytes [0, 20+N)
+//	16      8     trace ID (0 = untraced)
+//	24      8     sender span ID (0 = untraced)
+//	32      4     payload length N
+//	36      N     payload
+//	36+N    4     CRC32-C over bytes [0, 36+N)
+//
+// The trace fields live in the fixed header rather than the payload so every
+// frame — including malformed-payload rejections — stays attributable to the
+// client span that caused it.
 //
 // The CRC covers header and payload, so a flipped bit anywhere in the frame
 // is detected; the length prefix keeps the stream parseable after a frame is
@@ -43,11 +49,19 @@ type Header struct {
 	Op    Op
 	Flags uint8
 	ID    uint64
+	Trace TraceContext
 	Len   uint32
 }
 
-// AppendFrame appends a complete frame to dst and returns the extended slice.
+// AppendFrame appends a complete untraced frame to dst and returns the
+// extended slice (the trace header fields are zero).
 func AppendFrame(dst []byte, kind Kind, op Op, flags uint8, id uint64, payload []byte) []byte {
+	return AppendFrameTrace(dst, kind, op, flags, id, TraceContext{}, payload)
+}
+
+// AppendFrameTrace appends a complete frame carrying the given trace context
+// to dst and returns the extended slice.
+func AppendFrameTrace(dst []byte, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, payload []byte) []byte {
 	off := len(dst)
 	total := HeaderSize + len(payload) + TrailerSize
 	dst = append(dst, make([]byte, total)...)
@@ -58,7 +72,9 @@ func AppendFrame(dst []byte, kind Kind, op Op, flags uint8, id uint64, payload [
 	b[6] = byte(op)
 	b[7] = flags
 	binary.LittleEndian.PutUint64(b[8:], id)
-	binary.LittleEndian.PutUint32(b[16:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(b[16:], tc.TraceID)
+	binary.LittleEndian.PutUint64(b[24:], tc.SpanID)
+	binary.LittleEndian.PutUint32(b[32:], uint32(len(payload)))
 	copy(b[HeaderSize:], payload)
 	crc := crc32.Checksum(b[:HeaderSize+len(payload)], castagnoli)
 	binary.LittleEndian.PutUint32(b[HeaderSize+len(payload):], crc)
@@ -66,11 +82,11 @@ func AppendFrame(dst []byte, kind Kind, op Op, flags uint8, id uint64, payload [
 }
 
 // WriteFrame writes one frame to w.
-func WriteFrame(w io.Writer, kind Kind, op Op, flags uint8, id uint64, payload []byte) error {
+func WriteFrame(w io.Writer, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrFrameTooLarge
 	}
-	buf := AppendFrame(nil, kind, op, flags, id, payload)
+	buf := AppendFrameTrace(nil, kind, op, flags, id, tc, payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -98,7 +114,11 @@ func ReadFrame(r io.Reader) (Header, []byte, error) {
 		Op:    Op(hb[6]),
 		Flags: hb[7],
 		ID:    binary.LittleEndian.Uint64(hb[8:]),
-		Len:   binary.LittleEndian.Uint32(hb[16:]),
+		Trace: TraceContext{
+			TraceID: binary.LittleEndian.Uint64(hb[16:]),
+			SpanID:  binary.LittleEndian.Uint64(hb[24:]),
+		},
+		Len: binary.LittleEndian.Uint32(hb[32:]),
 	}
 	if h.Kind != KindRequest && h.Kind != KindResponse {
 		return Header{}, nil, ErrBadKind

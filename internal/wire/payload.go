@@ -230,7 +230,7 @@ func DecodeRequest(h Header, payload []byte) (*Request, error) {
 		return nil, fmt.Errorf("%w: opcode %d", ErrDecode, uint8(h.Op))
 	}
 	d := &decoder{b: payload}
-	r := &Request{ID: h.ID, Op: h.Op}
+	r := &Request{ID: h.ID, Op: h.Op, Trace: h.Trace}
 	r.Keyspace = d.str()
 	r.Key = d.bytes()
 	r.Value = d.bytes()
@@ -300,6 +300,59 @@ func encodeStats(e *encoder, s *StatsReport) {
 		e.boolean(h.Down)
 		e.uvarint(uint64(h.Failures))
 	}
+	e.boolean(s.RPC != nil)
+	if s.RPC != nil {
+		encodeRPC(e, s.RPC)
+	}
+}
+
+func encodeRPC(e *encoder, r *RPCReport) {
+	e.uvarint(uint64(len(r.Ops)))
+	for _, o := range r.Ops {
+		e.u8(uint8(o.Op))
+		e.varint(o.Count)
+		e.varint(o.Errs)
+		e.varint(o.DecodeNs)
+		e.varint(o.QueueNs)
+		e.varint(o.ServiceNs)
+		e.varint(o.VirtualNs)
+		e.varint(o.WriteNs)
+	}
+	e.varint(r.Accepted)
+	e.varint(r.Shed)
+	e.varint(r.Refused)
+	e.varint(r.BadFrames)
+	e.varint(r.Coalesced)
+	e.varint(r.Batches)
+	e.varint(r.SlowOps)
+}
+
+func decodeRPC(d *decoder) *RPCReport {
+	r := &RPCReport{}
+	n := d.count(8)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Ops = append(r.Ops, RPCOpStats{
+			Op:        Op(d.u8()),
+			Count:     d.varint(),
+			Errs:      d.varint(),
+			DecodeNs:  d.varint(),
+			QueueNs:   d.varint(),
+			ServiceNs: d.varint(),
+			VirtualNs: d.varint(),
+			WriteNs:   d.varint(),
+		})
+	}
+	r.Accepted = d.varint()
+	r.Shed = d.varint()
+	r.Refused = d.varint()
+	r.BadFrames = d.varint()
+	r.Coalesced = d.varint()
+	r.Batches = d.varint()
+	r.SlowOps = d.varint()
+	if d.err != nil {
+		return nil
+	}
+	return r
 }
 
 func decodeStats(d *decoder) *StatsReport {
@@ -320,6 +373,9 @@ func decodeStats(d *decoder) *StatsReport {
 			Down:     d.boolean(),
 			Failures: uint32(d.uvarint()),
 		})
+	}
+	if d.boolean() {
+		s.RPC = decodeRPC(d)
 	}
 	if d.err != nil {
 		return nil
@@ -351,7 +407,7 @@ func EncodeResponse(r *Response) []byte {
 // DecodeResponse parses a response payload for the given frame header.
 func DecodeResponse(h Header, payload []byte) (*Response, error) {
 	d := &decoder{b: payload}
-	r := &Response{ID: h.ID, Op: h.Op, More: h.Flags&FlagMore != 0}
+	r := &Response{ID: h.ID, Op: h.Op, Trace: h.Trace, More: h.Flags&FlagMore != 0}
 	r.Status = Status(d.u8())
 	r.Err = d.str()
 	r.Value = d.bytes()
@@ -374,9 +430,10 @@ func DecodeResponse(h Header, payload []byte) (*Response, error) {
 
 // --- streaming -------------------------------------------------------------
 
-// WriteRequest frames and writes one request.
+// WriteRequest frames and writes one request, carrying its trace context in
+// the frame header.
 func WriteRequest(w io.Writer, r *Request) error {
-	return WriteFrame(w, KindRequest, r.Op, 0, r.ID, EncodeRequest(r))
+	return WriteFrame(w, KindRequest, r.Op, 0, r.ID, r.Trace, EncodeRequest(r))
 }
 
 // WriteResponse frames and writes a response, streaming its pairs in chunks
@@ -385,19 +442,19 @@ func WriteRequest(w io.Writer, r *Request) error {
 // every scalar field — the shape clients reassemble in ReadResponse order.
 func WriteResponse(w io.Writer, r *Response, chunkPairs int) error {
 	if chunkPairs <= 0 || len(r.Pairs) <= chunkPairs || r.Status != StatusOK {
-		return WriteFrame(w, KindResponse, r.Op, 0, r.ID, EncodeResponse(r))
+		return WriteFrame(w, KindResponse, r.Op, 0, r.ID, r.Trace, EncodeResponse(r))
 	}
 	pairs := r.Pairs
 	for len(pairs) > chunkPairs {
 		chunk := &Response{ID: r.ID, Op: r.Op, Status: StatusOK, Pairs: pairs[:chunkPairs]}
-		if err := WriteFrame(w, KindResponse, r.Op, FlagMore, r.ID, EncodeResponse(chunk)); err != nil {
+		if err := WriteFrame(w, KindResponse, r.Op, FlagMore, r.ID, r.Trace, EncodeResponse(chunk)); err != nil {
 			return err
 		}
 		pairs = pairs[chunkPairs:]
 	}
 	last := *r
 	last.Pairs = pairs
-	return WriteFrame(w, KindResponse, r.Op, 0, r.ID, EncodeResponse(&last))
+	return WriteFrame(w, KindResponse, r.Op, 0, r.ID, r.Trace, EncodeResponse(&last))
 }
 
 // Accumulate folds a streamed chunk into acc (nil acc starts a new

@@ -30,10 +30,13 @@ import (
 const (
 	// Magic opens every frame ("KCSW" little-endian).
 	Magic uint32 = 0x5753434B
-	// Version is the protocol revision; both ends must match.
-	Version uint8 = 1
+	// Version is the protocol revision; both ends must match. Version 2
+	// widened the header with trace context (trace ID + parent span ID) so a
+	// remote client span and the server/device spans it causes share one
+	// causally-linked trace.
+	Version uint8 = 2
 	// HeaderSize is the fixed frame header length in bytes.
-	HeaderSize = 20
+	HeaderSize = 36
 	// TrailerSize is the CRC32-C trailer length in bytes.
 	TrailerSize = 4
 	// MaxPayload caps a frame's payload so a corrupt length field cannot
@@ -282,12 +285,25 @@ type IndexSpec struct {
 	Type   uint8
 }
 
+// TraceContext is the cross-process trace linkage carried in every frame
+// header: TraceID names the end-to-end trace a request belongs to, SpanID the
+// sender-side span that caused the frame. Zero values mean "untraced".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
 // Request is one decoded client request. Fields are interpreted per opcode;
 // unused fields are zero.
 type Request struct {
 	ID       uint64
 	Op       Op
 	Keyspace string
+
+	// Trace is the client-side trace context (zero when the client does not
+	// trace). The server opens its rpc span as a child of Trace.SpanID so a
+	// merged export renders one causal timeline across both processes.
+	Trace TraceContext
 
 	Key   []byte
 	Value []byte
@@ -322,6 +338,34 @@ type DeviceHealth struct {
 	Failures uint32
 }
 
+// RPCOpStats is one opcode's gateway-side RPC accounting in a stats report.
+// Stage totals are nanoseconds; Service/Virtual are the dual-clock pair (real
+// goroutine time vs simulated device time).
+type RPCOpStats struct {
+	Op        Op
+	Count     int64
+	Errs      int64
+	DecodeNs  int64
+	QueueNs   int64
+	ServiceNs int64
+	VirtualNs int64
+	WriteNs   int64
+}
+
+// RPCReport is the gateway's RPC metrics snapshot: per-opcode stage totals
+// plus the admission/coalescing counters. Attached to Stats responses so a
+// remote client can see the server's own view of the traffic it carried.
+type RPCReport struct {
+	Ops       []RPCOpStats
+	Accepted  int64
+	Shed      int64
+	Refused   int64
+	BadFrames int64
+	Coalesced int64
+	Batches   int64
+	SlowOps   int64
+}
+
 // StatsReport is the server-side statistics snapshot the Stats verb returns.
 type StatsReport struct {
 	Devices      uint32
@@ -333,6 +377,10 @@ type StatsReport struct {
 	AppWrite     int64
 	VirtualNanos int64 // server virtual clock at snapshot time
 	Health       []DeviceHealth
+
+	// RPC carries the gateway's RPC metrics (nil from backends that answer
+	// stats without a gateway in front).
+	RPC *RPCReport
 }
 
 // Response is one decoded server response (or one streamed chunk of one —
@@ -343,6 +391,10 @@ type Response struct {
 	Status Status
 	// More mirrors FlagMore: this frame is a chunk; further frames follow.
 	More bool
+
+	// Trace echoes the request's trace context so a response frame on the
+	// wire is self-describing (zero when the request was untraced).
+	Trace TraceContext
 
 	// Err carries optional server-side detail for non-OK statuses.
 	Err string

@@ -15,6 +15,7 @@ func sampleRequest() *Request {
 	return &Request{
 		ID:       42,
 		Op:       OpScan,
+		Trace:    TraceContext{TraceID: 0xABCDEF, SpanID: 77},
 		Keyspace: "particles",
 		Key:      []byte("k1"),
 		Value:    []byte("v1"),
@@ -36,6 +37,7 @@ func sampleResponse() *Response {
 	return &Response{
 		ID:     42,
 		Op:     OpScan,
+		Trace:  TraceContext{TraceID: 0xABCDEF, SpanID: 77},
 		Status: StatusOK,
 		Value:  []byte("value"),
 		Exists: true,
@@ -70,6 +72,19 @@ func sampleResponse() *Response {
 				{ID: 0, Down: false, Failures: 0},
 				{ID: 1, Down: true, Failures: 5},
 			},
+			RPC: &RPCReport{
+				Ops: []RPCOpStats{
+					{Op: OpPut, Count: 10, Errs: 1, DecodeNs: 100, QueueNs: 200, ServiceNs: 300, VirtualNs: 400, WriteNs: 500},
+					{Op: OpGet, Count: 20},
+				},
+				Accepted:  30,
+				Shed:      2,
+				Refused:   1,
+				BadFrames: 0,
+				Coalesced: 5,
+				Batches:   8,
+				SlowOps:   3,
+			},
 		},
 		Report: "recovered",
 	}
@@ -87,6 +102,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if h.Kind != KindRequest || h.Op != want.Op || h.ID != want.ID {
 		t.Fatalf("header mismatch: %+v", h)
+	}
+	if h.Trace != want.Trace {
+		t.Fatalf("trace context mismatch: got %+v, want %+v", h.Trace, want.Trace)
 	}
 	got, err := DecodeRequest(h, payload)
 	if err != nil {
@@ -188,9 +206,9 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 		t.Fatalf("bad version: err = %v", err)
 	}
 
-	// Oversized length field.
+	// Oversized length field (offset 32 in the v2 header).
 	bad = append([]byte(nil), frame...)
-	bad[16], bad[17], bad[18], bad[19] = 0xFF, 0xFF, 0xFF, 0x7F
+	bad[32], bad[33], bad[34], bad[35] = 0xFF, 0xFF, 0xFF, 0x7F
 	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized length: err = %v", err)
 	}
