@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	devices := flag.Int("devices", 8, "largest device count in the array-scaling sweep")
@@ -183,6 +183,15 @@ func main() {
 		emit("array", bench.ClockVirtual, t, "devices", "replicas")
 		ran = true
 	}
+	if want("failover") {
+		t, err := bench.FailoverLatency(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		emit("failover", bench.ClockVirtual, t, "nodes")
+		ran = true
+	}
 	if want("ablations") {
 		type abl struct {
 			name string
@@ -209,7 +218,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -200,6 +200,17 @@ func remoteStats(c *remote.Client) error {
 			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
 		}
 	}
+	if len(rep.Ring) > 0 {
+		fmt.Printf("ring:\n")
+		for _, e := range rep.Ring {
+			leader := "-"
+			if e.Leader >= 0 {
+				leader = fmt.Sprintf("dev%d", e.Leader)
+			}
+			fmt.Printf("  %s shard %d: epoch=%d leader=%s members=%v\n",
+				e.Keyspace, e.Shard, e.Epoch, leader, e.Members)
+		}
+	}
 	if r := rep.RPC; r != nil {
 		fmt.Printf("rpc gateway:\n")
 		fmt.Printf("  accepted: %d  shed: %d  refused: %d  bad frames: %d  slow ops: %d\n",

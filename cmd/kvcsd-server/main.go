@@ -48,6 +48,7 @@ func main() {
 		telemetry   = flag.String("telemetry", "", "serve /metrics, /healthz, /slowops and pprof on this HTTP address")
 		slowOp      = flag.Duration("slow-op", 0, "flag ops whose virtual service time exceeds this budget (0 = off)")
 		trace       = flag.Bool("trace", false, "record device spans (gives slow-op records their stage breakdown)")
+		replicated  = flag.Bool("replicated", false, "consensus-backed keyspaces: quorum writes and read-index reads (array mode)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,8 @@ func main() {
 		cfg.SlowOpThreshold = *slowOp
 		cfg.SlowOpLog = os.Stderr
 	}
+
+	cfg.Replicated = *replicated
 
 	var srv *server.Server
 	if *devices <= 1 {

@@ -7,6 +7,7 @@
 //
 //	zns-inspect                       # small session, dump state
 //	zns-inspect -keys 500000 -secondary
+//	zns-inspect -addr 127.0.0.1:7411  # inspect a running kvcsd-server
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"kvcsd"
 	"kvcsd/internal/core"
 	"kvcsd/internal/host"
+	"kvcsd/internal/remote"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
@@ -26,7 +28,16 @@ func main() {
 	secondary := flag.Bool("secondary", false, "also build a secondary index")
 	compact := flag.Bool("compact", true, "invoke compaction")
 	traceFile := flag.String("trace", "", "write a Chrome trace of the session to FILE (load in Perfetto)")
+	addr := flag.String("addr", "", "inspect a running kvcsd-server instead of a local session (host:port)")
 	flag.Parse()
+
+	if *addr != "" {
+		if err := inspectRemote(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "zns-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := kvcsd.DefaultOptions()
 	opts.Metrics = true
@@ -142,4 +153,47 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceFile)
 	}
+}
+
+// inspectRemote connects to a running kvcsd-server and prints the cluster's
+// ownership view: device health plus the ring table from the Stats response
+// (shard → devices, ownership epoch, and — for consensus-backed keyspaces —
+// the live leader).
+func inspectRemote(addr string) error {
+	c, err := remote.Dial(addr, remote.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rep, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s: %d device(s)\n", c.Addr(), rep.Devices)
+	fmt.Printf("  media write: %s  media read: %s  commands: %d\n",
+		stats.HumanBytes(rep.MediaWrite), stats.HumanBytes(rep.MediaRead), rep.Commands)
+	if len(rep.Health) > 0 {
+		fmt.Printf("health:\n")
+		for _, h := range rep.Health {
+			state := "up"
+			if h.Down {
+				state = "DOWN"
+			}
+			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
+		}
+	}
+	if len(rep.Ring) == 0 {
+		fmt.Printf("ring: empty (no keyspaces, or a single-device server)\n")
+		return nil
+	}
+	fmt.Printf("ring ownership (%d entries):\n", len(rep.Ring))
+	for _, e := range rep.Ring {
+		leader := "-"
+		if e.Leader >= 0 {
+			leader = fmt.Sprintf("dev%d", e.Leader)
+		}
+		fmt.Printf("  %-12s shard %-3d epoch=%-4d leader=%-6s members=%v\n",
+			e.Keyspace, e.Shard, e.Epoch, leader, e.Members)
+	}
+	return nil
 }

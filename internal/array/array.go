@@ -137,6 +137,10 @@ type Array struct {
 	keyspaces map[string]*Keyspace
 	ksOrder   []string // creation order, for deterministic iteration
 
+	// replicated holds consensus-backed keyspaces (see groups.go).
+	replicated map[string]*ReplicatedKeyspace
+	repOrder   []string
+
 	// hints queues writes missed by down devices, replayed on rejoin
 	// (hinted handoff — see rejoin.go).
 	hints map[int][]hint
@@ -169,13 +173,14 @@ func New(env *sim.Env, opts Options) *Array {
 		hcfg = host.DefaultHostConfig()
 	}
 	a := &Array{
-		env:       env,
-		h:         host.New(env, hcfg),
-		opts:      opts,
-		ring:      NewRing(opts.Seed, opts.Devices, opts.VirtualNodes),
-		gate:      sim.NewResource(env, "array-compact-gate", opts.MaxConcurrentCompactions),
-		keyspaces: make(map[string]*Keyspace),
-		hints:     make(map[int][]hint),
+		env:        env,
+		h:          host.New(env, hcfg),
+		opts:       opts,
+		ring:       NewRing(opts.Seed, opts.Devices, opts.VirtualNodes),
+		gate:       sim.NewResource(env, "array-compact-gate", opts.MaxConcurrentCompactions),
+		keyspaces:  make(map[string]*Keyspace),
+		replicated: make(map[string]*ReplicatedKeyspace),
+		hints:      make(map[int][]hint),
 	}
 	if opts.Metrics {
 		a.reg = obs.NewRegistry(env)
@@ -319,6 +324,11 @@ func (a *Array) MarkUp(id int) {
 func (a *Array) PowerCut(p *sim.Proc, id int) ssd.PowerCutReport {
 	rep := a.members[id].Dev.PowerCut(p)
 	a.MarkDown(id)
+	// Consensus shard groups on the device lose their volatile state too;
+	// their leaders fail over to the surviving members.
+	for _, name := range a.repOrder {
+		a.replicated[name].cluster.Crash(id)
+	}
 	return rep
 }
 
@@ -334,6 +344,11 @@ func (a *Array) RestartDevice(p *sim.Proc, id int) (*core.RecoveryReport, error)
 		return rep, err
 	}
 	a.MarkUp(id)
+	// Rejoin the device's shard groups: state machines reset to their
+	// snapshots and the logs replay as the commit indexes re-advance.
+	for _, name := range a.repOrder {
+		a.replicated[name].cluster.Restart(p, id)
+	}
 	return rep, nil
 }
 
@@ -375,8 +390,12 @@ func (a *Array) WaitBackgroundIdle(p *sim.Proc) error {
 }
 
 // Shutdown closes every device's command queue; in-flight commands complete
-// and the dispatch loops exit.
+// and the dispatch loops exit. Consensus clusters of replicated keyspaces
+// stop first so their tickers release the simulation.
 func (a *Array) Shutdown() {
+	for _, name := range a.repOrder {
+		a.replicated[name].cluster.Stop()
+	}
 	for _, m := range a.members {
 		m.Dev.Shutdown()
 	}

@@ -1,0 +1,301 @@
+package array
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kvcsd/internal/client"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/replica"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+// ReplicatedKeyspace is a consensus-backed array keyspace: the key range is
+// split into shards, each shard a replicated state machine whose members are
+// device-side keyspaces ("name#g<s>") on ring-placed devices. Writes commit
+// at quorum through the shard's leader and reads go through the leader's
+// read-index, so — unlike the fan-out replication of plain array keyspaces —
+// a power-cut replica can never serve stale data.
+//
+// The handle carries one client session (retries are exactly-once through
+// session dedup); use it from one simulation process at a time.
+type ReplicatedKeyspace struct {
+	a       *Array
+	name    string
+	shards  int
+	cluster *replica.Cluster
+	session *replica.Session
+}
+
+// deviceSM adapts one device-side keyspace to the replica.StateMachine
+// interface. The device keyspace lifecycle is the paper's write-once ingest
+// pipeline (WRITABLE until compaction seals it), so interleaved point reads
+// cannot be served by the device while ingest is open; the state machine
+// therefore keeps its working view in SoC DRAM (the mem map below, the same
+// place the engine's ingest index lives) and pushes every apply into the
+// device keyspace as durable ingest traffic — charging real device put
+// latency on the apply path. Snapshot streams from the DRAM view; Restore
+// drops and rebuilds the device keyspace from the snapshot. The keyspace is
+// materialized lazily so the group shells every node hosts for resharding
+// cost nothing until state actually lands on them.
+type deviceSM struct {
+	a    *Array
+	ks   string // device-side keyspace name
+	node int    // device ID
+	h    *client.Keyspace
+	mem  map[string][]byte
+}
+
+func (s *deviceSM) handle(p *sim.Proc) (*client.Keyspace, error) {
+	if s.h != nil {
+		return s.h, nil
+	}
+	m := s.a.members[s.node]
+	h, err := m.Client.OpenKeyspace(p, s.ks)
+	if err != nil {
+		h, err = m.Client.CreateKeyspace(p, s.ks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.h = h
+	return h, nil
+}
+
+// Apply implements replica.StateMachine: updates the DRAM view and ingests
+// the pair (or tombstone) into the device keyspace.
+func (s *deviceSM) Apply(p *sim.Proc, cmd replica.Command) error {
+	h, err := s.handle(p)
+	if err != nil {
+		return err
+	}
+	if s.mem == nil {
+		s.mem = make(map[string][]byte)
+	}
+	if cmd.Kind == wire.EntryDelete {
+		if _, ok := s.mem[string(cmd.Key)]; !ok {
+			return nil // absent key: skip the device tombstone too
+		}
+		delete(s.mem, string(cmd.Key))
+		err = h.Delete(p, cmd.Key)
+		if errors.Is(err, client.ErrNotFound) {
+			err = nil
+		}
+		return err
+	}
+	v := append([]byte(nil), cmd.Value...)
+	s.mem[string(cmd.Key)] = v
+	return h.Put(p, cmd.Key, cmd.Value)
+}
+
+// Lookup implements replica.StateMachine, serving from the DRAM view (the
+// device keyspace is still in its ingest phase and cannot point-read).
+func (s *deviceSM) Lookup(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	v, ok := s.mem[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Snapshot implements replica.StateMachine; pairs are sorted for determinism.
+func (s *deviceSM) Snapshot(p *sim.Proc) ([]nvme.KVPair, error) {
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]nvme.KVPair, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, nvme.KVPair{Key: []byte(k), Value: s.mem[k]})
+	}
+	return pairs, nil
+}
+
+// Restore implements replica.StateMachine: the device keyspace is dropped and
+// rebuilt from the snapshot, erasing any pairs a previous incarnation of the
+// shard (or an un-replicated tail lost to a power cut) left behind.
+func (s *deviceSM) Restore(p *sim.Proc, pairs []nvme.KVPair) error {
+	if s.h == nil && s.mem == nil && len(pairs) == 0 {
+		return nil // nothing materialized, nothing to reset
+	}
+	s.mem = make(map[string][]byte, len(pairs))
+	m := s.a.members[s.node]
+	if s.h != nil {
+		if err := m.Client.DeleteKeyspace(p, s.ks); err != nil {
+			return err
+		}
+		s.h = nil
+	}
+	h, err := s.handle(p)
+	if err != nil {
+		return err
+	}
+	for _, kv := range pairs {
+		s.mem[string(kv.Key)] = append([]byte(nil), kv.Value...)
+		if err := h.BulkPut(p, kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	if len(pairs) > 0 {
+		if err := h.Flush(p); err != nil {
+			return err
+		}
+	}
+	return h.Sync(p)
+}
+
+// CreateReplicated creates a consensus-backed keyspace split into shards key
+// ranges (same big-endian-prefix routing as CreateRangeSharded). Each shard's
+// members come from the placement ring; the replication factor is the array's
+// Replicas option, raised to 3 when the fleet allows it so shard groups can
+// tolerate a device loss without losing quorum. shards <= 0 defaults to the
+// device count.
+func (a *Array) CreateReplicated(p *sim.Proc, name string, shards int) (*ReplicatedKeyspace, error) {
+	if _, ok := a.keyspaces[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
+	}
+	if _, ok := a.replicated[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
+	}
+	if shards <= 0 {
+		shards = a.opts.Devices
+	}
+	rf := a.opts.Replicas
+	if rf < 3 && a.opts.Devices >= 3 {
+		rf = 3
+	}
+	k := &ReplicatedKeyspace{a: a, name: name, shards: shards}
+	k.cluster = replica.New(a.env, replica.Options{
+		Nodes:             a.opts.Devices,
+		Shards:            shards,
+		ReplicationFactor: rf,
+		Seed:              deriveSeed(a.opts.Seed, len(a.replicated)+1),
+		Members: func(shard int) []int {
+			return a.ring.Owners(groupName(name, shard), rf)
+		},
+		NewSM: func(shard, node int) replica.StateMachine {
+			return &deviceSM{a: a, ks: groupName(name, shard), node: node}
+		},
+		Registry:    a.reg,
+		GaugePrefix: name + "/",
+	})
+	k.session = k.cluster.Client(1)
+	a.replicated[name] = k
+	a.repOrder = append(a.repOrder, name)
+	// Wait until every shard has a ready leader so the first client op does
+	// not eat the initial election timeout.
+	for s := 0; s < shards; s++ {
+		if _, err := k.cluster.WaitLeader(p, s); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// groupName is the device-side keyspace name of one shard group.
+func groupName(name string, shard int) string {
+	return fmt.Sprintf("%s#g%d", name, shard)
+}
+
+// OpenReplicated returns the handle for a replicated keyspace this router
+// created.
+func (a *Array) OpenReplicated(name string) (*ReplicatedKeyspace, error) {
+	k, ok := a.replicated[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceUnknown, name)
+	}
+	return k, nil
+}
+
+// ReplicatedKeyspaces returns the names of all replicated keyspaces in
+// creation order.
+func (a *Array) ReplicatedKeyspaces() []string {
+	return append([]string(nil), a.repOrder...)
+}
+
+// Name returns the keyspace name.
+func (k *ReplicatedKeyspace) Name() string { return k.name }
+
+// Shards returns the shard-group count.
+func (k *ReplicatedKeyspace) Shards() int { return k.shards }
+
+// Cluster exposes the underlying consensus cluster (fault injection, tests).
+func (k *ReplicatedKeyspace) Cluster() *replica.Cluster { return k.cluster }
+
+// shardFor routes a key to its shard group by big-endian uint64 prefix.
+func (k *ReplicatedKeyspace) shardFor(key []byte) int {
+	if k.shards == 1 {
+		return 0
+	}
+	i := int(keyPrefix(key) / rangeStep(k.shards))
+	if i >= k.shards {
+		i = k.shards - 1
+	}
+	return i
+}
+
+// Put commits one pair through the owning shard group's leader at quorum.
+func (k *ReplicatedKeyspace) Put(p *sim.Proc, key, value []byte) error {
+	return k.session.Put(p, k.shardFor(key), key, value)
+}
+
+// Delete commits a deletion through the owning shard group at quorum.
+func (k *ReplicatedKeyspace) Delete(p *sim.Proc, key []byte) error {
+	return k.session.Delete(p, k.shardFor(key), key)
+}
+
+// Get performs a linearizable read via the shard leader's read-index.
+func (k *ReplicatedKeyspace) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	return k.session.Get(p, k.shardFor(key), key)
+}
+
+// Leader returns the device currently leading a shard group (-1 unknown).
+func (k *ReplicatedKeyspace) Leader(shard int) int { return k.cluster.Leader(shard) }
+
+// Members returns the devices holding a shard group.
+func (k *ReplicatedKeyspace) Members(shard int) []int { return k.cluster.Members(shard) }
+
+// Epoch returns a shard's current ownership epoch.
+func (k *ReplicatedKeyspace) Epoch(shard int) uint64 { return k.cluster.Epoch(shard) }
+
+// MoveShard streams a shard's state to device to and atomically flips
+// ownership from device from (elastic resharding).
+func (k *ReplicatedKeyspace) MoveShard(p *sim.Proc, shard, from, to int) error {
+	return k.cluster.MoveShard(p, shard, from, to)
+}
+
+// RouteTable renders the shard-ownership view as wire ring entries.
+func (k *ReplicatedKeyspace) RouteTable() []wire.RingEntry {
+	return k.cluster.RouteTable(k.name)
+}
+
+// RingTable renders the whole array's ownership view — every plain keyspace
+// partition (epoch 1, no leader: ownership is static ring placement) and
+// every replicated shard group (live epoch and leader) — as wire ring
+// entries, in creation order.
+func (a *Array) RingTable() []wire.RingEntry {
+	var out []wire.RingEntry
+	for _, name := range a.ksOrder {
+		k := a.keyspaces[name]
+		for i, pt := range k.parts {
+			members := make([]uint32, len(pt.replicas))
+			for j, d := range pt.replicas {
+				members[j] = uint32(d)
+			}
+			out = append(out, wire.RingEntry{
+				Keyspace: name,
+				Shard:    uint32(i),
+				Epoch:    1,
+				Leader:   -1,
+				Members:  members,
+			})
+		}
+	}
+	for _, name := range a.repOrder {
+		out = append(out, a.replicated[name].RouteTable()...)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package array
+
+import (
+	"fmt"
+	"testing"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+func runReplicated(t *testing.T, opts Options, fn func(p *sim.Proc, a *Array)) {
+	t.Helper()
+	env := sim.NewEnv()
+	a := New(env, opts)
+	env.Go("main", func(p *sim.Proc) {
+		defer a.Shutdown()
+		fn(p, a)
+	})
+	env.Run()
+}
+
+func TestReplicatedKeyspacePutGet(t *testing.T) {
+	opts := DefaultOptions()
+	runReplicated(t, opts, func(p *sim.Proc, a *Array) {
+		k, err := a.CreateReplicated(p, "orders", 2)
+		if err != nil {
+			t.Fatalf("CreateReplicated: %v", err)
+		}
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%03d", i))
+			if err := k.Put(p, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		if err := k.Delete(p, []byte("k003")); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		v, found, err := k.Get(p, []byte("k007"))
+		if err != nil || !found || string(v) != "v7" {
+			t.Fatalf("get k007 = %q found=%v err=%v", v, found, err)
+		}
+		if _, found, err := k.Get(p, []byte("k003")); err != nil || found {
+			t.Fatalf("deleted key found=%v err=%v", found, err)
+		}
+		// Members come from the placement ring and every shard has a leader.
+		for s := 0; s < k.Shards(); s++ {
+			want := a.Ring().Owners(groupName("orders", s), 3)
+			got := k.Members(s)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("shard %d members %v, want ring owners %v", s, got, want)
+			}
+			if ld := k.Leader(s); !containsInt(want, ld) {
+				t.Fatalf("shard %d leader %d not a member of %v", s, ld, want)
+			}
+		}
+	})
+}
+
+func containsInt(v []int, x int) bool {
+	for _, e := range v {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReplicatedKeyspaceSurvivesDevicePowerCut(t *testing.T) {
+	opts := DefaultOptions()
+	runReplicated(t, opts, func(p *sim.Proc, a *Array) {
+		k, err := a.CreateReplicated(p, "orders", 1)
+		if err != nil {
+			t.Fatalf("CreateReplicated: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			key := []byte(fmt.Sprintf("k%03d", i))
+			if err := k.Put(p, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		leader := k.Leader(0)
+		a.PowerCut(p, leader)
+		// Writes and linearizable reads keep working against the surviving
+		// quorum while the old leader is dark.
+		if err := k.Put(p, []byte("k099"), []byte("after-cut")); err != nil {
+			t.Fatalf("put during outage: %v", err)
+		}
+		v, found, err := k.Get(p, []byte("k005"))
+		if err != nil || !found || string(v) != "v5" {
+			t.Fatalf("get during outage = %q found=%v err=%v", v, found, err)
+		}
+		if nl := k.Leader(0); nl == leader {
+			t.Fatalf("leadership did not move off the power-cut device %d", leader)
+		}
+		if _, err := a.RestartDevice(p, leader); err != nil {
+			t.Fatalf("RestartDevice: %v", err)
+		}
+		v, found, err = k.Get(p, []byte("k099"))
+		if err != nil || !found || string(v) != "after-cut" {
+			t.Fatalf("get after rejoin = %q found=%v err=%v", v, found, err)
+		}
+	})
+}
+
+func TestReplicatedKeyspaceMoveShard(t *testing.T) {
+	opts := DefaultOptions()
+	runReplicated(t, opts, func(p *sim.Proc, a *Array) {
+		k, err := a.CreateReplicated(p, "orders", 1)
+		if err != nil {
+			t.Fatalf("CreateReplicated: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			key := []byte(fmt.Sprintf("k%03d", i))
+			if err := k.Put(p, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		members := k.Members(0)
+		to := -1
+		for d := 0; d < opts.Devices; d++ {
+			if !containsInt(members, d) {
+				to = d
+				break
+			}
+		}
+		if to < 0 {
+			t.Skip("no free device to move to")
+		}
+		from := members[0]
+		epoch := k.Epoch(0)
+		if err := k.MoveShard(p, 0, from, to); err != nil {
+			t.Fatalf("MoveShard: %v", err)
+		}
+		after := k.Members(0)
+		if containsInt(after, from) || !containsInt(after, to) {
+			t.Fatalf("ownership after move = %v, want %d->%d", after, from, to)
+		}
+		if k.Epoch(0) <= epoch {
+			t.Fatalf("epoch did not advance: %d -> %d", epoch, k.Epoch(0))
+		}
+		// Data survived the move, including on the new member.
+		v, found, err := k.Get(p, []byte("k011"))
+		if err != nil || !found || string(v) != "v11" {
+			t.Fatalf("get after move = %q found=%v err=%v", v, found, err)
+		}
+	})
+}
+
+func TestArrayRingTable(t *testing.T) {
+	opts := DefaultOptions()
+	runReplicated(t, opts, func(p *sim.Proc, a *Array) {
+		if _, err := a.CreateRangeSharded(p, "plain", 2); err != nil {
+			t.Fatalf("CreateRangeSharded: %v", err)
+		}
+		k, err := a.CreateReplicated(p, "orders", 2)
+		if err != nil {
+			t.Fatalf("CreateReplicated: %v", err)
+		}
+		ring := a.RingTable()
+		if len(ring) != 4 {
+			t.Fatalf("ring entries = %d, want 4 (2 plain + 2 replicated)", len(ring))
+		}
+		byName := map[string][]wire.RingEntry{}
+		for _, e := range ring {
+			byName[e.Keyspace] = append(byName[e.Keyspace], e)
+		}
+		for _, e := range byName["plain"] {
+			if e.Leader != -1 || e.Epoch != 1 {
+				t.Fatalf("plain entry has consensus fields set: %+v", e)
+			}
+		}
+		for _, e := range byName["orders"] {
+			if e.Leader < 0 {
+				t.Fatalf("replicated entry missing leader: %+v", e)
+			}
+			if int(e.Leader) != k.Leader(int(e.Shard)) {
+				t.Fatalf("ring leader %d != cluster leader %d", e.Leader, k.Leader(int(e.Shard)))
+			}
+		}
+		// Duplicate names are rejected across both keyspace families.
+		if _, err := a.CreateReplicated(p, "plain", 1); err == nil {
+			t.Fatalf("replicated over plain name must fail")
+		}
+		if _, err := a.CreateKeyspace(p, "orders"); err == nil {
+			t.Fatalf("plain over replicated name must fail")
+		}
+	})
+}

@@ -83,6 +83,9 @@ func (a *Array) create(p *sim.Proc, name string, parts int) (*Keyspace, error) {
 	if _, ok := a.keyspaces[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
 	}
+	if _, ok := a.replicated[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrKeyspaceExists, name)
+	}
 	k := &Keyspace{a: a, name: name, split: parts > 1}
 	step := rangeStep(parts)
 	for i := 0; i < parts; i++ {

@@ -1,0 +1,163 @@
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Violation is one key whose sub-history admits no linearization.
+type Violation struct {
+	Key string
+	Ops []Op
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key %q: no linearization of %d ops:\n", v.Key, len(v.Ops))
+	for _, op := range v.Ops {
+		fmt.Fprintf(&b, "  %s\n", op)
+	}
+	return b.String()
+}
+
+// Result summarizes one check.
+type Result struct {
+	OK         bool
+	Violations []Violation
+	// Keys is the number of independent per-key sub-histories checked.
+	Keys int
+	// States is the number of distinct search states visited (a cost and
+	// progress measure; useful when tuning chaos workload contention).
+	States int
+}
+
+// Check searches for a linearization of the history under register
+// semantics: each key is an independent register, puts set it, deletes clear
+// it, and a get must observe exactly the register's state at its
+// linearization point. Completed operations must linearize within their
+// [invoke, return] window; Unknown operations may linearize anywhere after
+// their invoke or never (crashed leaders take both choices in practice);
+// Failed operations are excluded.
+//
+// The search is Wing & Gong's algorithm with memoization on (linearized-set,
+// last-applied-write): exponential in the worst case but fast on the
+// per-key sub-histories the chaos campaign produces.
+func Check(history []Op) Result {
+	res := Result{OK: true}
+	keys := byKey(history)
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		ops := keys[k]
+		ok, states := checkKey(ops)
+		res.Keys++
+		res.States += states
+		if !ok {
+			res.OK = false
+			res.Violations = append(res.Violations, Violation{Key: k, Ops: ops})
+		}
+	}
+	return res
+}
+
+// checkKey decides linearizability of one key's sub-history.
+func checkKey(ops []Op) (bool, int) {
+	// Unknown gets constrain nothing (the client never saw a result) and
+	// unknown ops in general are optional; pre-drop unknown gets to shrink
+	// the search.
+	kept := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind == OpGet && op.Outcome == OutcomeUnknown {
+			continue
+		}
+		kept = append(kept, op)
+	}
+	ops = kept
+	n := len(ops)
+	if n == 0 {
+		return true, 0
+	}
+
+	words := (n + 63) / 64
+	mask := make([]uint64, words)
+	has := func(i int) bool { return mask[i/64]&(1<<(i%64)) != 0 }
+	set := func(i int) { mask[i/64] |= 1 << (i % 64) }
+	clear := func(i int) { mask[i/64] &^= 1 << (i % 64) }
+	doneAll := func() bool {
+		for i := 0; i < n; i++ {
+			if ops[i].Outcome == OutcomeOK && !has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	memoKey := func(lastWrite int) string {
+		b := make([]byte, words*8+4)
+		for i, w := range mask {
+			binary.LittleEndian.PutUint64(b[i*8:], w)
+		}
+		binary.LittleEndian.PutUint32(b[words*8:], uint32(lastWrite+1))
+		return string(b)
+	}
+	visited := map[string]struct{}{}
+	states := 0
+
+	// eligible reports whether op i may be linearized next: no other
+	// not-yet-linearized completed op finished strictly before i was invoked.
+	eligible := func(i int) bool {
+		for j := 0; j < n; j++ {
+			if j == i || has(j) || ops[j].Outcome != OutcomeOK {
+				continue
+			}
+			if ops[j].Return < ops[i].Invoke {
+				return false
+			}
+		}
+		return true
+	}
+
+	var dfs func(lastWrite int) bool
+	dfs = func(lastWrite int) bool {
+		if doneAll() {
+			return true
+		}
+		mk := memoKey(lastWrite)
+		if _, seen := visited[mk]; seen {
+			return false
+		}
+		visited[mk] = struct{}{}
+		states++
+		for i := 0; i < n; i++ {
+			if has(i) || !eligible(i) {
+				continue
+			}
+			op := &ops[i]
+			present := false
+			var value string
+			if lastWrite >= 0 && ops[lastWrite].Kind == OpPut {
+				present, value = true, ops[lastWrite].Value
+			}
+			next := lastWrite
+			switch op.Kind {
+			case OpGet:
+				if op.Found != present || (present && op.Value != value) {
+					continue
+				}
+			case OpPut, OpDelete:
+				next = i
+			}
+			set(i)
+			if dfs(next) {
+				return true
+			}
+			clear(i)
+		}
+		return false
+	}
+	return dfs(-1), states
+}

@@ -1,0 +1,169 @@
+// Package linearize records operation histories and checks them for
+// linearizability. A history is a set of put/get/delete invocations with
+// virtual-time invoke/return stamps; the checker searches for a legal
+// sequential ordering (a linearization) in which every operation takes
+// effect atomically between its invoke and return. Histories come from the
+// cluster chaos campaign, where concurrent clients race leader kills,
+// partitions, and mid-migration power cuts — if no linearization exists, the
+// replication layer broke its contract and the checker says exactly where.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kvcsd/internal/sim"
+)
+
+// Op kinds.
+const (
+	OpPut = iota
+	OpDelete
+	OpGet
+)
+
+// Outcome of a recorded operation.
+const (
+	// OutcomeOK: the operation completed and definitely took effect (writes)
+	// or returned the recorded result (reads).
+	OutcomeOK = iota
+	// OutcomeUnknown: the operation's fate is ambiguous (client timed out or
+	// got an ambiguous error). It may have taken effect at any point after
+	// its invoke — even "after" the history ends — or never.
+	OutcomeUnknown
+	// OutcomeFailed: the operation definitely did NOT take effect.
+	OutcomeFailed
+)
+
+// Op is one recorded operation.
+type Op struct {
+	ID     int
+	Client uint64
+	Kind   int
+	Key    string
+	// Value is the written value (put) or the read result (get, when found).
+	Value string
+	// Found is the read result's presence bit (get only).
+	Found bool
+	// Invoke and Return are virtual timestamps. Return is meaningful only
+	// for OutcomeOK/OutcomeFailed ops.
+	Invoke  sim.Time
+	Return  sim.Time
+	Outcome int
+}
+
+func (o Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d c%d %v–", o.ID, o.Client, o.Invoke)
+	if o.Outcome == OutcomeUnknown {
+		b.WriteString("?")
+	} else {
+		fmt.Fprintf(&b, "%v", o.Return)
+	}
+	b.WriteString("] ")
+	switch o.Kind {
+	case OpPut:
+		fmt.Fprintf(&b, "put(%s=%s)", o.Key, o.Value)
+	case OpDelete:
+		fmt.Fprintf(&b, "delete(%s)", o.Key)
+	case OpGet:
+		if o.Found {
+			fmt.Fprintf(&b, "get(%s)=%s", o.Key, o.Value)
+		} else {
+			fmt.Fprintf(&b, "get(%s)=∅", o.Key)
+		}
+	}
+	switch o.Outcome {
+	case OutcomeUnknown:
+		b.WriteString(" unknown")
+	case OutcomeFailed:
+		b.WriteString(" failed")
+	}
+	return b.String()
+}
+
+// Recorder collects a history from concurrent simulation processes. All
+// calls happen on the simulation goroutine (procs are cooperative), so no
+// locking is needed; IDs are assigned in invocation order, which is
+// deterministic for a given seed.
+type Recorder struct {
+	env *sim.Env
+	ops []*Op
+}
+
+// NewRecorder creates an empty recorder on the given environment.
+func NewRecorder(env *sim.Env) *Recorder { return &Recorder{env: env} }
+
+// Handle tracks one in-flight operation until its completion is recorded.
+type Handle struct{ op *Op }
+
+// Invoke records an operation's start and returns its handle. For a put,
+// value is the written value; for get/delete it is ignored at invoke time.
+func (r *Recorder) Invoke(client uint64, kind int, key, value string) *Handle {
+	op := &Op{
+		ID:      len(r.ops),
+		Client:  client,
+		Kind:    kind,
+		Key:     key,
+		Value:   value,
+		Invoke:  r.env.Now(),
+		Outcome: OutcomeUnknown,
+	}
+	r.ops = append(r.ops, op)
+	return &Handle{op: op}
+}
+
+// OK records successful completion. For gets, found/value capture the result.
+func (h *Handle) OK(env *sim.Env, found bool, value string) {
+	h.op.Outcome = OutcomeOK
+	h.op.Return = env.Now()
+	if h.op.Kind == OpGet {
+		h.op.Found = found
+		h.op.Value = value
+	}
+}
+
+// Unknown records an ambiguous completion: the op may have taken effect.
+func (h *Handle) Unknown(env *sim.Env) {
+	h.op.Outcome = OutcomeUnknown
+	h.op.Return = env.Now()
+}
+
+// Failed records a definite failure: the op did not take effect. Only record
+// this for errors that prove non-execution (e.g. "not leader" rejections).
+func (h *Handle) Failed(env *sim.Env) {
+	h.op.Outcome = OutcomeFailed
+	h.op.Return = env.Now()
+}
+
+// History returns the recorded operations, invocation-ordered.
+func (r *Recorder) History() []Op {
+	out := make([]Op, len(r.ops))
+	for i, op := range r.ops {
+		out[i] = *op
+	}
+	return out
+}
+
+// byKey partitions a history per key: with put/get/delete each key is an
+// independent register, so a history is linearizable iff each per-key
+// sub-history is. Definite failures are dropped (they never took effect).
+func byKey(history []Op) map[string][]Op {
+	m := map[string][]Op{}
+	for _, op := range history {
+		if op.Outcome == OutcomeFailed {
+			continue
+		}
+		m[op.Key] = append(m[op.Key], op)
+	}
+	for _, ops := range m {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Invoke != ops[j].Invoke {
+				return ops[i].Invoke < ops[j].Invoke
+			}
+			return ops[i].ID < ops[j].ID
+		})
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+
+	"kvcsd/internal/sim"
+)
+
+// op builds a completed operation for hand-crafted histories.
+func op(id int, client uint64, kind int, key, value string, found bool, invoke, ret sim.Time) Op {
+	return Op{
+		ID: id, Client: client, Kind: kind, Key: key, Value: value, Found: found,
+		Invoke: invoke, Return: ret, Outcome: OutcomeOK,
+	}
+}
+
+func TestKnownLinearizableInterleaving(t *testing.T) {
+	// Two clients racing on one key; the get overlaps both puts and may
+	// legally observe either writer. Classic concurrent-but-consistent.
+	h := []Op{
+		op(0, 1, OpPut, "k", "a", false, 0, 100),
+		op(1, 2, OpPut, "k", "b", false, 50, 150),
+		op(2, 3, OpGet, "k", "b", true, 60, 160),
+		op(3, 3, OpGet, "k", "b", true, 170, 200),
+	}
+	res := Check(h)
+	if !res.OK {
+		t.Fatalf("linearizable history rejected:\n%v", res.Violations)
+	}
+	if res.Keys != 1 {
+		t.Fatalf("keys = %d, want 1", res.Keys)
+	}
+}
+
+func TestStaleReadIsCaught(t *testing.T) {
+	// put(k=new) completes at t=100; a read invoked strictly after that
+	// returns the old value. No linearization can order the completed put
+	// after a read that started after the put returned.
+	h := []Op{
+		op(0, 1, OpPut, "k", "old", false, 0, 10),
+		op(1, 1, OpPut, "k", "new", false, 50, 100),
+		op(2, 2, OpGet, "k", "old", true, 150, 160),
+	}
+	res := Check(h)
+	if res.OK {
+		t.Fatalf("stale read accepted as linearizable")
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Key != "k" {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+	if !strings.Contains(res.Violations[0].String(), "get(k)=old") {
+		t.Fatalf("violation rendering missing offending read:\n%s", res.Violations[0])
+	}
+}
+
+func TestLostUpdateIsCaught(t *testing.T) {
+	// Both puts complete, then sequential reads observe first one value and
+	// then the OTHER — one of the updates was "lost" and resurfaced, which
+	// no register linearization allows (both reads start after both puts
+	// returned, so the register's value is fixed by whichever put is
+	// linearized second).
+	h := []Op{
+		op(0, 1, OpPut, "k", "a", false, 0, 40),
+		op(1, 2, OpPut, "k", "b", false, 10, 50),
+		op(2, 3, OpGet, "k", "a", true, 100, 110),
+		op(3, 3, OpGet, "k", "b", true, 120, 130),
+	}
+	res := Check(h)
+	if res.OK {
+		t.Fatalf("lost update accepted as linearizable")
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	ok := []Op{
+		op(0, 1, OpPut, "k", "v", false, 0, 10),
+		op(1, 1, OpDelete, "k", "", false, 20, 30),
+		op(2, 2, OpGet, "k", "", false, 40, 50),
+	}
+	if res := Check(ok); !res.OK {
+		t.Fatalf("delete history rejected:\n%v", res.Violations)
+	}
+	bad := []Op{
+		op(0, 1, OpPut, "k", "v", false, 0, 10),
+		op(1, 1, OpDelete, "k", "", false, 20, 30),
+		op(2, 2, OpGet, "k", "v", true, 40, 50), // reads through the tombstone
+	}
+	if res := Check(bad); res.OK {
+		t.Fatalf("read-after-delete accepted as linearizable")
+	}
+}
+
+func TestUnknownWriteMayOrMayNotApply(t *testing.T) {
+	// An ambiguous put (leader died mid-commit). Reads that observe it and
+	// reads that don't are BOTH legal — as long as they are consistent with
+	// some single story.
+	unknownPut := Op{
+		ID: 0, Client: 1, Kind: OpPut, Key: "k", Value: "maybe",
+		Invoke: 0, Outcome: OutcomeUnknown,
+	}
+	applied := []Op{
+		unknownPut,
+		op(1, 2, OpGet, "k", "maybe", true, 100, 110),
+	}
+	if res := Check(applied); !res.OK {
+		t.Fatalf("unknown-write-applied story rejected:\n%v", res.Violations)
+	}
+	skipped := []Op{
+		unknownPut,
+		op(1, 2, OpGet, "k", "", false, 100, 110),
+	}
+	if res := Check(skipped); !res.OK {
+		t.Fatalf("unknown-write-skipped story rejected:\n%v", res.Violations)
+	}
+	// But flip-flopping — observed, then gone — is not a consistent story.
+	flipflop := []Op{
+		unknownPut,
+		op(1, 2, OpGet, "k", "maybe", true, 100, 110),
+		op(2, 2, OpGet, "k", "", false, 120, 130),
+	}
+	if res := Check(flipflop); res.OK {
+		t.Fatalf("flip-flopping unknown write accepted as linearizable")
+	}
+}
+
+func TestFailedOpsAreExcluded(t *testing.T) {
+	failed := Op{
+		ID: 0, Client: 1, Kind: OpPut, Key: "k", Value: "never",
+		Invoke: 0, Return: 10, Outcome: OutcomeFailed,
+	}
+	h := []Op{
+		failed,
+		op(1, 2, OpGet, "k", "", false, 20, 30),
+	}
+	if res := Check(h); !res.OK {
+		t.Fatalf("definitely-failed write was required to apply:\n%v", res.Violations)
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	// A violation on one key must not taint another key's verdict.
+	h := []Op{
+		op(0, 1, OpPut, "good", "x", false, 0, 10),
+		op(1, 2, OpGet, "good", "x", true, 20, 30),
+		op(2, 1, OpPut, "bad", "new", false, 0, 10),
+		op(3, 2, OpGet, "bad", "phantom", true, 20, 30),
+	}
+	res := Check(h)
+	if res.OK {
+		t.Fatalf("phantom read accepted")
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Key != "bad" {
+		t.Fatalf("violations = %+v, want exactly key \"bad\"", res.Violations)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	env := sim.NewEnv()
+	rec := NewRecorder(env)
+	env.Go("client", func(p *sim.Proc) {
+		h := rec.Invoke(1, OpPut, "k", "v")
+		p.Sleep(10)
+		h.OK(env, false, "")
+		g := rec.Invoke(1, OpGet, "k", "")
+		p.Sleep(5)
+		g.OK(env, true, "v")
+		u := rec.Invoke(1, OpPut, "k", "v2")
+		p.Sleep(1)
+		u.Unknown(env)
+	})
+	env.Run()
+	h := rec.History()
+	if len(h) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(h))
+	}
+	if h[0].Invoke != 0 || h[0].Return != 10 || h[0].Outcome != OutcomeOK {
+		t.Fatalf("bad put record: %+v", h[0])
+	}
+	if h[1].Kind != OpGet || !h[1].Found || h[1].Value != "v" {
+		t.Fatalf("bad get record: %+v", h[1])
+	}
+	if h[2].Outcome != OutcomeUnknown {
+		t.Fatalf("bad unknown record: %+v", h[2])
+	}
+	if res := Check(h); !res.OK {
+		t.Fatalf("recorded history rejected:\n%v", res.Violations)
+	}
+}

@@ -1,0 +1,102 @@
+package remote_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kvcsd/internal/array"
+	"kvcsd/internal/remote"
+	"kvcsd/internal/server"
+)
+
+// TestReplicatedServerEndToEnd drives a consensus-backed array server over
+// the wire: keyspace creation fans out into shard groups, puts commit at
+// quorum, gets go through the leader's read-index, and the Stats response
+// carries the live ring table (shard → members, epoch, leader).
+func TestReplicatedServerEndToEnd(t *testing.T) {
+	opts := array.DefaultOptions()
+	opts.Devices = 4
+	opts.Seed = 7
+	cfg := server.DefaultConfig()
+	cfg.Replicated = true
+	srv := server.NewArray(opts, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	rc, err := remote.Dial(addr.String(), remote.DefaultOptions())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer rc.Close()
+
+	ks, err := rc.CreateRangeSharded("rdata", 2)
+	if err != nil {
+		t.Fatalf("create replicated keyspace: %v", err)
+	}
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := ks.Put(repKey(i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := ks.Delete(repKey(3)); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := ks.Get(repKey(i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if i == 3 {
+			if ok {
+				t.Fatalf("deleted key %d still visible: %q", i, v)
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("get %d: ok=%v val=%q", i, ok, v)
+		}
+	}
+	if ok, err := ks.Exist(repKey(5)); err != nil || !ok {
+		t.Fatalf("exist: ok=%v err=%v", ok, err)
+	}
+
+	// Reopen resolves to the same replicated keyspace.
+	if _, err := rc.OpenKeyspace("rdata"); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+
+	rep, err := rc.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var shards int
+	for _, e := range rep.Ring {
+		if e.Keyspace != "rdata" {
+			continue
+		}
+		shards++
+		if e.Leader < 0 {
+			t.Fatalf("shard %d has no leader in ring table: %+v", e.Shard, e)
+		}
+		if e.Epoch == 0 {
+			t.Fatalf("shard %d has zero epoch: %+v", e.Shard, e)
+		}
+		if len(e.Members) != 3 {
+			t.Fatalf("shard %d: want 3 members, got %v", e.Shard, e.Members)
+		}
+	}
+	if shards != 2 {
+		t.Fatalf("ring table lists %d rdata shards, want 2\nring: %+v", shards, rep.Ring)
+	}
+}
+
+func repKey(i int) []byte {
+	// Spread keys across the full uint64 prefix space so both shards see
+	// traffic.
+	return []byte{byte(i * 11), 0, 0, 0, 0, 0, 0, byte(i)}
+}

@@ -1,0 +1,819 @@
+package replica
+
+import (
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+// pending is a client proposal waiting for its log entry to commit and apply.
+type pending struct {
+	client uint64
+	seq    uint64
+	ev     *sim.Event
+	err    error
+}
+
+// pendingRead is a read-index read waiting for a quorum heartbeat round.
+type pendingRead struct {
+	round uint64
+	index uint64
+	key   []byte
+	ev    *sim.Event
+	value []byte
+	found bool
+	err   error
+}
+
+// group is one node's member state for one shard: a Raft-shaped replicated
+// log plus the shard state machine. All state marked persistent survives
+// Crash/Restart (it models what the node would have fsynced); everything else
+// is rebuilt on restart.
+type group struct {
+	c     *Cluster
+	shard int
+	id    int // this node's ID
+
+	// --- persistent ---------------------------------------------------------
+	term         uint64
+	votedFor     int
+	log          []wire.ReplicaEntry // log[i].Index == base+1+i
+	base         uint64              // snapshot: last included index / term / state
+	baseTerm     uint64
+	snapPairs    []nvme.KVPair
+	snapSessions map[uint64]uint64
+	baseMembers  []int // config as of the snapshot point
+	baseEpoch    uint64
+
+	// members/epoch are derived from baseMembers plus the latest config entry
+	// in the log (config takes membership effect when appended).
+	members []int
+	epoch   uint64
+
+	// --- volatile -----------------------------------------------------------
+	role     int
+	leader   int // last observed leader, -1 unknown
+	commit   uint64
+	applied  uint64
+	sm       StateMachine
+	sessions map[uint64]uint64 // client -> highest applied seq
+
+	votes        map[int]bool
+	next         map[int]uint64
+	match        map[int]uint64
+	lastAck      map[int]sim.Time
+	lastAckRound map[int]uint64
+
+	electionDeadline sim.Time
+	heartbeatDue     sim.Time
+	quorumCheckDue   sim.Time
+
+	readSeq uint64
+	props   map[uint64]*pending
+	reads   []*pendingRead
+
+	// staging accumulates migrate chunks until the Done chunk installs them.
+	staging []nvme.KVPair
+
+	rng *sim.RNG
+}
+
+func newGroup(c *Cluster, shard, id int, members []int, sm StateMachine) *group {
+	g := &group{
+		c:            c,
+		shard:        shard,
+		id:           id,
+		votedFor:     -1,
+		leader:       -1,
+		sm:           sm,
+		sessions:     map[uint64]uint64{},
+		snapSessions: map[uint64]uint64{},
+		baseMembers:  append([]int(nil), members...),
+		baseEpoch:    1,
+		members:      append([]int(nil), members...),
+		epoch:        1,
+		props:        map[uint64]*pending{},
+		rng:          c.rng.Fork(int64(shard)*1024 + int64(id) + 1),
+	}
+	g.resetElectionDeadline()
+	return g
+}
+
+func (g *group) node() *node { return g.c.nodes[g.id] }
+
+func (g *group) lastIndex() uint64 { return g.base + uint64(len(g.log)) }
+
+func (g *group) lastTerm() uint64 {
+	if len(g.log) == 0 {
+		return g.baseTerm
+	}
+	return g.log[len(g.log)-1].Term
+}
+
+// termAt returns the term of index i, or 0 when i is outside the log.
+func (g *group) termAt(i uint64) uint64 {
+	if i == g.base {
+		return g.baseTerm
+	}
+	if i < g.base || i > g.lastIndex() {
+		return 0
+	}
+	return g.log[i-g.base-1].Term
+}
+
+func (g *group) entryAt(i uint64) *wire.ReplicaEntry { return &g.log[i-g.base-1] }
+
+func (g *group) isMember(id int) bool {
+	for _, m := range g.members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *group) quorum() int { return len(g.members)/2 + 1 }
+
+// recomputeConfig re-derives members/epoch from the snapshot config plus the
+// latest config entry still in the log — needed after a conflict truncation.
+func (g *group) recomputeConfig() {
+	g.members = append(g.members[:0], g.baseMembers...)
+	g.epoch = g.baseEpoch
+	for i := range g.log {
+		if g.log[i].Kind == entryConfig {
+			g.members = g.members[:0]
+			for _, m := range g.log[i].Members {
+				g.members = append(g.members, int(m))
+			}
+			g.epoch = g.log[i].Epoch
+		}
+	}
+}
+
+func (g *group) resetElectionDeadline() {
+	et := g.c.opts.ElectionTimeout
+	jitter := sim.Duration(g.rng.Int63() % int64(et))
+	g.electionDeadline = g.c.env.Now().Add(et + jitter)
+}
+
+// tick drives timers: election timeout on followers/candidates, heartbeats
+// and the CheckQuorum rule on leaders.
+func (g *group) tick(p *sim.Proc) {
+	now := g.c.env.Now()
+	switch g.role {
+	case roleLeader:
+		if now >= g.quorumCheckDue {
+			g.quorumCheckDue = now.Add(g.c.opts.ElectionTimeout)
+			if !g.hasQuorumContact(now) {
+				// CheckQuorum: an isolated leader must stop pretending.
+				// Stepping down fails every pending proposal with ErrUnknown
+				// within one election timeout, which is what keeps client
+				// retry loops (and the simulation) from hanging forever.
+				g.stepDown(g.term, -1)
+				return
+			}
+		}
+		if now >= g.heartbeatDue {
+			g.broadcastAppend(0)
+		}
+	default:
+		if now >= g.electionDeadline && g.isMember(g.id) && g.node().running {
+			g.startElection(p)
+		}
+	}
+}
+
+func (g *group) hasQuorumContact(now sim.Time) bool {
+	contact := 1 // self
+	for _, m := range g.members {
+		if m == g.id {
+			continue
+		}
+		if now-g.lastAck[m] <= sim.Time(g.c.opts.ElectionTimeout) {
+			contact++
+		}
+	}
+	return contact >= g.quorum()
+}
+
+// --- elections --------------------------------------------------------------
+
+func (g *group) startElection(p *sim.Proc) {
+	g.term++
+	g.votedFor = g.id
+	g.role = roleCandidate
+	g.leader = -1
+	g.votes = map[int]bool{g.id: true}
+	g.resetElectionDeadline()
+	g.c.countElection(g.shard)
+	if len(g.members) == 1 && g.isMember(g.id) {
+		g.becomeLeader(p)
+		return
+	}
+	for _, m := range g.members {
+		if m == g.id {
+			continue
+		}
+		g.c.net.sendRequest(g.id, m, &wire.Request{
+			ID: g.c.nextMsgID(),
+			Op: wire.OpRequestVote,
+			Replica: &wire.ReplicaMsg{
+				Shard:        uint32(g.shard),
+				From:         uint32(g.id),
+				Term:         g.term,
+				LastLogIndex: g.lastIndex(),
+				LastLogTerm:  g.lastTerm(),
+			},
+		})
+	}
+}
+
+func (g *group) handleRequestVote(p *sim.Proc, m *wire.ReplicaMsg) {
+	if m.Term > g.term {
+		g.stepDown(m.Term, -1)
+	}
+	grant := false
+	if m.Term == g.term && (g.votedFor == -1 || g.votedFor == int(m.From)) {
+		upToDate := m.LastLogTerm > g.lastTerm() ||
+			(m.LastLogTerm == g.lastTerm() && m.LastLogIndex >= g.lastIndex())
+		if upToDate {
+			grant = true
+			g.votedFor = int(m.From)
+			g.resetElectionDeadline()
+		}
+	}
+	g.c.net.sendResponse(g.id, int(m.From), &wire.Response{
+		ID: g.c.nextMsgID(), Op: wire.OpRequestVote, Status: wire.StatusOK,
+		Replica: &wire.ReplicaReply{
+			Shard: uint32(g.shard), From: uint32(g.id), Term: g.term, Success: grant,
+		},
+	})
+}
+
+func (g *group) handleVoteReply(p *sim.Proc, r *wire.ReplicaReply) {
+	if r.Term > g.term {
+		g.stepDown(r.Term, -1)
+		return
+	}
+	if g.role != roleCandidate || r.Term != g.term || !r.Success {
+		return
+	}
+	g.votes[int(r.From)] = true
+	count := 0
+	for _, m := range g.members {
+		if g.votes[m] {
+			count++
+		}
+	}
+	if count >= g.quorum() {
+		g.becomeLeader(p)
+	}
+}
+
+func (g *group) becomeLeader(p *sim.Proc) {
+	now := g.c.env.Now()
+	g.role = roleLeader
+	g.leader = g.id
+	g.next = map[int]uint64{}
+	g.match = map[int]uint64{}
+	g.lastAck = map[int]sim.Time{}
+	g.lastAckRound = map[int]uint64{}
+	for _, m := range g.members {
+		g.next[m] = g.lastIndex() + 1
+		g.lastAck[m] = now
+	}
+	g.quorumCheckDue = now.Add(g.c.opts.ElectionTimeout)
+	g.c.noteLeader(g.shard, g.id, g.term)
+	// A fresh leader cannot commit entries from older terms by counting
+	// replicas; the no-op commits the current term and unblocks read-index.
+	g.appendLocal(p, wire.ReplicaEntry{Term: g.term, Kind: entryNop})
+	g.broadcastAppend(0)
+}
+
+// --- log replication --------------------------------------------------------
+
+// appendLocal assigns the next index and appends to the leader's own log.
+func (g *group) appendLocal(p *sim.Proc, e wire.ReplicaEntry) uint64 {
+	e.Index = g.lastIndex() + 1
+	g.log = append(g.log, e)
+	if e.Kind == entryConfig {
+		g.recomputeConfig()
+	}
+	if len(g.members) == 1 && g.isMember(g.id) {
+		g.advanceCommit(p)
+	}
+	return e.Index
+}
+
+// broadcastAppend sends AppendEntries to every peer, carrying round as a
+// read-index confirmation tag when non-zero.
+func (g *group) broadcastAppend(round uint64) {
+	g.heartbeatDue = g.c.env.Now().Add(g.c.opts.HeartbeatInterval)
+	for _, m := range g.members {
+		if m == g.id {
+			continue
+		}
+		g.sendAppend(m, round)
+	}
+}
+
+func (g *group) sendAppend(to int, round uint64) {
+	next := g.next[to]
+	if next == 0 {
+		next = 1
+	}
+	if next <= g.base {
+		// The peer is behind our snapshot horizon: ship the snapshot itself.
+		g.sendSnapshot(to)
+		return
+	}
+	prev := next - 1
+	var entries []wire.ReplicaEntry
+	if next <= g.lastIndex() {
+		entries = append(entries, g.log[next-g.base-1:]...)
+	}
+	g.c.net.sendRequest(g.id, to, &wire.Request{
+		ID: g.c.nextMsgID(),
+		Op: wire.OpAppendEntries,
+		Replica: &wire.ReplicaMsg{
+			Shard:     uint32(g.shard),
+			From:      uint32(g.id),
+			Term:      g.term,
+			PrevIndex: prev,
+			PrevTerm:  g.termAt(prev),
+			Commit:    g.commit,
+			Round:     round,
+			Entries:   entries,
+		},
+	})
+}
+
+func (g *group) handleAppendEntries(p *sim.Proc, m *wire.ReplicaMsg) {
+	reply := &wire.ReplicaReply{Shard: uint32(g.shard), From: uint32(g.id)}
+	defer func() {
+		reply.Term = g.term
+		g.c.net.sendResponse(g.id, int(m.From), &wire.Response{
+			ID: g.c.nextMsgID(), Op: wire.OpAppendEntries, Status: wire.StatusOK,
+			Replica: reply,
+		})
+	}()
+	if m.Term < g.term {
+		return // Success=false, stale leader learns our term
+	}
+	if m.Term > g.term || g.role != roleFollower {
+		g.stepDown(m.Term, int(m.From))
+	}
+	g.leader = int(m.From)
+	g.resetElectionDeadline()
+
+	// Log-matching check at (PrevIndex, PrevTerm).
+	if m.PrevIndex > g.lastIndex() {
+		reply.MatchIndex = g.lastIndex()
+		return
+	}
+	if m.PrevIndex >= g.base && g.termAt(m.PrevIndex) != m.PrevTerm {
+		back := m.PrevIndex - 1
+		if back > g.base {
+			reply.MatchIndex = back
+		} else {
+			reply.MatchIndex = g.base
+		}
+		return
+	}
+
+	// Append, skipping entries the snapshot already covers and truncating on
+	// the first conflict.
+	changed := false
+	for _, e := range m.Entries {
+		if e.Index <= g.base {
+			continue
+		}
+		if e.Index <= g.lastIndex() {
+			if g.termAt(e.Index) == e.Term {
+				continue
+			}
+			g.log = g.log[:e.Index-g.base-1]
+			changed = true
+		}
+		g.log = append(g.log, e)
+		changed = true
+	}
+	if changed {
+		g.recomputeConfig()
+	}
+	reply.Success = true
+	reply.MatchIndex = m.PrevIndex + uint64(len(m.Entries))
+	reply.Round = m.Round
+	if m.Commit > g.commit {
+		g.commit = min(m.Commit, g.lastIndex())
+		g.applyCommitted(p)
+	}
+}
+
+func (g *group) handleAppendReply(p *sim.Proc, r *wire.ReplicaReply) {
+	if r.Term > g.term {
+		g.stepDown(r.Term, -1)
+		return
+	}
+	if g.role != roleLeader || r.Term != g.term {
+		return
+	}
+	from := int(r.From)
+	g.lastAck[from] = g.c.env.Now()
+	if !r.Success {
+		// Back off next[] toward the follower's hint and re-probe.
+		n := r.MatchIndex + 1
+		if n < 1 {
+			n = 1
+		}
+		if n < g.next[from] {
+			g.next[from] = n
+		} else if g.next[from] > 1 {
+			g.next[from]--
+		}
+		g.sendAppend(from, 0)
+		return
+	}
+	if r.MatchIndex > g.match[from] {
+		g.match[from] = r.MatchIndex
+		g.next[from] = r.MatchIndex + 1
+	}
+	if r.Round > g.lastAckRound[from] {
+		g.lastAckRound[from] = r.Round
+	}
+	g.advanceCommit(p)
+	g.serveReads(p)
+	// Keep pushing if the follower is still behind.
+	if g.next[from] <= g.lastIndex() {
+		g.sendAppend(from, 0)
+	}
+}
+
+// advanceCommit moves the commit index to the highest current-term entry
+// replicated on a quorum, then applies.
+func (g *group) advanceCommit(p *sim.Proc) {
+	for n := g.lastIndex(); n > g.commit; n-- {
+		if g.termAt(n) != g.term {
+			break
+		}
+		count := 0
+		for _, m := range g.members {
+			if m == g.id {
+				if g.lastIndex() >= n {
+					count++
+				}
+			} else if g.match[m] >= n {
+				count++
+			}
+		}
+		if count >= g.quorum() {
+			g.commit = n
+			g.applyCommitted(p)
+			break
+		}
+	}
+}
+
+// applyCommitted applies every committed-but-unapplied entry to the state
+// machine, resolves client proposals, flips routing on config applies, and
+// deduplicates by (client, seq).
+func (g *group) applyCommitted(p *sim.Proc) {
+	for g.applied < g.commit {
+		g.applied++
+		e := *g.entryAt(g.applied)
+		switch e.Kind {
+		case entryPut, entryDelete:
+			if e.Client != 0 && g.sessions[e.Client] >= e.Seq {
+				break // duplicate of an already-applied proposal
+			}
+			if e.Client != 0 {
+				g.sessions[e.Client] = e.Seq
+			}
+			if err := g.sm.Apply(p, Command{Kind: e.Kind, Key: e.Key, Value: e.Value}); err != nil {
+				// State machines in this simulation only fail when their
+				// device is down, in which case the node is about to be
+				// crashed anyway; surface to the proposal if one waits.
+				if pd := g.props[g.applied]; pd != nil {
+					pd.err = err
+					pd.ev.Signal()
+					delete(g.props, g.applied)
+				}
+				continue
+			}
+		case entryConfig:
+			g.c.routeApplied(p, g.shard, &e)
+			if !g.isMember(g.id) && g.role == roleLeader {
+				// A leader removed by the config it just committed steps
+				// down; the remaining members elect among themselves.
+				g.stepDown(g.term, -1)
+			}
+		}
+		if pd := g.props[g.applied]; pd != nil {
+			if pd.client == e.Client && pd.seq == e.Seq {
+				pd.err = nil
+			} else {
+				pd.err = ErrUnknown
+			}
+			pd.ev.Signal()
+			delete(g.props, g.applied)
+		}
+	}
+	g.c.noteCommit(g.shard, g.id)
+}
+
+// --- snapshots --------------------------------------------------------------
+
+// sendSnapshot ships the leader's snapshot to a peer that has fallen behind
+// the log base, as a single Migrate frame.
+func (g *group) sendSnapshot(to int) {
+	pairs := append([]nvme.KVPair(nil), g.snapPairs...)
+	g.c.countSnapshot(g.shard)
+	g.c.net.sendRequest(g.id, to, &wire.Request{
+		ID:    g.c.nextMsgID(),
+		Op:    wire.OpMigrate,
+		Pairs: pairs,
+		Replica: &wire.ReplicaMsg{
+			Shard:     uint32(g.shard),
+			From:      uint32(g.id),
+			Term:      g.term,
+			SnapIndex: g.base,
+			SnapTerm:  g.baseTerm,
+			Epoch:     g.baseEpoch,
+			Done:      true,
+			Sessions:  sessionList(g.snapSessions),
+			Entries: []wire.ReplicaEntry{
+				{Kind: entryConfig, Members: memberList(g.baseMembers), Epoch: g.baseEpoch},
+			},
+		},
+	})
+}
+
+// handleMigrate installs a streamed snapshot chunk. Chunks accumulate in a
+// staging area; the Done chunk commits the install: the log resets to the
+// snapshot base and the state machine is restored. Used both by elastic
+// resharding (streaming a shard to its new owner) and by leaders bringing a
+// hopelessly-behind follower back.
+func (g *group) handleMigrate(p *sim.Proc, req *wire.Request) {
+	m := req.Replica
+	reply := &wire.ReplicaReply{
+		Shard: uint32(g.shard), From: uint32(g.id), Term: g.term, Round: m.Round,
+	}
+	send := func() {
+		g.c.net.sendResponse(g.id, int(m.From), &wire.Response{
+			ID: g.c.nextMsgID(), Op: wire.OpMigrate, Status: wire.StatusOK,
+			Replica: reply,
+		})
+	}
+	if m.Term > g.term {
+		g.stepDown(m.Term, -1)
+	}
+	// Refuse installs that would rewind an already-longer, already-applied
+	// state: the migration coordinator retries elsewhere.
+	if m.Done && m.SnapIndex < g.applied {
+		send()
+		return
+	}
+	g.staging = append(g.staging, req.Pairs...)
+	if !m.Done {
+		reply.Success = true
+		send()
+		return
+	}
+	pairs := g.staging
+	g.staging = nil
+	if err := g.sm.Restore(p, pairs); err != nil {
+		send()
+		return
+	}
+	g.base = m.SnapIndex
+	g.baseTerm = m.SnapTerm
+	g.log = nil
+	g.snapPairs = append([]nvme.KVPair(nil), pairs...)
+	g.snapSessions = map[uint64]uint64{}
+	g.sessions = map[uint64]uint64{}
+	for _, s := range m.Sessions {
+		g.snapSessions[s.Client] = s.Seq
+		g.sessions[s.Client] = s.Seq
+	}
+	if len(m.Entries) > 0 && m.Entries[0].Kind == entryConfig {
+		g.baseMembers = g.baseMembers[:0]
+		for _, mm := range m.Entries[0].Members {
+			g.baseMembers = append(g.baseMembers, int(mm))
+		}
+		g.baseEpoch = m.Entries[0].Epoch
+	}
+	g.recomputeConfig()
+	g.commit = g.base
+	g.applied = g.base
+	g.role = roleFollower
+	g.resetElectionDeadline()
+	reply.Success = true
+	reply.MatchIndex = g.base
+	send()
+}
+
+// --- role changes -----------------------------------------------------------
+
+// stepDown demotes to follower (adopting newTerm if higher) and fails every
+// in-flight proposal with the ambiguous ErrUnknown — the entries may yet
+// commit under the next leader, and session dedup makes the client retry
+// safe either way.
+func (g *group) stepDown(newTerm uint64, leader int) {
+	if newTerm > g.term {
+		g.term = newTerm
+		g.votedFor = -1
+	}
+	g.role = roleFollower
+	g.leader = leader
+	g.votes = nil
+	g.failPending(ErrUnknown, &NotLeaderError{Hint: leader})
+	g.resetElectionDeadline()
+	g.c.noteStepDown(g.shard, g.id)
+}
+
+// failPending resolves all waiting proposals with propErr and all waiting
+// reads with readErr.
+func (g *group) failPending(propErr, readErr error) {
+	for idx, pd := range g.props {
+		pd.err = propErr
+		pd.ev.Signal()
+		delete(g.props, idx)
+	}
+	for _, rd := range g.reads {
+		rd.err = readErr
+		rd.ev.Signal()
+	}
+	g.reads = nil
+}
+
+// --- client operations ------------------------------------------------------
+
+// propose appends a client command on the leader and returns a pending the
+// caller waits on; nil pending with nil error means already done.
+func (g *group) propose(p *sim.Proc, e wire.ReplicaEntry) (*pending, error) {
+	if g.c.stopped {
+		return nil, ErrStopped
+	}
+	if !g.node().running {
+		return nil, ErrDown
+	}
+	if g.role != roleLeader {
+		return nil, &NotLeaderError{Hint: g.leader}
+	}
+	if e.Client != 0 && g.sessions[e.Client] >= e.Seq {
+		return nil, nil // retry of an already-applied proposal: success
+	}
+	e.Term = g.term
+	idx := g.appendLocal(p, e)
+	if g.applied >= idx {
+		// Single-member group: appendLocal already committed and applied.
+		return nil, nil
+	}
+	pd := &pending{client: e.Client, seq: e.Seq, ev: sim.NewEvent(g.c.env)}
+	g.props[idx] = pd
+	g.broadcastAppend(0)
+	return pd, nil
+}
+
+// read starts a read-index read and returns the pending the caller waits on.
+func (g *group) read(p *sim.Proc, key []byte) (*pendingRead, error) {
+	if g.c.stopped {
+		return nil, ErrStopped
+	}
+	if !g.node().running {
+		return nil, ErrDown
+	}
+	if g.role != roleLeader {
+		return nil, &NotLeaderError{Hint: g.leader}
+	}
+	if g.termAt(g.commit) != g.term {
+		// No entry from this term committed yet: the leader cannot prove its
+		// commit index is current. The no-op will fix this within a round.
+		return nil, ErrNotReady
+	}
+	g.readSeq++
+	rd := &pendingRead{round: g.readSeq, index: g.commit, key: key, ev: sim.NewEvent(g.c.env)}
+	g.reads = append(g.reads, rd)
+	if len(g.members) == 1 && g.isMember(g.id) {
+		g.serveUpTo(p, g.readSeq)
+		return rd, nil
+	}
+	g.broadcastAppend(g.readSeq)
+	return rd, nil
+}
+
+// serveReads completes reads whose confirmation round a quorum has acked.
+func (g *group) serveReads(p *sim.Proc) {
+	if len(g.reads) == 0 || g.role != roleLeader {
+		return
+	}
+	// A peer acking round R confirms every round <= R.
+	confirmed := uint64(0)
+	for _, rd := range g.reads {
+		count := 1 // self
+		for _, m := range g.members {
+			if m != g.id && g.lastAckRound[m] >= rd.round {
+				count++
+			}
+		}
+		if count >= g.quorum() {
+			confirmed = rd.round
+		}
+	}
+	if confirmed == 0 {
+		return
+	}
+	g.serveUpTo(p, confirmed)
+}
+
+func (g *group) serveUpTo(p *sim.Proc, round uint64) {
+	rest := g.reads[:0]
+	for _, rd := range g.reads {
+		if rd.round > round || g.applied < rd.index {
+			rest = append(rest, rd)
+			continue
+		}
+		rd.value, rd.found, rd.err = g.sm.Lookup(p, rd.key)
+		rd.ev.Signal()
+	}
+	g.reads = rest
+}
+
+// unsafeRead serves a read from this node's local applied state with no
+// quorum confirmation — the deliberately broken mode behind the checker's
+// negative control.
+func (g *group) unsafeRead(p *sim.Proc, key []byte) ([]byte, bool, error) {
+	if !g.node().running {
+		return nil, false, ErrDown
+	}
+	return g.sm.Lookup(p, key)
+}
+
+// --- crash / restart --------------------------------------------------------
+
+// crash models a power cut: volatile state vanishes, persistent state stays.
+func (g *group) crash() {
+	// Pending proposals were already appended to the local log and may have
+	// replicated; they can still commit under the next leader, so their fate
+	// is ambiguous. Reads have no side effects and may fail definitely.
+	g.failPending(ErrUnknown, ErrDown)
+	g.role = roleFollower
+	g.leader = -1
+	g.votes = nil
+	g.commit = g.base
+	g.applied = g.base
+	g.staging = nil
+}
+
+// restart rebuilds volatile state from the persisted snapshot and log: the
+// state machine is restored to the snapshot and the log will be re-applied as
+// the commit index re-advances (replay is idempotent thanks to session dedup
+// and last-writer-wins semantics).
+func (g *group) restart(p *sim.Proc) {
+	g.role = roleFollower
+	g.leader = -1
+	g.commit = g.base
+	g.applied = g.base
+	g.sessions = map[uint64]uint64{}
+	for c, s := range g.snapSessions {
+		g.sessions[c] = s
+	}
+	// Restore the state machine to the snapshot; the leader's AppendEntries
+	// re-advance commit from there and replay the log through applyCommitted
+	// (replay is idempotent, so a device-backed machine that survived with
+	// newer state converges rather than corrupts).
+	_ = g.sm.Restore(p, g.snapPairs)
+	g.recomputeConfig()
+	g.resetElectionDeadline()
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func memberList(members []int) []uint32 {
+	out := make([]uint32, len(members))
+	for i, m := range members {
+		out[i] = uint32(m)
+	}
+	return out
+}
+
+func sessionList(sessions map[uint64]uint64) []wire.ReplicaSession {
+	clients := make([]uint64, 0, len(sessions))
+	for c := range sessions {
+		clients = append(clients, c)
+	}
+	sortUint64(clients)
+	out := make([]wire.ReplicaSession, 0, len(clients))
+	for _, c := range clients {
+		out = append(out, wire.ReplicaSession{Client: c, Seq: sessions[c]})
+	}
+	return out
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

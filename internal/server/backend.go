@@ -304,18 +304,23 @@ func (b *deviceBackend) Registry() *obs.Registry { return b.dev.Registry() }
 
 // --- Array backend ---------------------------------------------------------
 
-// arrayBackend fronts a sharded, replicated device array.
+// arrayBackend fronts a sharded, replicated device array. With replicated
+// set, keyspaces are created consensus-backed: writes commit at quorum
+// through per-shard leaders and reads go through the leader's read-index
+// (see array.CreateReplicated).
 type arrayBackend struct {
-	env   *sim.Env
-	arr   *array.Array
-	locks map[string]*sim.Resource
+	env        *sim.Env
+	arr        *array.Array
+	locks      map[string]*sim.Resource
+	replicated bool
 }
 
-func newArrayBackend(env *sim.Env, opts array.Options) *arrayBackend {
+func newArrayBackend(env *sim.Env, opts array.Options, replicated bool) *arrayBackend {
 	return &arrayBackend{
-		env:   env,
-		arr:   array.New(env, opts),
-		locks: make(map[string]*sim.Resource),
+		env:        env,
+		arr:        array.New(env, opts),
+		locks:      make(map[string]*sim.Resource),
+		replicated: replicated,
 	}
 }
 
@@ -335,14 +340,20 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 
 	case wire.OpCreateKeyspace:
 		var err error
-		if req.Parts > 1 {
+		switch {
+		case b.replicated:
+			_, err = b.arr.CreateReplicated(p, req.Keyspace, int(req.Parts))
+		case req.Parts > 1:
 			_, err = b.arr.CreateRangeSharded(p, req.Keyspace, int(req.Parts))
-		} else {
+		default:
 			_, err = b.arr.CreateKeyspace(p, req.Keyspace)
 		}
 		return respErr(err)
 
 	case wire.OpOpenKeyspace:
+		if _, err := b.arr.OpenReplicated(req.Keyspace); err == nil {
+			return respOK()
+		}
 		_, err := b.arr.OpenKeyspace(req.Keyspace)
 		return respErr(err)
 
@@ -371,6 +382,10 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 			return respErr(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+	}
+
+	if rk, err := b.arr.OpenReplicated(req.Keyspace); err == nil {
+		return b.applyReplicated(p, rk, req)
 	}
 
 	ks, err := b.arr.OpenKeyspace(req.Keyspace)
@@ -448,7 +463,54 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 	return &wire.Response{Status: wire.StatusBadRequest, Err: "unhandled opcode " + req.Op.String()}
 }
 
+// applyReplicated serves the consensus-backed keyspace operation set. Ops
+// outside it (scans, secondary indexes, compaction) are not replicated yet
+// and are refused rather than silently served stale.
+func (b *arrayBackend) applyReplicated(p *sim.Proc, rk *array.ReplicatedKeyspace, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPut:
+		return respErr(rk.Put(p, req.Key, req.Value))
+	case wire.OpDelete:
+		return respErr(rk.Delete(p, req.Key))
+	case wire.OpBulkPut:
+		return b.BulkApply(p, req.Keyspace, req.Pairs)
+	case wire.OpSync:
+		return respOK() // every committed write is already at quorum
+	case wire.OpGet:
+		v, ok, err := rk.Get(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: v, Exists: true}
+	case wire.OpExist:
+		_, ok, err := rk.Get(p, req.Key)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Exists: ok}
+	}
+	return &wire.Response{Status: wire.StatusBadRequest,
+		Err: req.Op.String() + " not supported on replicated keyspace " + rk.Name()}
+}
+
 func (b *arrayBackend) BulkApply(p *sim.Proc, keyspace string, pairs []nvme.KVPair) *wire.Response {
+	if rk, err := b.arr.OpenReplicated(keyspace); err == nil {
+		for _, kv := range pairs {
+			var err error
+			if kv.Tombstone {
+				err = rk.Delete(p, kv.Key)
+			} else {
+				err = rk.Put(p, kv.Key, kv.Value)
+			}
+			if err != nil {
+				return respErr(err)
+			}
+		}
+		return respOK()
+	}
 	ks, err := b.arr.OpenKeyspace(keyspace)
 	if err != nil {
 		return respErr(err)
@@ -486,6 +548,7 @@ func (b *arrayBackend) statsReport() *wire.Response {
 		AppWrite:     st.AppWrite.Value(),
 		VirtualNanos: int64(b.env.Now()),
 		Health:       wh,
+		Ring:         b.arr.RingTable(),
 	}
 	return &wire.Response{Status: wire.StatusOK, Stats: rep}
 }

@@ -76,6 +76,11 @@ type Config struct {
 	SlowOpThreshold time.Duration
 	// SlowOpLog receives one JSON line per over-budget op (nil = ring only).
 	SlowOpLog io.Writer
+	// Replicated makes an array backend create consensus-backed keyspaces:
+	// writes commit at quorum through per-shard leaders, reads go through the
+	// leader's read-index, and the Stats ring table carries live leaders and
+	// epochs. Ignored by device backends.
+	Replicated bool
 }
 
 // DefaultConfig returns the default server tuning.
@@ -178,7 +183,7 @@ func NewDevice(opts device.Options, cfg Config) *Server {
 // NewArray builds a server over a sharded, replicated device array.
 func NewArray(opts array.Options, cfg Config) *Server {
 	env := sim.NewEnv()
-	return New(env, newArrayBackend(env, opts), cfg)
+	return New(env, newArrayBackend(env, opts, cfg.Replicated), cfg)
 }
 
 // Env returns the simulation environment the server drives.

@@ -221,6 +221,10 @@ func EncodeRequest(r *Request) []byte {
 	e.uvarint(uint64(r.Limit))
 	e.uvarint(uint64(r.Parts))
 	e.uvarint(uint64(r.Device))
+	e.boolean(r.Replica != nil)
+	if r.Replica != nil {
+		encodeReplicaMsg(e, r.Replica)
+	}
 	return e.b
 }
 
@@ -245,6 +249,9 @@ func DecodeRequest(h Header, payload []byte) (*Request, error) {
 	r.Limit = uint32(d.uvarint())
 	r.Parts = uint32(d.uvarint())
 	r.Device = uint32(d.uvarint())
+	if d.boolean() {
+		r.Replica = decodeReplicaMsg(d)
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -304,6 +311,7 @@ func encodeStats(e *encoder, s *StatsReport) {
 	if s.RPC != nil {
 		encodeRPC(e, s.RPC)
 	}
+	encodeRing(e, s.Ring)
 }
 
 func encodeRPC(e *encoder, r *RPCReport) {
@@ -377,6 +385,7 @@ func decodeStats(d *decoder) *StatsReport {
 	if d.boolean() {
 		s.RPC = decodeRPC(d)
 	}
+	s.Ring = decodeRing(d)
 	if d.err != nil {
 		return nil
 	}
@@ -401,6 +410,10 @@ func EncodeResponse(r *Response) []byte {
 		encodeStats(e, r.Stats)
 	}
 	e.str(r.Report)
+	e.boolean(r.Replica != nil)
+	if r.Replica != nil {
+		encodeReplicaReply(e, r.Replica)
+	}
 	return e.b
 }
 
@@ -422,6 +435,9 @@ func DecodeResponse(h Header, payload []byte) (*Response, error) {
 		r.Stats = decodeStats(d)
 	}
 	r.Report = d.str()
+	if d.boolean() {
+		r.Replica = decodeReplicaReply(d)
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -475,6 +491,7 @@ func Accumulate(acc, chunk *Response) (*Response, bool) {
 		acc.Info = chunk.Info
 		acc.Stats = chunk.Stats
 		acc.Report = chunk.Report
+		acc.Replica = chunk.Replica
 		acc.More = false
 		return acc, true
 	}

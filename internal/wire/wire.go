@@ -33,8 +33,10 @@ const (
 	// Version is the protocol revision; both ends must match. Version 2
 	// widened the header with trace context (trace ID + parent span ID) so a
 	// remote client span and the server/device spans it causes share one
-	// causally-linked trace.
-	Version uint8 = 2
+	// causally-linked trace. Version 3 added the consensus verbs
+	// (RequestVote/AppendEntries/Migrate), their request/response bodies,
+	// and the shard-ownership ring table in Stats reports.
+	Version uint8 = 3
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 36
 	// TrailerSize is the CRC32-C trailer length in bytes.
@@ -89,6 +91,15 @@ const (
 	OpPowerCut
 	OpRecover
 
+	// Consensus verbs (PR 7): the replica groups carry their replicated log
+	// and elections in ordinary wire frames, so a consensus message on a
+	// link is framed, CRC-protected, and inspectable exactly like a client
+	// RPC. These verbs never arrive from remote clients; the gateway rejects
+	// them as bad requests.
+	OpRequestVote
+	OpAppendEntries
+	OpMigrate
+
 	opMax // one past the last valid opcode
 )
 
@@ -115,6 +126,9 @@ var opNames = map[Op]string{
 	OpStats:              "Stats",
 	OpPowerCut:           "PowerCut",
 	OpRecover:            "Recover",
+	OpRequestVote:        "RequestVote",
+	OpAppendEntries:      "AppendEntries",
+	OpMigrate:            "Migrate",
 }
 
 // String names the opcode.
@@ -168,7 +182,8 @@ func (o Op) NVMe() nvme.Opcode {
 		return nvme.OpBuildSecondaryIndex
 	case OpIndexStatus:
 		return nvme.OpIndexStatus
-	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover:
+	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover,
+		OpRequestVote, OpAppendEntries, OpMigrate:
 		return nvme.OpKeyspaceInfo
 	}
 	return nvme.OpKeyspaceInfo
@@ -329,6 +344,10 @@ type Request struct {
 	// Device targets an array member (PowerCut/Recover); ignored by a
 	// single-device server.
 	Device uint32
+
+	// Replica carries the consensus message body for OpRequestVote,
+	// OpAppendEntries, and OpMigrate frames (nil on every client verb).
+	Replica *ReplicaMsg
 }
 
 // DeviceHealth is one array member's health in a stats report.
@@ -381,6 +400,25 @@ type StatsReport struct {
 	// RPC carries the gateway's RPC metrics (nil from backends that answer
 	// stats without a gateway in front).
 	RPC *RPCReport
+
+	// Ring is the shard-ownership table (keyspace shard -> devices, epoch,
+	// leader), nil from single-device backends. It closes the placement
+	// blind spot: kvcsd-cli stats and zns-inspect render it directly.
+	Ring []RingEntry
+}
+
+// RingEntry is one row of the shard-ownership table: which devices hold a
+// shard, under which config epoch, and (for consensus-backed groups) which
+// member currently leads it.
+type RingEntry struct {
+	Keyspace string
+	Shard    uint32
+	Epoch    uint64
+	// Leader is the device ID of the shard-group leader, -1 when unknown or
+	// when the shard is plain fan-out replicated (no leader concept).
+	Leader int32
+	// Members are the owning device IDs, ring order (primary first).
+	Members []uint32
 }
 
 // Response is one decoded server response (or one streamed chunk of one —
@@ -413,4 +451,8 @@ type Response struct {
 
 	// Report carries a human-readable recovery/power-cut summary.
 	Report string
+
+	// Replica carries the consensus reply body for OpRequestVote,
+	// OpAppendEntries, and OpMigrate responses (nil on every client verb).
+	Replica *ReplicaReply
 }
