@@ -19,14 +19,42 @@ import (
 // read-index, so — unlike the fan-out replication of plain array keyspaces —
 // a power-cut replica can never serve stale data.
 //
-// The handle carries one client session (retries are exactly-once through
-// session dedup); use it from one simulation process at a time.
+// The handle is safe for concurrent simulation processes (the server gateway
+// runs pipelined requests as overlapping procs): each operation checks a
+// replica session out of a pool, so every in-flight op has its own
+// (client, seq) identity and retries stay exactly-once through session dedup.
+// A session is owned by one proc at a time; sharing one session across
+// concurrent ops would let a retried low-seq write be falsely deduplicated by
+// a concurrent higher-seq write on the same client.
 type ReplicatedKeyspace struct {
 	a       *Array
 	name    string
 	shards  int
 	cluster *replica.Cluster
-	session *replica.Session
+
+	// sessions is the idle-session pool; nextClient numbers fresh sessions.
+	// Sim procs are cooperatively scheduled and checkout/checkin never yield,
+	// so the pool needs no lock.
+	sessions   []*replica.Session
+	nextClient uint64
+}
+
+// checkout takes an idle session or mints a fresh client identity.
+func (k *ReplicatedKeyspace) checkout() *replica.Session {
+	if n := len(k.sessions); n > 0 {
+		s := k.sessions[n-1]
+		k.sessions = k.sessions[:n-1]
+		return s
+	}
+	k.nextClient++
+	return k.cluster.Client(k.nextClient)
+}
+
+// checkin returns a session to the pool. Safe even after an ambiguous
+// failure: a dangling proposal that commits later deduplicates against its
+// own (client, seq), and the next op on this session uses a higher seq.
+func (k *ReplicatedKeyspace) checkin(s *replica.Session) {
+	k.sessions = append(k.sessions, s)
 }
 
 // deviceSM adapts one device-side keyspace to the replica.StateMachine
@@ -182,16 +210,18 @@ func (a *Array) CreateReplicated(p *sim.Proc, name string, shards int) (*Replica
 		Registry:    a.reg,
 		GaugePrefix: name + "/",
 	})
-	k.session = k.cluster.Client(1)
-	a.replicated[name] = k
-	a.repOrder = append(a.repOrder, name)
 	// Wait until every shard has a ready leader so the first client op does
-	// not eat the initial election timeout.
+	// not eat the initial election timeout. Register the keyspace only once
+	// every shard can serve: a half-initialized registration would make a
+	// retry fail with ErrKeyspaceExists and hand leaderless shards to opens.
 	for s := 0; s < shards; s++ {
 		if _, err := k.cluster.WaitLeader(p, s); err != nil {
+			k.cluster.Stop()
 			return nil, err
 		}
 	}
+	a.replicated[name] = k
+	a.repOrder = append(a.repOrder, name)
 	return k, nil
 }
 
@@ -239,17 +269,23 @@ func (k *ReplicatedKeyspace) shardFor(key []byte) int {
 
 // Put commits one pair through the owning shard group's leader at quorum.
 func (k *ReplicatedKeyspace) Put(p *sim.Proc, key, value []byte) error {
-	return k.session.Put(p, k.shardFor(key), key, value)
+	s := k.checkout()
+	defer k.checkin(s)
+	return s.Put(p, k.shardFor(key), key, value)
 }
 
 // Delete commits a deletion through the owning shard group at quorum.
 func (k *ReplicatedKeyspace) Delete(p *sim.Proc, key []byte) error {
-	return k.session.Delete(p, k.shardFor(key), key)
+	s := k.checkout()
+	defer k.checkin(s)
+	return s.Delete(p, k.shardFor(key), key)
 }
 
 // Get performs a linearizable read via the shard leader's read-index.
 func (k *ReplicatedKeyspace) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
-	return k.session.Get(p, k.shardFor(key), key)
+	s := k.checkout()
+	defer k.checkin(s)
+	return s.Get(p, k.shardFor(key), key)
 }
 
 // Leader returns the device currently leading a shard group (-1 unknown).

@@ -146,6 +146,47 @@ func TestReplicatedKeyspaceMoveShard(t *testing.T) {
 	})
 }
 
+func TestReplicatedKeyspaceConcurrentProcs(t *testing.T) {
+	// Regression: the server gateway runs pipelined requests as overlapping
+	// sim procs against one ReplicatedKeyspace handle. Each in-flight op must
+	// get its own replica session — sharing one (client, seq) stream across
+	// concurrent ops lets a retried low-seq write be falsely deduplicated by
+	// a concurrent higher-seq write and acknowledged without applying.
+	opts := DefaultOptions()
+	runReplicated(t, opts, func(p *sim.Proc, a *Array) {
+		k, err := a.CreateReplicated(p, "orders", 1)
+		if err != nil {
+			t.Fatalf("CreateReplicated: %v", err)
+		}
+		env := p.Env()
+		var procs []*sim.Proc
+		for w := 0; w < 8; w++ {
+			w := w
+			procs = append(procs, env.Go("writer", func(q *sim.Proc) {
+				for j := 0; j < 5; j++ {
+					key := []byte(fmt.Sprintf("c%02d-%02d", w, j))
+					if err := k.Put(q, key, key); err != nil {
+						t.Errorf("concurrent put %s: %v", key, err)
+					}
+				}
+			}))
+		}
+		p.Join(procs...)
+		if k.nextClient < 2 {
+			t.Fatalf("concurrent ops shared one session (nextClient=%d)", k.nextClient)
+		}
+		for w := 0; w < 8; w++ {
+			for j := 0; j < 5; j++ {
+				key := []byte(fmt.Sprintf("c%02d-%02d", w, j))
+				v, found, err := k.Get(p, key)
+				if err != nil || !found || string(v) != string(key) {
+					t.Fatalf("get %s = %q found=%v err=%v", key, v, found, err)
+				}
+			}
+		}
+	})
+}
+
 func TestArrayRingTable(t *testing.T) {
 	opts := DefaultOptions()
 	runReplicated(t, opts, func(p *sim.Proc, a *Array) {

@@ -51,12 +51,13 @@ type group struct {
 	epoch   uint64
 
 	// --- volatile -----------------------------------------------------------
-	role     int
-	leader   int // last observed leader, -1 unknown
-	commit   uint64
-	applied  uint64
-	sm       StateMachine
-	sessions map[uint64]uint64 // client -> highest applied seq
+	role      int
+	leader    int // last observed leader, -1 unknown
+	commit    uint64
+	applied   uint64
+	applyBusy bool // an applyCommitted drain loop is active
+	sm        StateMachine
+	sessions  map[uint64]uint64 // client -> highest applied seq
 
 	votes        map[int]bool
 	next         map[int]uint64
@@ -72,8 +73,15 @@ type group struct {
 	props   map[uint64]*pending
 	reads   []*pendingRead
 
-	// staging accumulates migrate chunks until the Done chunk installs them.
-	staging []nvme.KVPair
+	// staging accumulates migrate chunks until the Done chunk installs them;
+	// stagingStream is the stream ID the staged chunks belong to, so chunks
+	// from an aborted earlier stream are discarded instead of merged.
+	staging       []nvme.KVPair
+	stagingStream uint64
+
+	// snapDue rate-limits leader catch-up snapshots per peer: while one is in
+	// flight there is no point re-shipping the full state every heartbeat.
+	snapDue map[int]sim.Time
 
 	rng *sim.RNG
 }
@@ -278,6 +286,7 @@ func (g *group) becomeLeader(p *sim.Proc) {
 	g.match = map[int]uint64{}
 	g.lastAck = map[int]sim.Time{}
 	g.lastAckRound = map[int]uint64{}
+	g.snapDue = map[int]sim.Time{}
 	for _, m := range g.members {
 		g.next[m] = g.lastIndex() + 1
 		g.lastAck[m] = now
@@ -477,10 +486,24 @@ func (g *group) advanceCommit(p *sim.Proc) {
 // applyCommitted applies every committed-but-unapplied entry to the state
 // machine, resolves client proposals, flips routing on config applies, and
 // deduplicates by (client, seq).
+//
+// Device-backed state machines yield virtual time inside Apply, so this can
+// be re-entered from another deliver proc while an apply is in flight. The
+// applyBusy guard keeps exactly one drain loop active — the loop re-checks
+// the commit index every iteration, so entries committed during a yield are
+// drained by the active loop. Without the guard, a concurrent re-entrant
+// loop advances g.applied underneath the yielded one, which then resolves
+// the wrong pending proposal and strands its proposer forever.
 func (g *group) applyCommitted(p *sim.Proc) {
+	if g.applyBusy {
+		return
+	}
+	g.applyBusy = true
+	defer func() { g.applyBusy = false }()
 	for g.applied < g.commit {
 		g.applied++
-		e := *g.entryAt(g.applied)
+		idx := g.applied // stable across yields even if a crash resets the cursor
+		e := *g.entryAt(idx)
 		switch e.Kind {
 		case entryPut, entryDelete:
 			if e.Client != 0 && g.sessions[e.Client] >= e.Seq {
@@ -493,10 +516,10 @@ func (g *group) applyCommitted(p *sim.Proc) {
 				// State machines in this simulation only fail when their
 				// device is down, in which case the node is about to be
 				// crashed anyway; surface to the proposal if one waits.
-				if pd := g.props[g.applied]; pd != nil {
+				if pd := g.props[idx]; pd != nil {
 					pd.err = err
 					pd.ev.Signal()
-					delete(g.props, g.applied)
+					delete(g.props, idx)
 				}
 				continue
 			}
@@ -508,14 +531,14 @@ func (g *group) applyCommitted(p *sim.Proc) {
 				g.stepDown(g.term, -1)
 			}
 		}
-		if pd := g.props[g.applied]; pd != nil {
+		if pd := g.props[idx]; pd != nil {
 			if pd.client == e.Client && pd.seq == e.Seq {
 				pd.err = nil
 			} else {
 				pd.err = ErrUnknown
 			}
 			pd.ev.Signal()
-			delete(g.props, g.applied)
+			delete(g.props, idx)
 		}
 	}
 	g.c.noteCommit(g.shard, g.id)
@@ -524,8 +547,16 @@ func (g *group) applyCommitted(p *sim.Proc) {
 // --- snapshots --------------------------------------------------------------
 
 // sendSnapshot ships the leader's snapshot to a peer that has fallen behind
-// the log base, as a single Migrate frame.
+// the log base, as a single Migrate frame with Round=0 (no coordinator call):
+// the ack comes back through handleSnapshotReply, which advances next[to] so
+// post-snapshot entries follow via ordinary AppendEntries. While one snapshot
+// is in flight, re-sends to the same peer are suppressed.
 func (g *group) sendSnapshot(to int) {
+	now := g.c.env.Now()
+	if now < g.snapDue[to] {
+		return
+	}
+	g.snapDue[to] = now.Add(g.c.opts.ElectionTimeout)
 	pairs := append([]nvme.KVPair(nil), g.snapPairs...)
 	g.c.countSnapshot(g.shard)
 	g.c.net.sendRequest(g.id, to, &wire.Request{
@@ -541,11 +572,42 @@ func (g *group) sendSnapshot(to int) {
 			Epoch:     g.baseEpoch,
 			Done:      true,
 			Sessions:  sessionList(g.snapSessions),
+			Stream:    g.c.nextMsgID(),
 			Entries: []wire.ReplicaEntry{
 				{Kind: entryConfig, Members: memberList(g.baseMembers), Epoch: g.baseEpoch},
 			},
 		},
 	})
+}
+
+// handleSnapshotReply is the leader-side ack path for catch-up snapshots
+// (Migrate replies whose Round matches no coordinator call). A Success ack
+// carries MatchIndex = the installed snapshot base; a refusal carries the
+// follower's applied index — applied entries are committed, and a leader's
+// log holds every committed entry, so either way MatchIndex is a proven log
+// match the leader can resume AppendEntries from.
+func (g *group) handleSnapshotReply(p *sim.Proc, r *wire.ReplicaReply) {
+	if r.Term > g.term {
+		g.stepDown(r.Term, -1)
+		return
+	}
+	if g.role != roleLeader || r.Term != g.term {
+		return
+	}
+	from := int(r.From)
+	g.lastAck[from] = g.c.env.Now()
+	g.snapDue[from] = 0
+	if r.MatchIndex > g.match[from] {
+		g.match[from] = r.MatchIndex
+	}
+	if r.MatchIndex+1 > g.next[from] {
+		g.next[from] = r.MatchIndex + 1
+	}
+	g.advanceCommit(p)
+	g.serveReads(p)
+	if g.next[from] <= g.lastIndex() {
+		g.sendAppend(from, 0)
+	}
 }
 
 // handleMigrate installs a streamed snapshot chunk. Chunks accumulate in a
@@ -556,9 +618,10 @@ func (g *group) sendSnapshot(to int) {
 func (g *group) handleMigrate(p *sim.Proc, req *wire.Request) {
 	m := req.Replica
 	reply := &wire.ReplicaReply{
-		Shard: uint32(g.shard), From: uint32(g.id), Term: g.term, Round: m.Round,
+		Shard: uint32(g.shard), From: uint32(g.id), Round: m.Round,
 	}
 	send := func() {
+		reply.Term = g.term // after any stepDown, so the sender trusts the ack
 		g.c.net.sendResponse(g.id, int(m.From), &wire.Response{
 			ID: g.c.nextMsgID(), Op: wire.OpMigrate, Status: wire.StatusOK,
 			Replica: reply,
@@ -567,9 +630,19 @@ func (g *group) handleMigrate(p *sim.Proc, req *wire.Request) {
 	if m.Term > g.term {
 		g.stepDown(m.Term, -1)
 	}
+	// A chunk from a different stream means the previous stream aborted
+	// mid-flight; its staged pairs must never leak into this install.
+	if m.Stream != g.stagingStream {
+		g.staging = nil
+		g.stagingStream = m.Stream
+	}
 	// Refuse installs that would rewind an already-longer, already-applied
-	// state: the migration coordinator retries elsewhere.
+	// state: the migration coordinator retries elsewhere, and a catch-up
+	// leader resumes AppendEntries from our applied index (committed state,
+	// so it is a proven log match).
 	if m.Done && m.SnapIndex < g.applied {
+		g.staging = nil
+		reply.MatchIndex = g.applied
 		send()
 		return
 	}

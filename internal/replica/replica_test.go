@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"kvcsd/internal/nvme"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/wire"
@@ -246,6 +247,118 @@ func TestMoveShardSurvivesMidMigrationPowerCut(t *testing.T) {
 			if gerr != nil || !found || !bytes.Equal(v, []byte{byte(i)}) {
 				t.Fatalf("lost key %d (move err=%v): %q,%v,%v", i, err, v, found, gerr)
 			}
+		}
+	})
+}
+
+func TestSnapshotCatchUpAfterPostMigrationFailover(t *testing.T) {
+	// Regression: a leader whose log base > 0 (it installed a migration
+	// snapshot) must be able to bring a behind follower back with a catch-up
+	// snapshot whose ack actually reaches it — otherwise next[] never
+	// advances, the follower never acks, and the group stalls as soon as the
+	// quorum depends on that follower.
+	run(t, Options{Nodes: 4, Shards: 1, ReplicationFactor: 3, Seed: 31}, func(p *sim.Proc, c *Cluster) {
+		s := c.Client(1)
+		for i := 0; i < 50; i++ {
+			if err := s.Put(p, 0, []byte(fmt.Sprintf("key-%03d", i)), []byte{byte(i)}); err != nil {
+				t.Fatalf("Put %d: %v", i, err)
+			}
+		}
+		leader, err := c.WaitLeader(p, 0)
+		if err != nil {
+			t.Fatalf("WaitLeader: %v", err)
+		}
+		var behind, other = -1, -1
+		for _, m := range c.Members(0) {
+			if m == leader {
+				continue
+			}
+			if behind < 0 {
+				behind = m
+			} else {
+				other = m
+			}
+		}
+		// Cut one follower dark, then write entries it will never see.
+		c.Crash(behind)
+		for i := 50; i < 200; i++ {
+			if err := s.Put(p, 0, []byte(fmt.Sprintf("key-%03d", i)), []byte{byte(i)}); err != nil {
+				t.Fatalf("Put %d: %v", i, err)
+			}
+		}
+		// Reshard the remaining follower's seat to node 3: node 3 installs a
+		// migration snapshot, so its log base covers everything `behind` lacks.
+		if err := c.MoveShard(p, 0, other, 3); err != nil {
+			t.Fatalf("MoveShard: %v", err)
+		}
+		// Kill the old leader and bring `behind` back. Node 3 holds the only
+		// complete log among running members, so it must win the election —
+		// and committing anything then requires `behind`, which can only
+		// catch up through a leader-initiated snapshot.
+		c.Crash(leader)
+		c.Restart(p, behind)
+		nl, err := c.WaitLeader(p, 0)
+		if err != nil {
+			t.Fatalf("no leader after failover (snapshot acks lost?): %v", err)
+		}
+		if nl != 3 {
+			t.Fatalf("leader = %d, want the migrated node 3", nl)
+		}
+		if err := s.Put(p, 0, []byte("post-failover"), []byte("ok")); err != nil {
+			t.Fatalf("Put needing snapshot-caught-up quorum: %v", err)
+		}
+		v, found, err := s.Get(p, 0, []byte("key-120"))
+		if err != nil || !found || !bytes.Equal(v, []byte{120}) {
+			t.Fatalf("Get key-120 after catch-up = %q,%v,%v", v, found, err)
+		}
+		if c.snapshots == 0 {
+			t.Fatalf("no catch-up snapshot was sent; follower caught up some other way")
+		}
+		if g := c.nodes[behind].groups[0]; g.base == 0 {
+			t.Fatalf("behind follower never installed the catch-up snapshot")
+		}
+	})
+}
+
+func TestMigrateStagingIsolatedPerStream(t *testing.T) {
+	// Regression: staged chunks from an aborted stream must not leak into a
+	// later install, and a refused Done chunk must clear the staging area.
+	run(t, Options{Nodes: 2, Shards: 1, ReplicationFactor: 1, Seed: 37}, func(p *sim.Proc, c *Cluster) {
+		g := c.nodes[1].groups[0] // non-member shell, as a reshard target
+		chunk := func(stream uint64, done bool, snapIndex uint64, key string) {
+			g.handleMigrate(p, &wire.Request{
+				Op:    wire.OpMigrate,
+				Pairs: []nvme.KVPair{{Key: []byte(key), Value: []byte(key)}},
+				Replica: &wire.ReplicaMsg{
+					Shard: 0, From: 0, Stream: stream,
+					Done: done, SnapIndex: snapIndex, SnapTerm: 1,
+				},
+			})
+		}
+		has := func(key string) bool {
+			_, found, err := g.sm.Lookup(p, []byte(key))
+			if err != nil {
+				t.Fatalf("Lookup %q: %v", key, err)
+			}
+			return found
+		}
+		// Stream 100 aborts after one chunk; stream 200 installs.
+		chunk(100, false, 0, "stale")
+		chunk(200, true, 5, "fresh")
+		if has("stale") || !has("fresh") {
+			t.Fatalf("aborted stream leaked into install: stale=%v fresh=%v", has("stale"), has("fresh"))
+		}
+		// Stream 300's Done is refused (SnapIndex 2 < applied 5): its staged
+		// chunk must be dropped, not merged into the next stream's install.
+		chunk(300, false, 0, "ghost")
+		chunk(300, true, 2, "ghost2")
+		if len(g.staging) != 0 {
+			t.Fatalf("refused install left %d staged pairs", len(g.staging))
+		}
+		chunk(400, true, 9, "solid")
+		if has("ghost") || has("ghost2") || !has("solid") {
+			t.Fatalf("refused stream resurrected pairs: ghost=%v ghost2=%v solid=%v",
+				has("ghost"), has("ghost2"), has("solid"))
 		}
 	})
 }

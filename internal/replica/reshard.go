@@ -25,15 +25,18 @@ type call struct {
 	err   error
 }
 
-// resolveCall completes the migrate RPC the reply's Round names.
-func (c *Cluster) resolveCall(r *wire.ReplicaReply) {
+// resolveCall completes the migrate RPC the reply's Round names, reporting
+// whether a registered call claimed the reply (leader catch-up snapshots send
+// with Round=0 and no call; their acks route to handleSnapshotReply instead).
+func (c *Cluster) resolveCall(r *wire.ReplicaReply) bool {
 	cl := c.calls[r.Round]
 	if cl == nil {
-		return
+		return false
 	}
 	delete(c.calls, r.Round)
 	cl.reply = r
 	cl.ev.Signal()
+	return true
 }
 
 // rpcMigrate ships one migrate frame from coordinator-on-node `from` to
@@ -91,6 +94,7 @@ func (c *Cluster) MoveShard(p *sim.Proc, shard, from, to int) error {
 	snapIndex, snapTerm := g.applied, g.termAt(g.applied)
 	sessions := sessionList(g.sessions)
 	baseCfg := wire.ReplicaEntry{Kind: entryConfig, Members: memberList(g.members), Epoch: g.epoch}
+	stream := c.nextMsgID()
 	c.countMigration()
 	for off := 0; ; off += migrateChunkPairs {
 		end := off + migrateChunkPairs
@@ -103,10 +107,11 @@ func (c *Cluster) MoveShard(p *sim.Proc, shard, from, to int) error {
 			chunk = pairs[off:end]
 		}
 		msg := &wire.ReplicaMsg{
-			Shard: uint32(shard),
-			From:  uint32(leaderID),
-			Term:  g.term,
-			Done:  done,
+			Shard:  uint32(shard),
+			From:   uint32(leaderID),
+			Term:   g.term,
+			Done:   done,
+			Stream: stream,
 		}
 		if done {
 			msg.SnapIndex = snapIndex

@@ -124,7 +124,11 @@ func (n *node) deliver(p *sim.Proc, frame []byte) {
 		case wire.OpAppendEntries:
 			g.handleAppendReply(p, resp.Replica)
 		case wire.OpMigrate:
-			n.c.resolveCall(resp.Replica)
+			// Coordinator-issued chunks carry a registered call (Round =
+			// msgID); everything else is a leader catch-up snapshot ack.
+			if !n.c.resolveCall(resp.Replica) {
+				g.handleSnapshotReply(p, resp.Replica)
+			}
 		}
 	}
 }

@@ -74,12 +74,15 @@ type ReplicaMsg struct {
 
 	// Migrate: snapshot coordinates of the streamed chunk (pairs ride in
 	// Request.Pairs). Done marks the final chunk, which also carries the
-	// dedup sessions and the log base the snapshot covers.
+	// dedup sessions and the log base the snapshot covers. Stream identifies
+	// the migration stream the chunk belongs to, so a receiver never merges
+	// staged chunks from an aborted earlier stream into a later install.
 	SnapIndex uint64
 	SnapTerm  uint64
 	Epoch     uint64
 	Done      bool
 	Sessions  []ReplicaSession
+	Stream    uint64
 }
 
 // ReplicaReply is the response body of a consensus frame.
@@ -153,6 +156,7 @@ func encodeReplicaMsg(e *encoder, m *ReplicaMsg) {
 		e.uvarint(s.Client)
 		e.uvarint(s.Seq)
 	}
+	e.uvarint(m.Stream)
 }
 
 func decodeReplicaMsg(d *decoder) *ReplicaMsg {
@@ -179,6 +183,7 @@ func decodeReplicaMsg(d *decoder) *ReplicaMsg {
 	for i := 0; i < n && d.err == nil; i++ {
 		m.Sessions = append(m.Sessions, ReplicaSession{Client: d.uvarint(), Seq: d.uvarint()})
 	}
+	m.Stream = d.uvarint()
 	if d.err != nil {
 		return nil
 	}

@@ -37,6 +37,7 @@ func sampleReplicaRequest() *Request {
 			Epoch:     3,
 			Done:      true,
 			Sessions:  []ReplicaSession{{Client: 9, Seq: 4}, {Client: 11, Seq: 1}},
+			Stream:    77,
 		},
 	}
 }
