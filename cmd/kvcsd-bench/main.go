@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	devices := flag.Int("devices", 8, "largest device count in the array-scaling sweep")
@@ -192,6 +192,15 @@ func main() {
 		emit("failover", bench.ClockVirtual, t, "nodes")
 		ran = true
 	}
+	if want("fairness") {
+		t, err := bench.OverloadFairness(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		emit("fairness", bench.ClockVirtual, t, "phase", "tenant")
+		ran = true
+	}
 	if want("ablations") {
 		type abl struct {
 			name string
@@ -218,7 +227,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -57,6 +57,7 @@ type cliConfig struct {
 	seed      int64
 	ksName    string
 	addr      string
+	tenant    string
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.queries, "queries", 1000, "session/stats: random point queries after compaction")
 	flag.Int64Var(&cfg.seed, "seed", 1, "simulation seed (same seed = same virtual cluster)")
 	flag.StringVar(&cfg.ksName, "ks", "data", "keyspace name for array commands")
+	flag.StringVar(&cfg.tenant, "tenant", "", "remote mode: open a session as this tenant so requests are billed to its fair share")
 	flag.Parse()
 
 	cmd := flag.Arg(0)

@@ -9,6 +9,7 @@ import (
 	"kvcsd/internal/client"
 	"kvcsd/internal/remote"
 	"kvcsd/internal/stats"
+	"kvcsd/internal/wire"
 )
 
 // runRemote dispatches a subcommand against a running kvcsd-server instead
@@ -22,7 +23,9 @@ func runRemote(cfg cliConfig, cmd string, args []string) error {
 		return fmt.Errorf("%s is not supported in remote mode (run it locally without -addr)", cmd)
 	}
 
-	c, err := remote.Dial(cfg.addr, remote.DefaultOptions())
+	opts := remote.DefaultOptions()
+	opts.Tenant = cfg.tenant
+	c, err := remote.Dial(cfg.addr, opts)
 	if err != nil {
 		return err
 	}
@@ -209,6 +212,21 @@ func remoteStats(c *remote.Client) error {
 			}
 			fmt.Printf("  %s shard %d: epoch=%d leader=%s members=%v\n",
 				e.Keyspace, e.Shard, e.Epoch, leader, e.Members)
+		}
+	}
+	if len(rep.Tenants) > 0 {
+		fmt.Printf("tenants:\n")
+		for _, t := range rep.Tenants {
+			fmt.Printf("  %-12s weight=%-3d sessions=%-3d backlog=%s\n",
+				t.Tenant, t.Weight, t.Sessions, stats.HumanBytes(t.BacklogBytes))
+			for _, l := range t.Lanes {
+				fmt.Printf("    %-8s admitted=%-8d completed=%-8d shed=%-6d queued=%d\n",
+					wire.Lane(l.Lane), l.Admitted, l.Completed, l.Shed, l.Queued)
+			}
+			if n := t.ShedSession + t.ShedTenant + t.ShedGlobal + t.ShedBacklog; n > 0 {
+				fmt.Printf("    shed by cause: session-cap=%d tenant-cap=%d global-cap=%d backlog-full=%d\n",
+					t.ShedSession, t.ShedTenant, t.ShedGlobal, t.ShedBacklog)
+			}
 		}
 	}
 	if r := rep.RPC; r != nil {

@@ -17,6 +17,8 @@
 //	kvcsd-server -max-inflight 512 -pipeline 128
 //	kvcsd-server -telemetry 127.0.0.1:7412       # /metrics, /healthz, pprof
 //	kvcsd-server -slow-op 500us                  # log ops over a virtual-time budget
+//	kvcsd-server -tenant-weights "analytics=8,batch=1" -tenant-queue 8
+//	                                             # multi-tenant QoS admission
 //
 // SIGINT/SIGTERM drains in-flight requests, shuts the simulated devices
 // down cleanly, and prints the per-opcode RPC metrics table.
@@ -27,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +53,11 @@ func main() {
 		slowOp      = flag.Duration("slow-op", 0, "flag ops whose virtual service time exceeds this budget (0 = off)")
 		trace       = flag.Bool("trace", false, "record device spans (gives slow-op records their stage breakdown)")
 		replicated  = flag.Bool("replicated", false, "consensus-backed keyspaces: quorum writes and read-index reads (array mode)")
+
+		tenantQueue    = flag.Int("tenant-queue", 0, "per-tenant per-lane admission quota (0 = one tenant may fill the window)")
+		tenantWeights  = flag.String("tenant-weights", "", "DRR weights per tenant, e.g. \"analytics=8,batch=1\" (others get the default weight)")
+		sessionPending = flag.Int("session-pending", 0, "per-session in-flight request cap (0 = default)")
+		sessionBacklog = flag.Int("session-backlog", 0, "per-session response backlog cap in bytes (0 = default)")
 	)
 	flag.Parse()
 
@@ -67,6 +76,23 @@ func main() {
 	}
 
 	cfg.Replicated = *replicated
+
+	cfg.QoS.Seed = *seed
+	cfg.QoS.TenantQueue = *tenantQueue
+	cfg.QoS.SessionPending = *sessionPending
+	cfg.QoS.BacklogBytes = *sessionBacklog
+	if *tenantWeights != "" {
+		cfg.QoS.Weights = map[string]int{}
+		for _, kv := range strings.Split(*tenantWeights, ",") {
+			name, w, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			n, err := strconv.Atoi(w)
+			if !ok || err != nil || name == "" || n <= 0 {
+				fmt.Fprintf(os.Stderr, "kvcsd-server: bad -tenant-weights entry %q (want name=weight)\n", kv)
+				os.Exit(2)
+			}
+			cfg.QoS.Weights[name] = n
+		}
+	}
 
 	var srv *server.Server
 	if *devices <= 1 {

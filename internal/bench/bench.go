@@ -53,7 +53,10 @@ type Scale struct {
 	ArrayQueries   int
 	// Remote throughput: operations per phase of the network sweep.
 	RemoteOps int
-	Seed      int64
+	// Overload fairness: point gets per reader tenant per phase (the other
+	// profiles are sized relative to this).
+	FairnessOps int
+	Seed        int64
 }
 
 // DefaultScale keeps every figure under a few seconds of real time.
@@ -73,6 +76,7 @@ func DefaultScale() Scale {
 		ArrayTotalKeys:       16384,
 		ArrayQueries:         2048,
 		RemoteOps:            2048,
+		FairnessOps:          512,
 		Seed:                 1,
 	}
 }
@@ -89,6 +93,7 @@ func (s Scale) Multiply(f int) Scale {
 	s.VPICParticlesPerFile *= f
 	s.ArrayTotalKeys *= f
 	s.RemoteOps *= f
+	s.FairnessOps *= f
 	for i := range s.Fig10Queries {
 		s.Fig10Queries[i] *= f
 	}

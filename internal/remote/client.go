@@ -54,6 +54,15 @@ type Options struct {
 	// caused by the call become its descendants in a merged trace
 	// (obs.WriteMergedChromeTrace).
 	Tracer *obs.WallTracer
+	// Tenant, when set, makes every pool connection open a session for this
+	// tenant on dial (wire.OpHello) and resume it — replaying any responses
+	// the server backlogged — when the connection is redialed. Requests then
+	// carry the session token, so the server bills them to the tenant's
+	// fair share and suppresses duplicate request IDs.
+	Tenant string
+	// Class is the session-wide lane override declared in the handshake
+	// (wire.LaneOverride of a lane; 0 keeps per-opcode defaults).
+	Class uint8
 }
 
 // DefaultOptions returns the default client tuning with the client
@@ -92,12 +101,13 @@ type Client struct {
 }
 
 // Dial connects to a kvcsd-server. All pool connections are established
-// eagerly so configuration errors surface here, not mid-workload.
+// eagerly so configuration errors surface here, not mid-workload — including
+// the session handshake when a tenant is configured.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts.normalize()
 	c := &Client{addr: addr, opts: opts}
 	for i := 0; i < opts.Conns; i++ {
-		pc, err := c.dialConn()
+		pc, err := c.dialConn(0)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -122,7 +132,12 @@ func (c *Client) Close() error {
 // Addr returns the server address this client dials.
 func (c *Client) Addr() string { return c.addr }
 
-func (c *Client) dialConn() (*poolConn, error) {
+// dialConn establishes one connection. With a tenant configured it performs
+// the session handshake synchronously before the read loop starts (the reply
+// is the first frame on a fresh socket); resume carries the previous
+// incarnation's token so a redial resumes its session and the server replays
+// backlogged responses.
+func (c *Client) dialConn(resume uint64) (*poolConn, error) {
 	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -137,12 +152,53 @@ func (c *Client) dialConn() (*poolConn, error) {
 		slots:   make(chan struct{}, c.opts.Pipeline),
 		broken:  make(chan struct{}),
 	}
+	if c.opts.Tenant != "" {
+		if err := c.handshake(pc, resume); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
 	go pc.readLoop()
 	return pc, nil
 }
 
+// handshake opens (or resumes) the connection's session. Called before the
+// read loop starts, so it owns the socket: the first response frame is the
+// handshake reply; any replayed backlog frames follow it and are picked up
+// by the read loop, where waiters re-registered under their stable request
+// IDs receive them.
+func (c *Client) handshake(pc *poolConn, resume uint64) error {
+	req := &wire.Request{
+		ID: c.nextID.Add(1), Op: wire.OpHello,
+		Hello: &wire.HelloMsg{Tenant: c.opts.Tenant, Class: c.opts.Class, Resume: resume},
+	}
+	if err := wire.WriteRequest(pc.nc, req); err != nil {
+		return fmt.Errorf("remote: session handshake write: %w", err)
+	}
+	h, payload, err := wire.ReadFrame(pc.nc)
+	if err != nil {
+		return fmt.Errorf("remote: session handshake read: %w", err)
+	}
+	if h.Kind != wire.KindResponse || h.ID != req.ID {
+		return fmt.Errorf("remote: session handshake got unexpected frame (kind %d id %d)", h.Kind, h.ID)
+	}
+	resp, err := wire.DecodeResponse(h, payload)
+	if err != nil {
+		return fmt.Errorf("remote: session handshake decode: %w", err)
+	}
+	if rerr := respError(req.Op, resp); rerr != nil {
+		return fmt.Errorf("remote: session handshake refused: %w", rerr)
+	}
+	if resp.Hello == nil || resp.Hello.Token == 0 {
+		return fmt.Errorf("remote: session handshake reply carried no token")
+	}
+	pc.sess = resp.Hello.Token
+	return nil
+}
+
 // conn deals out the next connection round-robin, redialing dead ones in
-// place so a reconnect repairs the pool without abandoning its slot.
+// place so a reconnect repairs the pool without abandoning its slot — and,
+// when sessions are on, resumes the dead connection's session.
 func (c *Client) conn() (*poolConn, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -158,7 +214,7 @@ func (c *Client) conn() (*poolConn, error) {
 	if !pc.dead.Load() {
 		return pc, nil
 	}
-	fresh, err := c.dialConn()
+	fresh, err := c.dialConn(pc.sess)
 	if err != nil {
 		return nil, fmt.Errorf("%w: redial: %v", errConnBroken, err)
 	}
@@ -182,6 +238,9 @@ type poolConn struct {
 	dead     atomic.Bool
 	deadOnce sync.Once
 	err      error
+	// sess is the session token negotiated at dial (0 = no session); set
+	// before the read loop starts and immutable afterwards.
+	sess uint64
 }
 
 // readLoop demultiplexes response frames to waiting callers, accumulating
@@ -300,7 +359,7 @@ func (c *Client) doOnce(req *wire.Request, timeout time.Duration) (*wire.Respons
 	}
 	defer func() { <-pc.slots }()
 
-	req.ID = c.nextID.Add(1)
+	req.Session = pc.sess
 	ch := pc.addWaiter(req.ID)
 	pc.wmu.Lock()
 	err = wire.WriteRequest(pc.nc, req)
@@ -335,6 +394,10 @@ func (c *Client) doOnce(req *wire.Request, timeout time.Duration) (*wire.Respons
 // single attempt regardless of policy — a replay of one that actually
 // landed would report a wrong outcome.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	// One ID per logical call, stable across attempts: a sessioned server
+	// recognizes a retry of a request it already holds (in flight, applied,
+	// or backlogged) and answers it without applying twice.
+	req.ID = c.nextID.Add(1)
 	pol := c.opts.Retry
 	backoff := pol.BaseBackoff
 	attempts := 0

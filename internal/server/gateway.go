@@ -11,11 +11,13 @@ import (
 )
 
 // gateway is the bridge proc between wall-clock sockets and virtual time.
-// It blocks on the request channel while the server is idle (the simulation
-// spends no virtual time on an idle server), drains whatever has accumulated
-// into one batch, and runs the batch as concurrent sim procs that share the
-// same virtual admission instant — which is what lets pipelined requests
-// from many connections genuinely overlap inside the device model.
+// It blocks on the fair scheduler while the server is idle (the simulation
+// spends no virtual time on an idle server), takes whatever has accumulated
+// as one batch — in weighted-fair order: priority lanes by credit, tenants
+// within a lane by deficit round-robin — and runs the batch as concurrent
+// sim procs that share the same virtual admission instant, which is what
+// lets pipelined requests from many connections genuinely overlap inside
+// the device model.
 func (s *Server) gateway(p *sim.Proc) {
 	for {
 		// While the socket side is quiet but the device still has
@@ -23,44 +25,25 @@ func (s *Server) gateway(p *sim.Proc) {
 		// in small slices so status polls from remote clients observe
 		// progress. Without this pump, background jobs would stay frozen
 		// between requests and a WaitCompacted poll loop would never finish.
-		for len(s.reqCh) == 0 && s.backend.BackgroundJobs() > 0 {
+		for s.sched.Queued() == 0 && s.backend.BackgroundJobs() > 0 {
 			p.Sleep(s.cfg.BackgroundSlice)
 		}
-		batch, ok := s.nextBatch()
-		if len(batch) > 0 {
+		items, ok := s.sched.NextBatch(s.cfg.MaxBatch)
+		if len(items) > 0 {
+			batch := make([]*task, len(items))
+			for i, it := range items {
+				batch[i] = it.Value.(*task)
+			}
 			s.runBatch(p, batch)
 		}
 		if !ok {
 			break
 		}
 	}
-	// Drain: reqCh is closed and empty. Finish background work, then stop
-	// the device dispatch loops so the simulation can end.
+	// Drain: intake is closed and the scheduler is empty. Finish background
+	// work, then stop the device dispatch loops so the simulation can end.
 	_ = s.backend.WaitIdle(p)
 	s.backend.Shutdown()
-}
-
-// nextBatch blocks for the first task (freezing virtual time), then drains
-// up to MaxBatch-1 more without blocking. ok is false once the request
-// channel is closed and fully drained.
-func (s *Server) nextBatch() ([]*task, bool) {
-	first, ok := <-s.reqCh
-	if !ok {
-		return nil, false
-	}
-	batch := []*task{first}
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case t, ok := <-s.reqCh:
-			if !ok {
-				return batch, false
-			}
-			batch = append(batch, t)
-		default:
-			return batch, true
-		}
-	}
-	return batch, true
 }
 
 // putGroup is a set of same-keyspace puts coalesced into one bulk device
@@ -149,15 +132,19 @@ func (s *Server) handle(q *sim.Proc, t *task) {
 		s.tr.Pop(q)
 		span.End()
 	}
-	resp.ID, resp.Op, resp.Trace = t.req.ID, t.req.Op, t.req.Trace
+	resp.ID, resp.Op, resp.Trace, resp.Session = t.req.ID, t.req.Op, t.req.Trace, t.req.Session
 	if resp.Stats != nil {
 		// Stats responses carry the gateway's RPC counters alongside the
 		// engine's, so remote clients see the whole stack in one report.
 		resp.Stats.RPC = s.met.snapshot().wireReport()
+		resp.Stats.Tenants = s.mgr.WireStats()
 	}
 	s.met.observeService(t.req.Op, queueWait, svc, virt, resp.Status)
 	s.noteSlowOp(t.req.Op.String(), queueWait, svc, virt, span)
-	t.c.respond(resp)
+	if t.sess != nil {
+		t.sess.MarkApplied(t.req.ID, resp.Status)
+	}
+	t.c.respond(t, resp)
 }
 
 // handleGroup runs one coalesced put group: a single bulk submission whose
@@ -185,12 +172,16 @@ func (s *Server) handleGroup(q *sim.Proc, g *putGroup) {
 	s.noteSlowOp("PutBatch", 0, svc, virt, span)
 	for _, t := range g.tasks {
 		s.met.observeService(t.req.Op, r0.Sub(t.enq), svc, virt, out.Status)
-		t.c.respond(&wire.Response{
-			ID:     t.req.ID,
-			Op:     t.req.Op,
-			Trace:  t.req.Trace,
-			Status: out.Status,
-			Err:    out.Err,
+		if t.sess != nil {
+			t.sess.MarkApplied(t.req.ID, out.Status)
+		}
+		t.c.respond(t, &wire.Response{
+			ID:      t.req.ID,
+			Op:      t.req.Op,
+			Trace:   t.req.Trace,
+			Session: t.req.Session,
+			Status:  out.Status,
+			Err:     out.Err,
 		})
 	}
 }

@@ -17,11 +17,20 @@
 //     responses leave in completion order, not arrival order — the request
 //     ID in every frame is what lets clients pipeline through that.
 //
-// Backpressure is explicit and two-level: a per-connection pipeline window
-// (slow readers block their own socket, nobody else's) and a server-wide
-// admission token pool. When the pool is empty new requests are refused
-// immediately with StatusOverloaded — shed, not queued — so a burst cannot
-// grow memory or latency without bound.
+// Backpressure is explicit and layered: a per-connection pipeline window
+// (slow readers block their own socket, nobody else's), a per-session
+// outstanding cap, per-tenant per-lane queue caps, and a server-wide
+// admission cap enforced by the fair scheduler. Beyond any cap, requests are
+// refused immediately with StatusOverloaded — shed, not queued unboundedly —
+// so a burst cannot grow memory or latency without bound.
+//
+// Between the sockets and the gateway sits the session layer
+// (internal/session): connections may open resumable, tenant-scoped sessions
+// via OpHello, and admitted requests are ordered by a deficit-weighted-fair
+// scheduler (priority lanes, per-tenant DRR) instead of a FIFO channel, so
+// one abusive tenant cannot starve the rest. Responses that cannot reach a
+// dead or kicked connection spill into the session's backlog and replay on
+// resume.
 package server
 
 import (
@@ -37,6 +46,7 @@ import (
 	"kvcsd/internal/array"
 	"kvcsd/internal/device"
 	"kvcsd/internal/obs"
+	"kvcsd/internal/session"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/wire"
 )
@@ -81,6 +91,11 @@ type Config struct {
 	// leader's read-index, and the Stats ring table carries live leaders and
 	// epochs. Ignored by device backends.
 	Replicated bool
+	// QoS tunes the session layer: tenant weights, lane weights, per-tenant
+	// and per-session caps, backlog sizing. Zero values take the session
+	// package defaults, which reproduce the old single-pool behavior for a
+	// single tenant.
+	QoS session.Config
 }
 
 // DefaultConfig returns the default server tuning.
@@ -116,11 +131,15 @@ func (c *Config) normalize() {
 	}
 }
 
-// task is one admitted request traveling from a socket to the gateway.
+// task is one admitted request traveling from a socket to the gateway,
+// carrying its session-layer classification.
 type task struct {
-	req *wire.Request
-	c   *conn
-	enq time.Time
+	req    *wire.Request
+	c      *conn
+	enq    time.Time
+	sess   *session.Session // nil for unsessioned requests
+	tenant *session.Tenant
+	lane   wire.Lane
 }
 
 // Server bridges TCP connections into one simulation.
@@ -131,11 +150,11 @@ type Server struct {
 	met     *metrics
 	tr      *obs.Tracer
 
-	ln    net.Listener
-	reqCh chan *task
-	// tokens is the admission pool: send = take a slot (non-blocking at
-	// admission), receive = release. Close acquires every slot to drain.
-	tokens   chan struct{}
+	ln net.Listener
+	// mgr owns tenants and resumable sessions; sched is the weighted-fair
+	// admission queue between the socket goroutines and the gateway proc.
+	mgr      *session.Manager
+	sched    *session.Scheduler
 	inflight atomic.Int64
 	draining atomic.Bool
 	started  bool
@@ -164,8 +183,8 @@ func New(env *sim.Env, b Backend, cfg Config) *Server {
 		backend:    b,
 		met:        newMetrics(),
 		tr:         b.Tracer(),
-		reqCh:      make(chan *task, cfg.MaxInflight),
-		tokens:     make(chan struct{}, cfg.MaxInflight),
+		mgr:        session.NewManager(cfg.QoS),
+		sched:      session.NewScheduler(cfg.QoS, cfg.MaxInflight),
 		conns:      make(map[*conn]struct{}),
 		simDone:    make(chan struct{}),
 		acceptDone: make(chan struct{}),
@@ -194,6 +213,9 @@ func (s *Server) Backend() Backend { return s.backend }
 
 // Metrics returns a snapshot of the server's RPC counters.
 func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot() }
+
+// SessionManager exposes the tenant/session table (telemetry, tests).
+func (s *Server) SessionManager() *session.Manager { return s.mgr }
 
 // Inflight returns the number of admitted requests not yet answered.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
@@ -253,10 +275,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// Close drains and stops the server: it refuses new work, waits for every
-// admitted request to be answered (bounded by DrainTimeout per connection
-// write), runs device background work to completion, shuts the simulation
-// down, and closes all sockets. Safe to call more than once.
+// Close drains and stops the server: it refuses new work, drains every
+// request parked in the fair scheduler's per-session/per-tenant queues
+// through the gateway, waits for every admitted response to be written or
+// spilled (bounded by DrainTimeout), runs device background work to
+// completion, shuts the simulation down, and closes all sockets. Safe to
+// call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
@@ -265,25 +289,25 @@ func (s *Server) Close() error {
 		}
 		s.ln.Close()
 		// Bound the drain: a client that stops reading cannot hold its
-		// admission tokens past the deadline.
+		// responses on the socket past the deadline — the write fails and the
+		// response spills to its session backlog instead.
 		deadline := time.Now().Add(s.cfg.DrainTimeout)
 		s.connMu.Lock()
 		for c := range s.conns {
 			c.nc.SetWriteDeadline(deadline)
 		}
 		s.connMu.Unlock()
-		// Take every admission token: once all are held, no request is in
-		// flight and none can be admitted. simDone guards against a
-		// simulation that died and can no longer release tokens.
-		for i := 0; i < cap(s.tokens); i++ {
-			select {
-			case s.tokens <- struct{}{}:
-			case <-s.simDone:
-				i = cap(s.tokens)
-			}
-		}
-		close(s.reqCh)
+		// Refuse further admissions. Requests already parked in the
+		// scheduler's queues keep draining through NextBatch — shutdown
+		// answers parked work, it does not strand it — and once the scheduler
+		// is empty the gateway finishes background work and stops the sim.
+		s.sched.CloseIntake()
 		<-s.simDone
+		// Every admitted request has now produced a response; wait (bounded)
+		// for the writers to put them on the wire or spill them.
+		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
 		// Cut surviving connections (readers parked in ReadFrame).
 		s.connMu.Lock()
 		for c := range s.conns {
@@ -298,15 +322,24 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// outMsg is one response owed to a connection.
+// outMsg is one response owed to a connection. Exactly one of resp and raw is
+// set: resp is encoded by the writer, raw is pre-framed bytes (a backlog
+// replay or a duplicate re-serve) written verbatim. Every outMsg holds one
+// window slot, so the sim side can never block on a full out channel.
 type outMsg struct {
 	resp     *wire.Response
+	raw      []byte
+	id       uint64
+	sess     *session.Session
+	tenant   *session.Tenant
+	lane     wire.Lane
 	admitted bool
 }
 
-// conn is one client connection: a reader goroutine (framing, admission), a
-// writer goroutine (encoding, token release), and a window semaphore
-// bounding requests outstanding between them.
+// conn is one client connection: a reader goroutine (framing, session
+// handshakes, admission), a writer goroutine (encoding, slot release,
+// backlog spill), and a window semaphore bounding requests outstanding
+// between them.
 type conn struct {
 	s  *Server
 	nc net.Conn
@@ -321,10 +354,13 @@ type conn struct {
 	// increments it, so after the reader exits it can only fall.
 	owed sync.WaitGroup
 	dead atomic.Bool
+	// sess is the session opened by OpHello on this connection; reader-owned.
+	sess *session.Session
 }
 
 // reply queues a response generated on the socket side (shed, malformed,
-// draining) without touching the simulation. Caller must hold a window slot.
+// draining, handshake) without touching the simulation. Caller must hold a
+// window slot.
 func (c *conn) reply(resp *wire.Response) {
 	c.owed.Add(1)
 	c.out <- outMsg{resp: resp}
@@ -332,16 +368,19 @@ func (c *conn) reply(resp *wire.Response) {
 
 // respond queues an admitted request's response from the sim side. The
 // reader already counted it in owed at admission.
-func (c *conn) respond(resp *wire.Response) {
-	c.out <- outMsg{resp: resp, admitted: true}
+func (c *conn) respond(t *task, resp *wire.Response) {
+	c.out <- outMsg{resp: resp, id: t.req.ID, sess: t.sess, tenant: t.tenant, lane: t.lane, admitted: true}
 }
 
 func (c *conn) readLoop() {
 	defer func() {
+		if c.sess != nil {
+			c.sess.Detach(c)
+		}
 		c.nc.Close()
 		// Close out only after every owed response has been queued and
 		// written; admitted requests still in the sim finish against a
-		// possibly-dead socket and are discarded by the writer.
+		// possibly-dead socket and spill into their session's backlog.
 		go func() {
 			c.owed.Wait()
 			close(c.out)
@@ -375,27 +414,138 @@ func (c *conn) readLoop() {
 			c.reply(&wire.Response{ID: h.ID, Op: h.Op, Trace: h.Trace, Status: wire.StatusBadRequest, Err: derr.Error()})
 			continue
 		}
-		if c.s.draining.Load() {
-			c.s.met.addRefused()
-			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Status: wire.StatusShuttingDown})
+		if req.Op == wire.OpHello {
+			// The handshake is handled socket-side: it never enters the fair
+			// scheduler, so an overloaded server still accepts resumes.
+			c.handleHello(req)
 			continue
 		}
-		select {
-		case c.s.tokens <- struct{}{}:
-			// Admitted. reqCh has capacity MaxInflight, so with a token
-			// held this send cannot block; and while we hold the token,
-			// Close cannot collect all slots, so reqCh cannot be closed
-			// underneath us.
-			c.s.met.addAccepted()
-			c.owed.Add(1)
-			c.s.inflight.Add(1)
-			c.s.reqCh <- &task{req: req, c: c, enq: time.Now()}
-		default:
-			// Pool exhausted: shed immediately instead of queueing.
-			c.s.met.addShed()
-			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Status: wire.StatusOverloaded,
-				Err: "admission cap reached"})
+		// Classify: a session token is honored only on the connection that
+		// opened it (the handshake is the authorization boundary).
+		var sess *session.Session
+		tenant := c.s.mgr.Anon()
+		var class uint8
+		if c.sess != nil {
+			tenant = c.sess.Tenant()
+			class = c.sess.Class()
+			if req.Session == c.sess.Token() {
+				sess = c.sess
+			}
 		}
+		lane := session.ResolveLane(req.Op, req.Lane, class)
+		if req.Session != 0 && sess == nil {
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Session: req.Session,
+				Status: wire.StatusSessionUnknown, Err: "session token not opened on this connection"})
+			continue
+		}
+		if c.s.draining.Load() {
+			c.s.met.addRefused()
+			tenant.NoteShed(lane, session.CauseDraining)
+			c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Session: req.Session, Status: wire.StatusShuttingDown})
+			continue
+		}
+		if sess != nil {
+			// Duplicate suppression, strongest evidence first: a spilled
+			// response re-serves its exact bytes; a known outcome of a
+			// non-idempotent op re-serves the status without re-applying; an
+			// id still in flight is dropped silently (the original's response
+			// answers it).
+			if frames, ok := sess.LookupFrame(req.ID); ok {
+				c.owed.Add(1)
+				c.out <- outMsg{raw: frames, id: req.ID, sess: sess, tenant: tenant, lane: lane}
+				continue
+			}
+			if st, ok := sess.LookupApplied(req.ID); ok && !req.Op.Idempotent() {
+				c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Session: req.Session, Status: st})
+				continue
+			}
+			dup, full := sess.BeginPending(req.ID)
+			if dup {
+				<-c.window
+				continue
+			}
+			if full {
+				c.s.met.addShed()
+				tenant.NoteShed(lane, session.CauseSession)
+				c.reply(&wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Session: req.Session,
+					Status: wire.StatusOverloaded, Err: "admission refused: " + session.CauseSession.String()})
+				continue
+			}
+		}
+		// Admission: owed and inflight are charged before Enqueue so the sim
+		// side can never complete a task the reader has not counted.
+		c.owed.Add(1)
+		c.s.inflight.Add(1)
+		t := &task{req: req, c: c, enq: time.Now(), sess: sess, tenant: tenant, lane: lane}
+		cause := c.s.sched.Enqueue(&session.Item{
+			Sess: sess, Tenant: tenant, Lane: lane, Cost: session.RequestCost(req), Value: t,
+		})
+		if cause != session.CauseNone {
+			c.s.inflight.Add(-1)
+			if sess != nil {
+				sess.AbortPending(req.ID)
+			}
+			tenant.NoteShed(lane, cause)
+			status := wire.StatusOverloaded
+			if cause == session.CauseDraining {
+				status = wire.StatusShuttingDown
+				c.s.met.addRefused()
+			} else {
+				c.s.met.addShed()
+			}
+			// Reuse the owed slot charged above for the shed reply.
+			c.out <- outMsg{resp: &wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace, Session: req.Session,
+				Status: status, Err: "admission refused: " + cause.String()}}
+			continue
+		}
+		c.s.met.addAccepted()
+		tenant.NoteAdmitted(lane)
+	}
+}
+
+// handleHello opens or resumes a session, entirely on the socket side. The
+// previous connection (if any) is kicked so its in-flight responses spill to
+// the backlog, the handshake reply is queued, and then every unreplayed
+// backlog record is queued verbatim — original order, byte-identical frames.
+// Each replay frame takes a window slot like any other response, so a huge
+// backlog applies backpressure to the resuming reader instead of growing the
+// out channel.
+func (c *conn) handleHello(req *wire.Request) {
+	resp := &wire.Response{ID: req.ID, Op: req.Op, Trace: req.Trace}
+	if req.Hello == nil {
+		resp.Status, resp.Err = wire.StatusBadRequest, "hello without handshake body"
+		c.reply(resp)
+		return
+	}
+	sess, replay, resumed, prev, err := c.s.mgr.Hello(req.Hello, c)
+	if err != nil {
+		if errors.Is(err, session.ErrTooManySessions) {
+			resp.Status = wire.StatusOverloaded
+		} else {
+			resp.Status = wire.StatusBadRequest
+		}
+		resp.Err = err.Error()
+		c.reply(resp)
+		return
+	}
+	if prevC, ok := prev.(*conn); ok && prevC != nil && prevC != c {
+		// Kick the session's old connection: marking it dead first makes its
+		// writer spill (not write) anything still queued for it.
+		prevC.dead.Store(true)
+		prevC.nc.Close()
+	}
+	if old := c.sess; old != nil && old != sess {
+		old.Detach(c)
+	}
+	c.sess = sess
+	resp.Status = wire.StatusOK
+	resp.Session = sess.Token()
+	resp.Hello = &wire.HelloReply{Token: sess.Token(), Resumed: resumed, Replayed: uint32(len(replay))}
+	c.reply(resp)
+	for _, e := range replay {
+		c.window <- struct{}{}
+		c.owed.Add(1)
+		c.out <- outMsg{raw: e.Frames, id: e.ID, sess: sess, tenant: sess.Tenant(), lane: wire.LaneNormal}
 	}
 }
 
@@ -408,17 +558,31 @@ func (c *conn) writeLoop() {
 	}()
 	for m := range c.out {
 		t0 := time.Now()
+		frames := m.raw
+		if frames == nil {
+			frames = wire.AppendResponseFrames(nil, m.resp, c.s.cfg.ChunkPairs)
+		}
+		delivered := false
 		if !c.dead.Load() {
-			err := wire.WriteResponse(c.nc, m.resp, c.s.cfg.ChunkPairs)
-			if err != nil {
+			if _, err := c.nc.Write(frames); err != nil {
 				c.dead.Store(true)
 				c.nc.Close()
+			} else {
+				delivered = true
 			}
 		}
-		c.s.met.observeWrite(m.resp.Op, time.Since(t0))
+		if m.resp != nil {
+			c.s.met.observeWrite(m.resp.Op, time.Since(t0))
+		}
+		if !delivered && m.sess != nil && (m.admitted || m.raw != nil) {
+			// The exact bytes that failed to reach the socket go to the
+			// session backlog, to replay verbatim on resume.
+			m.sess.Spill(m.id, m.lane, frames)
+		}
 		if m.admitted {
-			<-c.s.tokens
+			c.s.sched.Release(1)
 			c.s.inflight.Add(-1)
+			m.tenant.NoteCompleted(m.lane)
 		}
 		c.owed.Done()
 		<-c.window

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +19,8 @@ import (
 // and holding admission tokens) and records coalesced bulk submissions.
 // Everything else completes immediately.
 type gateBackend struct {
-	gate chan struct{}
+	gate    chan struct{}
+	applies atomic.Int64
 
 	mu    sync.Mutex
 	bulks [][]nvme.KVPair
@@ -29,6 +31,7 @@ func newGateBackend() *gateBackend {
 }
 
 func (b *gateBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
+	b.applies.Add(1)
 	switch req.Op {
 	case wire.OpGet:
 		<-b.gate
@@ -249,7 +252,7 @@ func TestGarbageBytesDropConnection(t *testing.T) {
 	defer bad.Close()
 	// More than one header's worth of non-protocol bytes, so the framing
 	// check fires immediately.
-	if _, err := bad.Write([]byte("GET / HTTP/1.1\r\nHost: nope\r\nAccept: */*\r\n\r\n")); err != nil {
+	if _, err := bad.Write([]byte("GET /index.html HTTP/1.1\r\nHost: nope\r\nAccept: */*\r\nUser-Agent: junk\r\n\r\n")); err != nil {
 		t.Fatalf("write garbage: %v", err)
 	}
 	// The server must cut the connection, not hang or crash.

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"kvcsd/internal/sim"
+	"kvcsd/internal/wire"
+)
+
+// hello performs a raw handshake on nc and returns the session token and
+// the reply's replayed count.
+func hello(t *testing.T, nc net.Conn, tenant string, resume uint64) (uint64, uint32) {
+	t.Helper()
+	sendReq(t, nc, &wire.Request{ID: 1, Op: wire.OpHello, Hello: &wire.HelloMsg{Tenant: tenant, Resume: resume}})
+	resp := readResp(t, nc)
+	if resp.Status != wire.StatusOK || resp.Hello == nil || resp.Hello.Token == 0 {
+		t.Fatalf("handshake failed: %+v", resp)
+	}
+	return resp.Hello.Token, resp.Hello.Replayed
+}
+
+// TestCloseDrainsParkedQueue regresses the shutdown path against the fair
+// scheduler: requests parked in per-session/per-tenant queues (admitted but
+// not yet dispatched to the sim) must be answered by Close, not stranded.
+// MaxBatch=1 keeps the gateway busy with one gated request while four more
+// park in the scheduler; Close runs concurrently and every request must
+// still complete with StatusOK.
+func TestCloseDrainsParkedQueue(t *testing.T) {
+	b := newGateBackend()
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 8
+	cfg.MaxBatch = 1
+	cfg.MaxPipeline = 8
+	srv := New(sim.NewEnv(), b, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+
+	// Request 1 occupies the gateway (MaxBatch=1, blocked in the backend);
+	// requests 2..5 are admitted and parked in the scheduler queue.
+	sendReq(t, nc, &wire.Request{ID: 1, Op: wire.OpGet, Keyspace: "ks", Key: []byte("k")})
+	waitInflight(t, srv, 1)
+	for id := uint64(2); id <= 5; id++ {
+		sendReq(t, nc, &wire.Request{ID: id, Op: wire.OpPing})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sched.Queued() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 4 parked requests", srv.sched.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeDone := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closeDone)
+	}()
+	// Give Close time to flip into draining and close intake, then unblock
+	// the gateway.
+	time.Sleep(20 * time.Millisecond)
+	close(b.gate)
+
+	got := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		resp := readResp(t, nc)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("response %d: status %v, want OK (parked request stranded by Close?)", resp.ID, resp.Status)
+		}
+		got[resp.ID] = true
+	}
+	for id := uint64(1); id <= 5; id++ {
+		if !got[id] {
+			t.Fatalf("request %d never answered across Close", id)
+		}
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if n := srv.Inflight(); n != 0 {
+		t.Fatalf("inflight after Close = %d", n)
+	}
+}
+
+// TestSessionResumeReplaysBacklog kills a sessioned connection while its
+// responses are still being produced, resumes the session with the token on
+// a fresh connection, and asserts the backlog replays byte-identical frames
+// in original order — and that a duplicate request is served from the
+// backlog without re-applying.
+func TestSessionResumeReplaysBacklog(t *testing.T) {
+	b := newGateBackend()
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 8
+	cfg.MaxBatch = 1
+	cfg.MaxPipeline = 8
+	srv := New(sim.NewEnv(), b, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	nc1, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc1.Close()
+	token, replayed := hello(t, nc1, "analytics", 0)
+	if replayed != 0 {
+		t.Fatalf("fresh session claims %d replayed responses", replayed)
+	}
+
+	// Request 10 occupies the gateway (gated); 11 and 12 park behind it.
+	sendReq(t, nc1, &wire.Request{ID: 10, Op: wire.OpGet, Session: token, Keyspace: "ks", Key: []byte("k")})
+	waitInflight(t, srv, 1)
+	sendReq(t, nc1, &wire.Request{ID: 11, Op: wire.OpPing, Session: token})
+	sendReq(t, nc1, &wire.Request{ID: 12, Op: wire.OpPing, Session: token})
+
+	// Kick nc1 by resuming the session elsewhere before any response is
+	// written: the old connection is marked dead, so all three responses
+	// must spill into the session backlog instead of the socket.
+	nc2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	if _, replayed := hello(t, nc2, "analytics", token); replayed != 0 {
+		t.Fatalf("resume before completion claims %d replayed responses", replayed)
+	}
+	nc2.Close()
+
+	close(b.gate)
+
+	sess := srv.SessionManager().Lookup(token)
+	if sess == nil {
+		t.Fatal("session vanished")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.BacklogPending() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog pending = %d, want 3 spilled responses", sess.BacklogPending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if applies := b.applies.Load(); applies != 3 {
+		t.Fatalf("applies = %d before resume, want 3", applies)
+	}
+
+	// Resume: the handshake reply must announce 3 replayed responses, and
+	// the replay must be byte-identical to the spilled frames, in original
+	// completion order (10 first, then 11 and 12 in admission order).
+	nc3, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial 3: %v", err)
+	}
+	defer nc3.Close()
+	token2, replayed := hello(t, nc3, "analytics", token)
+	if token2 != token {
+		t.Fatalf("resume changed the token: %d != %d", token2, token)
+	}
+	if replayed != 3 {
+		t.Fatalf("resume replayed %d responses, want 3", replayed)
+	}
+	for _, id := range []uint64{10, 11, 12} {
+		want, ok := sess.LookupFrame(id)
+		if !ok {
+			t.Fatalf("backlog lost frame for id %d", id)
+		}
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(nc3, got); err != nil {
+			t.Fatalf("read replay of id %d: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replay of id %d is not byte-identical to the spilled frame", id)
+		}
+		h, _, err := wire.ReadFrame(bytes.NewReader(got))
+		if err != nil || h.ID != id {
+			t.Fatalf("replay order broken: frame decodes to id %d err %v, want %d", h.ID, err, id)
+		}
+	}
+
+	// A duplicate of the applied request is answered from the backlog with
+	// the identical bytes — the backend must not apply it a second time.
+	sendReq(t, nc3, &wire.Request{ID: 10, Op: wire.OpGet, Session: token, Keyspace: "ks", Key: []byte("k")})
+	resp := readResp(t, nc3)
+	if resp.ID != 10 || resp.Status != wire.StatusOK {
+		t.Fatalf("duplicate re-serve: %+v", resp)
+	}
+	if applies := b.applies.Load(); applies != 3 {
+		t.Fatalf("duplicate request re-applied: applies = %d, want 3", applies)
+	}
+}
+
+// TestSessionUnknownToken asserts a request carrying a token not opened on
+// its connection is refused with StatusSessionUnknown.
+func TestSessionUnknownToken(t *testing.T) {
+	b := newGateBackend()
+	close(b.gate)
+	srv := New(sim.NewEnv(), b, DefaultConfig())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	sendReq(t, nc, &wire.Request{ID: 2, Op: wire.OpPing, Session: 0xBADF00D})
+	resp := readResp(t, nc)
+	if resp.Status != wire.StatusSessionUnknown {
+		t.Fatalf("status = %v, want SessionUnknown", resp.Status)
+	}
+}

@@ -193,6 +193,62 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprint(w, "# TYPE kvcsd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "kvcsd_inflight_requests %d\n", s.inflight.Load())
 
+	// Per-tenant QoS accounting from the session manager: admission outcomes
+	// and queue depth per (tenant, lane), shed causes, open sessions, and
+	// persistent backlog bytes.
+	tenants := s.mgr.WireStats()
+	for _, c := range []struct {
+		metric, help string
+		pick         func(l wire.LaneStats) int64
+		gauge        bool
+	}{
+		{"kvcsd_tenant_admitted_total", "Requests admitted into the fair scheduler, by tenant and lane.",
+			func(l wire.LaneStats) int64 { return l.Admitted }, false},
+		{"kvcsd_tenant_completed_total", "Responses written or spilled to a session backlog, by tenant and lane.",
+			func(l wire.LaneStats) int64 { return l.Completed }, false},
+		{"kvcsd_tenant_shed_total", "Requests shed, by tenant and lane (any cause).",
+			func(l wire.LaneStats) int64 { return l.Shed }, false},
+		{"kvcsd_tenant_queued", "Requests currently parked in the fair scheduler, by tenant and lane.",
+			func(l wire.LaneStats) int64 { return l.Queued }, true},
+	} {
+		kind := "counter"
+		if c.gauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", c.metric, c.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", c.metric, kind)
+		for _, ts := range tenants {
+			for _, l := range ts.Lanes {
+				fmt.Fprintf(w, "%s{tenant=\"%s\",lane=%q} %d\n",
+					c.metric, escapeLabel(ts.Tenant), wire.Lane(l.Lane), c.pick(l))
+			}
+		}
+	}
+	fmt.Fprint(w, "# HELP kvcsd_tenant_shed_cause_total Requests shed, by tenant and shed cause.\n")
+	fmt.Fprint(w, "# TYPE kvcsd_tenant_shed_cause_total counter\n")
+	for _, ts := range tenants {
+		for _, c := range []struct {
+			cause string
+			v     int64
+		}{
+			{"session-cap", ts.ShedSession}, {"tenant-cap", ts.ShedTenant},
+			{"global-cap", ts.ShedGlobal}, {"backlog-full", ts.ShedBacklog},
+		} {
+			fmt.Fprintf(w, "kvcsd_tenant_shed_cause_total{tenant=\"%s\",cause=%q} %d\n",
+				escapeLabel(ts.Tenant), c.cause, c.v)
+		}
+	}
+	fmt.Fprint(w, "# HELP kvcsd_tenant_sessions Open sessions per tenant.\n")
+	fmt.Fprint(w, "# TYPE kvcsd_tenant_sessions gauge\n")
+	for _, ts := range tenants {
+		fmt.Fprintf(w, "kvcsd_tenant_sessions{tenant=\"%s\"} %d\n", escapeLabel(ts.Tenant), ts.Sessions)
+	}
+	fmt.Fprint(w, "# HELP kvcsd_tenant_backlog_bytes Persistent per-session response backlog, summed per tenant.\n")
+	fmt.Fprint(w, "# TYPE kvcsd_tenant_backlog_bytes gauge\n")
+	for _, ts := range tenants {
+		fmt.Fprintf(w, "kvcsd_tenant_backlog_bytes{tenant=\"%s\"} %d\n", escapeLabel(ts.Tenant), ts.BacklogBytes)
+	}
+
 	// Simulation registry: gauges and stage histograms published by the
 	// engine and device layers. Mean needs the sim's current time and is not
 	// safe to read concurrently, so only current value and max are exposed.

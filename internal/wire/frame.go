@@ -8,7 +8,7 @@ import (
 	"io"
 )
 
-// Frame layout (little-endian, version 2):
+// Frame layout (little-endian, version 4):
 //
 //	offset  size  field
 //	0       4     magic
@@ -19,13 +19,17 @@ import (
 //	8       8     request ID
 //	16      8     trace ID (0 = untraced)
 //	24      8     sender span ID (0 = untraced)
-//	32      4     payload length N
-//	36      N     payload
-//	36+N    4     CRC32-C over bytes [0, 36+N)
+//	32      8     session token (0 = unsessioned)
+//	40      4     payload length N
+//	44      N     payload
+//	44+N    4     CRC32-C over bytes [0, 44+N)
 //
 // The trace fields live in the fixed header rather than the payload so every
 // frame — including malformed-payload rejections — stays attributable to the
-// client span that caused it.
+// client span that caused it. The session token lives there for the same
+// reason: admission control must classify a frame (tenant, lane, session)
+// before it decodes the payload, and a rejection must still be chargeable to
+// the session that sent it.
 //
 // The CRC covers header and payload, so a flipped bit anywhere in the frame
 // is detected; the length prefix keeps the stream parseable after a frame is
@@ -45,23 +49,30 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Header is a decoded frame header.
 type Header struct {
-	Kind  Kind
-	Op    Op
-	Flags uint8
-	ID    uint64
-	Trace TraceContext
-	Len   uint32
+	Kind    Kind
+	Op      Op
+	Flags   uint8
+	ID      uint64
+	Trace   TraceContext
+	Session uint64
+	Len     uint32
 }
 
-// AppendFrame appends a complete untraced frame to dst and returns the
-// extended slice (the trace header fields are zero).
+// AppendFrame appends a complete untraced, unsessioned frame to dst and
+// returns the extended slice (the trace and session header fields are zero).
 func AppendFrame(dst []byte, kind Kind, op Op, flags uint8, id uint64, payload []byte) []byte {
-	return AppendFrameTrace(dst, kind, op, flags, id, TraceContext{}, payload)
+	return AppendFrameFull(dst, kind, op, flags, id, TraceContext{}, 0, payload)
 }
 
 // AppendFrameTrace appends a complete frame carrying the given trace context
-// to dst and returns the extended slice.
+// to dst and returns the extended slice (the session field is zero).
 func AppendFrameTrace(dst []byte, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, payload []byte) []byte {
+	return AppendFrameFull(dst, kind, op, flags, id, tc, 0, payload)
+}
+
+// AppendFrameFull appends a complete frame carrying the given trace context
+// and session token to dst and returns the extended slice.
+func AppendFrameFull(dst []byte, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, session uint64, payload []byte) []byte {
 	off := len(dst)
 	total := HeaderSize + len(payload) + TrailerSize
 	dst = append(dst, make([]byte, total)...)
@@ -74,19 +85,25 @@ func AppendFrameTrace(dst []byte, kind Kind, op Op, flags uint8, id uint64, tc T
 	binary.LittleEndian.PutUint64(b[8:], id)
 	binary.LittleEndian.PutUint64(b[16:], tc.TraceID)
 	binary.LittleEndian.PutUint64(b[24:], tc.SpanID)
-	binary.LittleEndian.PutUint32(b[32:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(b[32:], session)
+	binary.LittleEndian.PutUint32(b[40:], uint32(len(payload)))
 	copy(b[HeaderSize:], payload)
 	crc := crc32.Checksum(b[:HeaderSize+len(payload)], castagnoli)
 	binary.LittleEndian.PutUint32(b[HeaderSize+len(payload):], crc)
 	return dst
 }
 
-// WriteFrame writes one frame to w.
+// WriteFrame writes one unsessioned frame to w.
 func WriteFrame(w io.Writer, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, payload []byte) error {
+	return WriteFrameSession(w, kind, op, flags, id, tc, 0, payload)
+}
+
+// WriteFrameSession writes one frame carrying a session token to w.
+func WriteFrameSession(w io.Writer, kind Kind, op Op, flags uint8, id uint64, tc TraceContext, session uint64, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrFrameTooLarge
 	}
-	buf := AppendFrameTrace(nil, kind, op, flags, id, tc, payload)
+	buf := AppendFrameFull(nil, kind, op, flags, id, tc, session, payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -118,7 +135,8 @@ func ReadFrame(r io.Reader) (Header, []byte, error) {
 			TraceID: binary.LittleEndian.Uint64(hb[16:]),
 			SpanID:  binary.LittleEndian.Uint64(hb[24:]),
 		},
-		Len: binary.LittleEndian.Uint32(hb[32:]),
+		Session: binary.LittleEndian.Uint64(hb[32:]),
+		Len:     binary.LittleEndian.Uint32(hb[40:]),
 	}
 	if h.Kind != KindRequest && h.Kind != KindResponse {
 		return Header{}, nil, ErrBadKind

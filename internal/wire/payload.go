@@ -225,6 +225,10 @@ func EncodeRequest(r *Request) []byte {
 	if r.Replica != nil {
 		encodeReplicaMsg(e, r.Replica)
 	}
+	e.boolean(r.Hello != nil)
+	if r.Hello != nil {
+		encodeHelloMsg(e, r.Hello)
+	}
 	return e.b
 }
 
@@ -234,7 +238,8 @@ func DecodeRequest(h Header, payload []byte) (*Request, error) {
 		return nil, fmt.Errorf("%w: opcode %d", ErrDecode, uint8(h.Op))
 	}
 	d := &decoder{b: payload}
-	r := &Request{ID: h.ID, Op: h.Op, Trace: h.Trace}
+	r := &Request{ID: h.ID, Op: h.Op, Trace: h.Trace,
+		Session: h.Session, Lane: laneFromFlags(h.Flags)}
 	r.Keyspace = d.str()
 	r.Key = d.bytes()
 	r.Value = d.bytes()
@@ -251,6 +256,9 @@ func DecodeRequest(h Header, payload []byte) (*Request, error) {
 	r.Device = uint32(d.uvarint())
 	if d.boolean() {
 		r.Replica = decodeReplicaMsg(d)
+	}
+	if d.boolean() {
+		r.Hello = decodeHelloMsg(d)
 	}
 	if err := d.done(); err != nil {
 		return nil, err
@@ -312,6 +320,7 @@ func encodeStats(e *encoder, s *StatsReport) {
 		encodeRPC(e, s.RPC)
 	}
 	encodeRing(e, s.Ring)
+	encodeTenants(e, s.Tenants)
 }
 
 func encodeRPC(e *encoder, r *RPCReport) {
@@ -386,6 +395,7 @@ func decodeStats(d *decoder) *StatsReport {
 		s.RPC = decodeRPC(d)
 	}
 	s.Ring = decodeRing(d)
+	s.Tenants = decodeTenants(d)
 	if d.err != nil {
 		return nil
 	}
@@ -414,13 +424,18 @@ func EncodeResponse(r *Response) []byte {
 	if r.Replica != nil {
 		encodeReplicaReply(e, r.Replica)
 	}
+	e.boolean(r.Hello != nil)
+	if r.Hello != nil {
+		encodeHelloReply(e, r.Hello)
+	}
 	return e.b
 }
 
 // DecodeResponse parses a response payload for the given frame header.
 func DecodeResponse(h Header, payload []byte) (*Response, error) {
 	d := &decoder{b: payload}
-	r := &Response{ID: h.ID, Op: h.Op, Trace: h.Trace, More: h.Flags&FlagMore != 0}
+	r := &Response{ID: h.ID, Op: h.Op, Trace: h.Trace,
+		Session: h.Session, More: h.Flags&FlagMore != 0}
 	r.Status = Status(d.u8())
 	r.Err = d.str()
 	r.Value = d.bytes()
@@ -438,6 +453,9 @@ func DecodeResponse(h Header, payload []byte) (*Response, error) {
 	if d.boolean() {
 		r.Replica = decodeReplicaReply(d)
 	}
+	if d.boolean() {
+		r.Hello = decodeHelloReply(d)
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -446,31 +464,41 @@ func DecodeResponse(h Header, payload []byte) (*Response, error) {
 
 // --- streaming -------------------------------------------------------------
 
-// WriteRequest frames and writes one request, carrying its trace context in
-// the frame header.
+// WriteRequest frames and writes one request, carrying its trace context,
+// session token, and lane override in the frame header.
 func WriteRequest(w io.Writer, r *Request) error {
-	return WriteFrame(w, KindRequest, r.Op, 0, r.ID, r.Trace, EncodeRequest(r))
+	return WriteFrameSession(w, KindRequest, r.Op, laneFlags(r.Lane), r.ID,
+		r.Trace, r.Session, EncodeRequest(r))
 }
 
-// WriteResponse frames and writes a response, streaming its pairs in chunks
-// of chunkPairs per frame (0 = everything in one frame). Non-final chunks
-// carry FlagMore and StatusOK; the final frame carries the real status and
-// every scalar field — the shape clients reassemble in ReadResponse order.
-func WriteResponse(w io.Writer, r *Response, chunkPairs int) error {
+// AppendResponseFrames appends the exact frame bytes WriteResponse would
+// write for r to dst and returns the extended slice, streaming pairs in
+// chunks of chunkPairs per frame (0 = everything in one frame). Non-final
+// chunks carry FlagMore and StatusOK; the final frame carries the real
+// status and every scalar field — the shape clients reassemble in
+// ReadResponse order. Having the bytes first-class is what lets the session
+// backlog spill an undeliverable response and later replay it byte-identical.
+func AppendResponseFrames(dst []byte, r *Response, chunkPairs int) []byte {
 	if chunkPairs <= 0 || len(r.Pairs) <= chunkPairs || r.Status != StatusOK {
-		return WriteFrame(w, KindResponse, r.Op, 0, r.ID, r.Trace, EncodeResponse(r))
+		return AppendFrameFull(dst, KindResponse, r.Op, 0, r.ID, r.Trace, r.Session, EncodeResponse(r))
 	}
 	pairs := r.Pairs
 	for len(pairs) > chunkPairs {
 		chunk := &Response{ID: r.ID, Op: r.Op, Status: StatusOK, Pairs: pairs[:chunkPairs]}
-		if err := WriteFrame(w, KindResponse, r.Op, FlagMore, r.ID, r.Trace, EncodeResponse(chunk)); err != nil {
-			return err
-		}
+		dst = AppendFrameFull(dst, KindResponse, r.Op, FlagMore, r.ID, r.Trace, r.Session, EncodeResponse(chunk))
 		pairs = pairs[chunkPairs:]
 	}
 	last := *r
 	last.Pairs = pairs
-	return WriteFrame(w, KindResponse, r.Op, 0, r.ID, r.Trace, EncodeResponse(&last))
+	return AppendFrameFull(dst, KindResponse, r.Op, 0, r.ID, r.Trace, r.Session, EncodeResponse(&last))
+}
+
+// WriteResponse frames and writes a response (see AppendResponseFrames for
+// the chunking contract).
+func WriteResponse(w io.Writer, r *Response, chunkPairs int) error {
+	buf := AppendResponseFrames(nil, r, chunkPairs)
+	_, err := w.Write(buf)
+	return err
 }
 
 // Accumulate folds a streamed chunk into acc (nil acc starts a new
@@ -492,6 +520,7 @@ func Accumulate(acc, chunk *Response) (*Response, bool) {
 		acc.Stats = chunk.Stats
 		acc.Report = chunk.Report
 		acc.Replica = chunk.Replica
+		acc.Hello = chunk.Hello
 		acc.More = false
 		return acc, true
 	}

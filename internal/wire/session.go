@@ -1,0 +1,154 @@
+package wire
+
+// Session handshake bodies (PR 8). A client opens a session by sending
+// OpHello as the first frame on a connection: the request names the tenant
+// the connection bills to, an optional priority class, and an optional resume
+// token from an earlier session. The reply carries the session token the
+// client must stamp into the header of every subsequent frame, and — when
+// resuming — how many backlogged response frames the server will replay
+// verbatim immediately after the reply.
+
+// HelloMsg is the session handshake request body.
+type HelloMsg struct {
+	// Tenant names the tenant this session bills to. Empty is rejected; the
+	// anonymous tenant is reached by not opening a session at all.
+	Tenant string
+	// Class is an optional session-wide lane override (0 = none; otherwise
+	// uint8(lane)+1 — see LaneOverride). A per-frame override still wins.
+	Class uint8
+	// Resume is a previous session token to resume (0 = open a fresh
+	// session). Resuming re-attaches the connection to the session's queues
+	// and replays its response backlog.
+	Resume uint64
+}
+
+// HelloReply is the session handshake response body.
+type HelloReply struct {
+	// Token is the session token to carry on every subsequent frame.
+	Token uint64
+	// Resumed reports whether an existing session was resumed (false when
+	// the resume token was unknown and a fresh session was opened instead).
+	Resumed bool
+	// Replayed is the number of backlogged response frames the server
+	// replays, byte-identical and in original order, directly after this
+	// reply.
+	Replayed uint32
+}
+
+func encodeHelloMsg(e *encoder, m *HelloMsg) {
+	e.str(m.Tenant)
+	e.u8(m.Class)
+	e.uvarint(m.Resume)
+}
+
+func decodeHelloMsg(d *decoder) *HelloMsg {
+	m := &HelloMsg{
+		Tenant: d.str(),
+		Class:  d.u8(),
+		Resume: d.uvarint(),
+	}
+	if d.err != nil {
+		return nil
+	}
+	return m
+}
+
+func encodeHelloReply(e *encoder, m *HelloReply) {
+	e.uvarint(m.Token)
+	e.boolean(m.Resumed)
+	e.uvarint(uint64(m.Replayed))
+}
+
+func decodeHelloReply(d *decoder) *HelloReply {
+	m := &HelloReply{
+		Token:    d.uvarint(),
+		Resumed:  d.boolean(),
+		Replayed: uint32(d.uvarint()),
+	}
+	if d.err != nil {
+		return nil
+	}
+	return m
+}
+
+// LaneStats is one tenant's accounting on one service lane.
+type LaneStats struct {
+	Lane      uint8
+	Admitted  int64 // requests accepted into the fair scheduler
+	Completed int64 // responses written (or spilled to a backlog)
+	Shed      int64 // requests refused on this lane, any cause
+	Queued    int64 // currently parked in the scheduler
+}
+
+// TenantStats is one tenant's QoS accounting in a stats report.
+type TenantStats struct {
+	Tenant       string
+	Weight       int64
+	Sessions     int64 // open sessions
+	BacklogBytes int64 // persistent per-session backlog, summed
+	// Shed causes, summed across lanes: per-session queue cap, per-tenant
+	// lane cap, global admission cap, backlog overflow.
+	ShedSession int64
+	ShedTenant  int64
+	ShedGlobal  int64
+	ShedBacklog int64
+	Lanes       []LaneStats
+}
+
+func encodeTenants(e *encoder, ts []TenantStats) {
+	e.uvarint(uint64(len(ts)))
+	for i := range ts {
+		t := &ts[i]
+		e.str(t.Tenant)
+		e.varint(t.Weight)
+		e.varint(t.Sessions)
+		e.varint(t.BacklogBytes)
+		e.varint(t.ShedSession)
+		e.varint(t.ShedTenant)
+		e.varint(t.ShedGlobal)
+		e.varint(t.ShedBacklog)
+		e.uvarint(uint64(len(t.Lanes)))
+		for _, l := range t.Lanes {
+			e.u8(l.Lane)
+			e.varint(l.Admitted)
+			e.varint(l.Completed)
+			e.varint(l.Shed)
+			e.varint(l.Queued)
+		}
+	}
+}
+
+func decodeTenants(d *decoder) []TenantStats {
+	n := d.count(9)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ts := make([]TenantStats, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t := TenantStats{
+			Tenant:       d.str(),
+			Weight:       d.varint(),
+			Sessions:     d.varint(),
+			BacklogBytes: d.varint(),
+			ShedSession:  d.varint(),
+			ShedTenant:   d.varint(),
+			ShedGlobal:   d.varint(),
+			ShedBacklog:  d.varint(),
+		}
+		m := d.count(5)
+		for j := 0; j < m && d.err == nil; j++ {
+			t.Lanes = append(t.Lanes, LaneStats{
+				Lane:      d.u8(),
+				Admitted:  d.varint(),
+				Completed: d.varint(),
+				Shed:      d.varint(),
+				Queued:    d.varint(),
+			})
+		}
+		ts = append(ts, t)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return ts
+}

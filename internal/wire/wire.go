@@ -35,10 +35,13 @@ const (
 	// remote client span and the server/device spans it causes share one
 	// causally-linked trace. Version 3 added the consensus verbs
 	// (RequestVote/AppendEntries/Migrate), their request/response bodies,
-	// and the shard-ownership ring table in Stats reports.
-	Version uint8 = 3
+	// and the shard-ownership ring table in Stats reports. Version 4 widened
+	// the header with a session token, added the Hello handshake (tenant id,
+	// priority class, resumable sessions), QoS lane bits in the flags byte,
+	// and the per-tenant section of Stats reports.
+	Version uint8 = 4
 	// HeaderSize is the fixed frame header length in bytes.
-	HeaderSize = 36
+	HeaderSize = 44
 	// TrailerSize is the CRC32-C trailer length in bytes.
 	TrailerSize = 4
 	// MaxPayload caps a frame's payload so a corrupt length field cannot
@@ -61,7 +64,23 @@ const (
 	// same request ID follow; only the final frame (FlagMore clear) carries
 	// the definitive status and scalar fields.
 	FlagMore uint8 = 1 << 0
+
+	// Bits 1-2 of the flags byte carry an optional per-request lane override
+	// (0 = none, otherwise lane+1). The override lives in the header, not the
+	// payload, so admission control can classify a frame without decoding it.
+	flagLaneShift       = 1
+	flagLaneMask  uint8 = 0x3 << flagLaneShift
 )
+
+// laneFlags folds a lane-override byte (0 = none, else lane+1) into flags.
+func laneFlags(override uint8) uint8 {
+	return (override & 0x3) << flagLaneShift
+}
+
+// laneFromFlags recovers the lane-override byte from flags.
+func laneFromFlags(flags uint8) uint8 {
+	return (flags & flagLaneMask) >> flagLaneShift
+}
 
 // Op identifies a request verb.
 type Op uint8
@@ -100,6 +119,13 @@ const (
 	OpAppendEntries
 	OpMigrate
 
+	// OpHello (PR 8) opens or resumes a session: the request carries the
+	// tenant id, priority class, and an optional resume token; the response
+	// carries the (possibly new) session token plus how many backlog frames
+	// will be replayed immediately after it. Handled socket-side by the
+	// gateway — a Hello never enters the fair scheduler.
+	OpHello
+
 	opMax // one past the last valid opcode
 )
 
@@ -129,6 +155,7 @@ var opNames = map[Op]string{
 	OpRequestVote:        "RequestVote",
 	OpAppendEntries:      "AppendEntries",
 	OpMigrate:            "Migrate",
+	OpHello:              "Hello",
 }
 
 // String names the opcode.
@@ -183,7 +210,7 @@ func (o Op) NVMe() nvme.Opcode {
 	case OpIndexStatus:
 		return nvme.OpIndexStatus
 	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover,
-		OpRequestVote, OpAppendEntries, OpMigrate:
+		OpRequestVote, OpAppendEntries, OpMigrate, OpHello:
 		return nvme.OpKeyspaceInfo
 	}
 	return nvme.OpKeyspaceInfo
@@ -201,7 +228,8 @@ func (o Op) Idempotent() bool {
 	switch o {
 	case OpPing, OpOpenKeyspace, OpPut, OpDelete, OpBulkPut, OpSync,
 		OpGet, OpExist, OpScan, OpSecondaryRange, OpSecondaryPoint,
-		OpCompactStatus, OpIndexStatus, OpKeyspaceInfo, OpStats, OpPowerCut:
+		OpCompactStatus, OpIndexStatus, OpKeyspaceInfo, OpStats, OpPowerCut,
+		OpHello:
 		return true
 	}
 	return false
@@ -231,6 +259,11 @@ const (
 	StatusBadRequest Status = 34
 	// StatusUnavailable reports that no replica could serve the request.
 	StatusUnavailable Status = 35
+	// StatusSessionUnknown reports a frame carrying a session token the
+	// server does not recognize on this connection: the session expired, was
+	// never opened, or belongs to another connection. The client must
+	// re-handshake with Hello.
+	StatusSessionUnknown Status = 36
 )
 
 // FromNVMe converts a device completion status to its wire value.
@@ -256,6 +289,8 @@ func (s Status) String() string {
 		return "BadRequest"
 	case StatusUnavailable:
 		return "Unavailable"
+	case StatusSessionUnknown:
+		return "SessionUnknown"
 	}
 	if ns, ok := s.NVMe(); ok {
 		return ns.String()
@@ -274,6 +309,9 @@ var (
 	ErrBadRequest = errors.New("wire: bad request")
 	// ErrUnavailable reports that no replica could serve the request.
 	ErrUnavailable = errors.New("wire: no replica available")
+	// ErrSessionUnknown reports a frame whose session token the server did
+	// not recognize; the client must re-handshake.
+	ErrSessionUnknown = errors.New("wire: unknown session token")
 )
 
 // Err maps a transport-level status to its sentinel error; device statuses
@@ -288,6 +326,8 @@ func (s Status) Err() error {
 		return ErrBadRequest
 	case StatusUnavailable:
 		return ErrUnavailable
+	case StatusSessionUnknown:
+		return ErrSessionUnknown
 	}
 	return nil
 }
@@ -308,6 +348,62 @@ type TraceContext struct {
 	SpanID  uint64
 }
 
+// Lane is a QoS service lane. The fair scheduler serves lanes in weighted
+// priority order: latency-sensitive point reads ahead of normal foreground
+// ops ahead of bulk loads and maintenance.
+type Lane uint8
+
+// Service lanes, highest priority first.
+const (
+	LaneLatency Lane = iota
+	LaneNormal
+	LaneBulk
+	// NumLanes is the number of service lanes.
+	NumLanes = 3
+)
+
+// String names the lane.
+func (l Lane) String() string {
+	switch l {
+	case LaneLatency:
+		return "latency"
+	case LaneNormal:
+		return "normal"
+	case LaneBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("Lane(%d)", uint8(l))
+}
+
+// LaneOf maps an opcode to its default service lane: point reads and cheap
+// status polls are latency-sensitive, foreground writes and range queries are
+// normal, and bulk ingest plus maintenance verbs are bulk. A session class or
+// per-frame override (Request.Lane) takes precedence over this mapping.
+func LaneOf(op Op) Lane {
+	switch op {
+	case OpPing, OpGet, OpExist, OpKeyspaceInfo, OpCompactStatus,
+		OpIndexStatus, OpStats, OpOpenKeyspace, OpHello:
+		return LaneLatency
+	case OpBulkPut, OpCompact, OpCompactWithIndexes, OpBuildIndex,
+		OpPowerCut, OpRecover, OpMigrate:
+		return LaneBulk
+	}
+	return LaneNormal
+}
+
+// LaneOverride encodes a lane as the Request.Lane override byte (lane+1, so
+// zero keeps meaning "no override").
+func LaneOverride(l Lane) uint8 { return uint8(l)%NumLanes + 1 }
+
+// DecodeLaneOverride decodes an override byte; ok is false when no override
+// was set.
+func DecodeLaneOverride(v uint8) (Lane, bool) {
+	if v == 0 || v > NumLanes {
+		return LaneNormal, false
+	}
+	return Lane(v - 1), true
+}
+
 // Request is one decoded client request. Fields are interpreted per opcode;
 // unused fields are zero.
 type Request struct {
@@ -319,6 +415,14 @@ type Request struct {
 	// trace). The server opens its rpc span as a child of Trace.SpanID so a
 	// merged export renders one causal timeline across both processes.
 	Trace TraceContext
+
+	// Session is the session token carried in the frame header (0 =
+	// unsessioned; the request is charged to the anonymous tenant).
+	Session uint64
+
+	// Lane is the per-request lane override carried in the frame flags
+	// (0 = none; otherwise uint8(lane)+1 — see LaneOverride).
+	Lane uint8
 
 	Key   []byte
 	Value []byte
@@ -348,6 +452,10 @@ type Request struct {
 	// Replica carries the consensus message body for OpRequestVote,
 	// OpAppendEntries, and OpMigrate frames (nil on every client verb).
 	Replica *ReplicaMsg
+
+	// Hello carries the session handshake body for OpHello frames (nil on
+	// every other verb).
+	Hello *HelloMsg
 }
 
 // DeviceHealth is one array member's health in a stats report.
@@ -400,6 +508,11 @@ type StatsReport struct {
 	// RPC carries the gateway's RPC metrics (nil from backends that answer
 	// stats without a gateway in front).
 	RPC *RPCReport
+
+	// Tenants is the per-tenant QoS accounting (admission, sheds by cause,
+	// queue depths, backlog bytes per lane), nil when the server runs
+	// without a session manager. Sorted by tenant name.
+	Tenants []TenantStats
 
 	// Ring is the shard-ownership table (keyspace shard -> devices, epoch,
 	// leader), nil from single-device backends. It closes the placement
@@ -455,4 +568,12 @@ type Response struct {
 	// Replica carries the consensus reply body for OpRequestVote,
 	// OpAppendEntries, and OpMigrate responses (nil on every client verb).
 	Replica *ReplicaReply
+
+	// Session is the session token echoed in the frame header (0 when the
+	// request was unsessioned).
+	Session uint64
+
+	// Hello carries the session handshake reply for OpHello responses (nil
+	// on every other verb).
+	Hello *HelloReply
 }

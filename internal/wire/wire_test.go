@@ -206,9 +206,9 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 		t.Fatalf("bad version: err = %v", err)
 	}
 
-	// Oversized length field (offset 32 in the v2 header).
+	// Oversized length field (offset 40 in the v4 header).
 	bad = append([]byte(nil), frame...)
-	bad[32], bad[33], bad[34], bad[35] = 0xFF, 0xFF, 0xFF, 0x7F
+	bad[40], bad[41], bad[42], bad[43] = 0xFF, 0xFF, 0xFF, 0x7F
 	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized length: err = %v", err)
 	}
