@@ -23,6 +23,8 @@
 //	kvcsd-cli -devices 3 -replicas 2 power-cut -dev 0    # kill one replica, degraded reads
 //	kvcsd-cli -devices 3 -replicas 2 recover -dev 0      # power-cycle + recovery scrub stats
 //	kvcsd-cli -devices 3 -replicas 2 inject-fault -dev 0 # seeded probabilistic media faults
+//	kvcsd-cli -devices 3 -replicas 2 corrupt -dev 0      # flip bits in an extent, reads fail over
+//	kvcsd-cli -devices 3 -replicas 2 scrub -dev 0        # scrub + replica read-repair report
 //
 // With -addr the same verbs run against a live kvcsd-server over TCP
 // instead of an in-process simulation:
@@ -113,8 +115,12 @@ func main() {
 		err = runRecover(cfg, args)
 	case "inject-fault":
 		err = runInjectFault(cfg, args)
+	case "scrub":
+		err = runScrub(cfg, args)
+	case "corrupt":
+		err = runCorrupt(cfg, args)
 	default:
-		fmt.Fprintf(os.Stderr, "kvcsd-cli: unknown command %q (try session, put, get, scan, compact, delete-keyspace, stats, power-cut, recover, inject-fault)\n", cmd)
+		fmt.Fprintf(os.Stderr, "kvcsd-cli: unknown command %q (try session, put, get, scan, compact, delete-keyspace, stats, power-cut, recover, inject-fault, scrub, corrupt)\n", cmd)
 		os.Exit(2)
 	}
 	if err != nil {

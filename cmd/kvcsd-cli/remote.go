@@ -48,8 +48,12 @@ func runRemote(cfg cliConfig, cmd string, args []string) error {
 		return remoteDeviceFault(c, cfg, args, "power-cut", c.PowerCut)
 	case "recover":
 		return remoteDeviceFault(c, cfg, args, "recover", c.Recover)
+	case "scrub":
+		return remoteScrub(c, args)
+	case "corrupt":
+		return remoteCorrupt(c, cfg, args)
 	default:
-		return fmt.Errorf("unknown remote command %q (try put, get, scan, compact, delete-keyspace, stats, power-cut, recover)", cmd)
+		return fmt.Errorf("unknown remote command %q (try put, get, scan, compact, delete-keyspace, stats, power-cut, recover, scrub, corrupt)", cmd)
 	}
 }
 
@@ -243,6 +247,59 @@ func remoteStats(c *remote.Client) error {
 		}
 	}
 	fmt.Printf("server virtual time: %v\n", time.Duration(rep.VirtualNanos))
+	return nil
+}
+
+// remoteScrub runs a scrub-and-repair pass on one device of the server's
+// array and prints the report (an array-level scrub repairs what it finds
+// from replica copies).
+func remoteScrub(c *remote.Client, args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
+	dev := fs.Int("dev", 0, "target device index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, report, err := c.Scrub(*dev)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrub device %d on %s:\n%s\n", *dev, c.Addr(), report)
+	if rep != nil {
+		for _, ext := range rep.Corrupt {
+			fmt.Printf("  corrupt: %s %s granule %d (zone %d)\n",
+				ext.Keyspace, ext.Kind, ext.Granule, ext.Zone)
+		}
+	}
+	return nil
+}
+
+// remoteCorrupt flips bits inside one extent granule on the server — the
+// fault-injection counterpart of scrub. -ks must name the device-side shard
+// ("data#p0" for range-sharded keyspaces).
+func remoteCorrupt(c *remote.Client, cfg cliConfig, args []string) error {
+	fs := flag.NewFlagSet("corrupt", flag.ContinueOnError)
+	dev := fs.Int("dev", 0, "target device index")
+	kind := fs.String("kind", "sorted", "extent kind: klog, vlog, pidx, sorted, sidx")
+	index := fs.String("index", "", "secondary index name (sidx extents)")
+	granule := fs.Int64("granule", 0, "granule index within the extent")
+	bits := fs.Int("bits", 16, "bits to flip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kd, err := parseExtentKind(*kind)
+	if err != nil {
+		return err
+	}
+	report, err := c.Corrupt(*dev, cfg.ksName, wire.ExtentAddr{
+		Kind:    uint8(kd),
+		Index:   *index,
+		Granule: *granule,
+		Bits:    uint32(*bits),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corrupt on %s: %s\n", c.Addr(), report)
 	return nil
 }
 

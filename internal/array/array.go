@@ -144,6 +144,11 @@ type Array struct {
 	// hints queues writes missed by down devices, replayed on rejoin
 	// (hinted handoff — see rejoin.go).
 	hints map[int][]hint
+
+	// repairing dedupes in-flight read-repair passes per device; repairs
+	// holds their procs for WaitRepairsIdle (see repair.go).
+	repairing map[int]bool
+	repairs   []*sim.Proc
 }
 
 // New builds and starts an array in the simulation environment. Each device
@@ -181,6 +186,7 @@ func New(env *sim.Env, opts Options) *Array {
 		keyspaces:  make(map[string]*Keyspace),
 		replicated: make(map[string]*ReplicatedKeyspace),
 		hints:      make(map[int][]hint),
+		repairing:  make(map[int]bool),
 	}
 	if opts.Metrics {
 		a.reg = obs.NewRegistry(env)

@@ -44,6 +44,11 @@ func (k *Keyspace) Replicas(pi int) []int {
 	return append([]int(nil), k.parts[pi].replicas...)
 }
 
+// ShardName returns the device-side keyspace name of partition pi ("name" for
+// pinned keyspaces, "name#pN" for range shards) — the name extent-level
+// tooling (scrub, corrupt) must address devices with.
+func (k *Keyspace) ShardName(pi int) string { return k.parts[pi].name }
+
 // OwnersOf returns the device IDs holding the shard a key routes to,
 // primary first.
 func (k *Keyspace) OwnersOf(key []byte) []int {
@@ -410,6 +415,13 @@ func (k *Keyspace) readWithFailover(p *sim.Proc, pt *partition, fn func(q *sim.P
 			if missedOn < 0 {
 				missedOn = pt.replicas[ri]
 			}
+			continue
+		}
+		if client.Corrupted(err) {
+			// Rotted bytes on this replica, not a sick device: fail over
+			// without a health strike and schedule background read-repair.
+			k.a.scheduleRepair(pt.replicas[ri])
+			lastErr = err
 			continue
 		}
 		if !client.Retryable(err) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"kvcsd/internal/core"
 	"kvcsd/internal/device"
 	"kvcsd/internal/host"
 	"kvcsd/internal/keyenc"
@@ -76,9 +77,10 @@ func statusErr(op nvme.Opcode, s nvme.Status) error {
 // replica (or a later attempt) might not share: an internal error (e.g. an
 // injected media fault), the device running out of space, a keyspace that is
 // not in the right state on this particular device (a replica that has not
-// finished compacting yet), a device that has lost power, or a command that
-// timed out. Logical errors — not found, already exists, invalid arguments —
-// return false; retrying those cannot change the answer.
+// finished compacting yet), a device that has lost power, a checksum mismatch
+// (the bytes on this replica are rotted; another replica holds a clean copy),
+// or a command that timed out. Logical errors — not found, already exists,
+// invalid arguments — return false; retrying those cannot change the answer.
 func Retryable(err error) bool {
 	if errors.Is(err, ErrTimeout) {
 		return true
@@ -88,10 +90,21 @@ func Retryable(err error) bool {
 		return false
 	}
 	switch se.Status {
-	case nvme.StatusInternal, nvme.StatusNoSpace, nvme.StatusKeyspaceState, nvme.StatusPoweredOff:
+	case nvme.StatusInternal, nvme.StatusNoSpace, nvme.StatusKeyspaceState,
+		nvme.StatusPoweredOff, nvme.StatusCorrupted:
 		return true
 	}
 	return false
+}
+
+// Corrupted reports whether err is a device-detected checksum mismatch.
+// Corruption is retryable only *on another replica*: the bad bytes are on
+// media, so replaying the command against the same device fails the same way
+// until a repair rewrites the extent. The array router uses this to fail over
+// immediately and schedule read-repair instead of burning backoff attempts.
+func Corrupted(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == nvme.StatusCorrupted
 }
 
 // RetryPolicy bounds each command in virtual time and retries idempotent
@@ -182,7 +195,7 @@ func (c *Client) roundTrip(p *sim.Proc, cmd *nvme.Command) (*nvme.Completion, er
 		return comp, err
 	}
 	backoff := c.policy.BaseBackoff
-	for attempt := 1; attempt < c.policy.MaxAttempts && Retryable(err); attempt++ {
+	for attempt := 1; attempt < c.policy.MaxAttempts && Retryable(err) && !Corrupted(err); attempt++ {
 		if backoff > 0 {
 			p.Sleep(backoff)
 		}
@@ -266,6 +279,52 @@ func (c *Client) OpenKeyspace(p *sim.Proc, name string) (*Keyspace, error) {
 func (c *Client) DeleteKeyspace(p *sim.Proc, name string) error {
 	_, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpDeleteKeyspace, Keyspace: name})
 	return err
+}
+
+// ScrubMedia runs one synchronous scrub pass over every keyspace on the
+// device and returns the decoded report (what the background scrubber does on
+// its own cadence, but on demand).
+func (c *Client) ScrubMedia(p *sim.Proc) (*core.ScrubReport, error) {
+	comp, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpScrubMedia})
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeScrubReport(comp.Value)
+}
+
+// ReadExtent reads one verified granule by its logical extent address. The
+// array router uses this to fetch a clean copy from a healthy replica when
+// another replica reports the same extent corrupted.
+func (c *Client) ReadExtent(p *sim.Proc, keyspace string, addr nvme.ExtentAddr) ([]byte, error) {
+	comp, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpReadExtent, Keyspace: keyspace, Extent: addr})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Value, nil
+}
+
+// RepairExtent rewrites one granule in place from data fetched off a healthy
+// replica. The device re-verifies the payload against its stored checksum
+// before programming, so a repair can never install wrong bytes.
+func (c *Client) RepairExtent(p *sim.Proc, keyspace string, addr nvme.ExtentAddr, data []byte) error {
+	_, err := c.roundTrip(p, &nvme.Command{
+		Op:       nvme.OpRepairExtent,
+		Keyspace: keyspace,
+		Extent:   addr,
+		Value:    data,
+	})
+	return err
+}
+
+// CorruptMedia flips addr.Bits random bits inside one granule on media — the
+// fault-injection hook behind the chaos campaign and the CLI corrupt verb.
+// It returns how many bits actually flipped.
+func (c *Client) CorruptMedia(p *sim.Proc, keyspace string, addr nvme.ExtentAddr) (int64, error) {
+	comp, err := c.roundTrip(p, &nvme.Command{Op: nvme.OpCorruptMedia, Keyspace: keyspace, Extent: addr})
+	if err != nil {
+		return 0, err
+	}
+	return comp.Count, nil
 }
 
 // Keyspace is a handle for operations on one keyspace.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"kvcsd/internal/sim"
 )
@@ -229,7 +230,7 @@ func (cur *pidxCursor) next(p *sim.Proc) (pidxEntry, error) {
 		if cur.blockIdx >= total {
 			return pidxEntry{}, fmt.Errorf("core: pidx cursor exhausted")
 		}
-		entries, err := readIndexBlock(p, cur.c, cur.blockIdx, cur.e.cfg.BlockBytes)
+		entries, err := readIndexBlock(p, cur.c, cur.blockIdx, cur.e.cfg.BlockBytes, !cur.e.cfg.DisableVerify)
 		if err != nil {
 			return pidxEntry{}, err
 		}
@@ -277,9 +278,22 @@ func (w *clusterWindow) read(p *sim.Proc, off int64, n int) ([]byte, error) {
 	return append([]byte(nil), w.win[o:o+need]...), nil
 }
 
+// indexBlockHdr is the fixed index-block header: u16 entry count + u32
+// CRC32-C over the count and the entry/padding bytes (the CRC field itself is
+// excluded). The header CRC is defense-in-depth under the cluster's granule
+// checksums: an index block decoded from any source self-verifies.
+const indexBlockHdr = 6
+
+// indexBlockSum computes a block's header checksum: the count bytes plus
+// everything after the header.
+func indexBlockSum(buf []byte) uint32 {
+	sum := crc32.Update(0, castagnoli, buf[0:2])
+	return crc32.Update(sum, castagnoli, buf[indexBlockHdr:])
+}
+
 // blockWriter packs length-prefixed entries into fixed-size blocks: each
-// block starts with a u16 entry count, entries never span blocks, and the
-// remainder is zero padding. The first key of each block becomes a sketch
+// block starts with the indexBlockHdr header, entries never span blocks, and
+// the remainder is zero padding. The first key of each block becomes a sketch
 // pivot.
 type blockWriter struct {
 	cluster   *Cluster
@@ -296,7 +310,7 @@ func newBlockWriter(c *Cluster, blockSize int) *blockWriter {
 
 // add appends one encoded entry, starting a new block when needed.
 func (w *blockWriter) add(p *sim.Proc, entry []byte, firstKey []byte) error {
-	if len(entry)+2 > w.blockSize {
+	if len(entry)+indexBlockHdr > w.blockSize {
 		return fmt.Errorf("core: index entry of %d bytes exceeds block size %d", len(entry), w.blockSize)
 	}
 	if len(w.cur) > 0 && len(w.cur)+len(entry) > w.blockSize {
@@ -305,7 +319,7 @@ func (w *blockWriter) add(p *sim.Proc, entry []byte, firstKey []byte) error {
 		}
 	}
 	if len(w.cur) == 0 {
-		w.cur = append(w.cur, 0, 0) // count placeholder
+		w.cur = append(w.cur, 0, 0, 0, 0, 0, 0) // count + CRC placeholder
 		w.sketch = append(w.sketch, sketchEntry{
 			pivot: append([]byte(nil), firstKey...),
 			block: w.blockIdx,
@@ -323,6 +337,7 @@ func (w *blockWriter) flush(p *sim.Proc) error {
 	binary.LittleEndian.PutUint16(w.cur[0:], w.count)
 	padded := make([]byte, w.blockSize)
 	copy(padded, w.cur)
+	binary.LittleEndian.PutUint32(padded[2:], indexBlockSum(padded))
 	if err := w.cluster.Append(p, padded); err != nil {
 		return err
 	}
@@ -341,19 +356,34 @@ func (w *blockWriter) finish(p *sim.Proc) error {
 }
 
 // readIndexBlock reads and decodes one fixed-size index block (no cache).
-func readIndexBlock(p *sim.Proc, c *Cluster, blockIdx int64, blockSize int) ([]pidxEntry, error) {
+func readIndexBlock(p *sim.Proc, c *Cluster, blockIdx int64, blockSize int, verify bool) ([]pidxEntry, error) {
 	buf := make([]byte, blockSize)
 	if err := c.ReadAt(p, buf, blockIdx*int64(blockSize)); err != nil {
 		return nil, err
 	}
-	return decodePidxBlock(buf)
+	return decodePidxBlock(buf, verify)
+}
+
+// checkIndexBlock validates a block's framing; verify additionally demands
+// the header checksum (skipped in the DisableVerify negative control).
+func checkIndexBlock(buf []byte, verify bool) error {
+	if len(buf) < indexBlockHdr {
+		return ErrRecordCorrupt
+	}
+	if verify && binary.LittleEndian.Uint32(buf[2:]) != indexBlockSum(buf) {
+		return fmt.Errorf("%w: index block checksum", ErrCorrupted)
+	}
+	return nil
 }
 
 // decodePidxBlock parses a count-prefixed PIDX block.
-func decodePidxBlock(buf []byte) ([]pidxEntry, error) {
+func decodePidxBlock(buf []byte, verify bool) ([]pidxEntry, error) {
+	if err := checkIndexBlock(buf, verify); err != nil {
+		return nil, err
+	}
 	count := int(binary.LittleEndian.Uint16(buf))
 	out := make([]pidxEntry, 0, count)
-	pos := 2
+	pos := indexBlockHdr
 	codec := klogCodec{}
 	for i := 0; i < count; i++ {
 		rec, n, err := codec.Decode(buf[pos:], true)
@@ -367,10 +397,13 @@ func decodePidxBlock(buf []byte) ([]pidxEntry, error) {
 }
 
 // decodeSidxBlock parses a count-prefixed SIDX block.
-func decodeSidxBlock(buf []byte) ([]sidxEntry, error) {
+func decodeSidxBlock(buf []byte, verify bool) ([]sidxEntry, error) {
+	if err := checkIndexBlock(buf, verify); err != nil {
+		return nil, err
+	}
 	count := int(binary.LittleEndian.Uint16(buf))
 	out := make([]sidxEntry, 0, count)
-	pos := 2
+	pos := indexBlockHdr
 	codec := sidxCodec{}
 	for i := 0; i < count; i++ {
 		rec, n, err := codec.Decode(buf[pos:], true)

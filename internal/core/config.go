@@ -20,7 +20,11 @@
 //     secondary keys entirely inside the device.
 package core
 
-import "kvcsd/internal/keyenc"
+import (
+	"time"
+
+	"kvcsd/internal/keyenc"
+)
 
 // Config sizes the device engine. Defaults follow the paper's prototype
 // where stated (192 KiB ingest buffer) and use scaled-down values elsewhere.
@@ -52,21 +56,33 @@ type Config struct {
 	// "reduc[es] overall subsequent keyspace compaction overhead" because
 	// values then move through the merge rounds too).
 	DisableKVSeparation bool
+	// DisableVerify turns off granule checksum verification on the read path
+	// (negative control: injected rot then flows to callers as wrong bytes).
+	// Checksums are still recorded so verification can judge after the fact.
+	DisableVerify bool
+	// ScrubInterval is the virtual-time period of the background media
+	// scrubber; zero disables it. Scrub reads and SoC CPU contend with
+	// foreground work like compaction does.
+	ScrubInterval time.Duration
+	// QuarantineThreshold is how many corruption detections a zone absorbs
+	// before it is quarantined and its cluster rebuilt onto a fresh zone.
+	QuarantineThreshold int
 }
 
 // DefaultConfig returns simulation defaults.
 func DefaultConfig() Config {
 	return Config{
-		IngestBufferBytes: 192 << 10,
-		BlockBytes:        4096,
-		StripeWidth:       4,
-		SortBudgetBytes:   8 << 20,
-		MergeFanin:        16,
-		DRAMBytes:         8 << 30,
-		IndexCacheBytes:   32 << 20,
-		MetadataZones:     2,
-		MaxKeyLen:         1 << 10,
-		MaxValueLen:       64 << 10,
+		IngestBufferBytes:   192 << 10,
+		BlockBytes:          4096,
+		StripeWidth:         4,
+		SortBudgetBytes:     8 << 20,
+		MergeFanin:          16,
+		DRAMBytes:           8 << 30,
+		IndexCacheBytes:     32 << 20,
+		MetadataZones:       2,
+		MaxKeyLen:           1 << 10,
+		MaxValueLen:         64 << 10,
+		QuarantineThreshold: 3,
 	}
 }
 
@@ -105,6 +121,9 @@ func (c Config) sanitize() Config {
 	}
 	if c.MaxValueLen <= 0 {
 		c.MaxValueLen = d.MaxValueLen
+	}
+	if c.QuarantineThreshold <= 0 {
+		c.QuarantineThreshold = d.QuarantineThreshold
 	}
 	return c
 }

@@ -43,6 +43,10 @@ type Engine struct {
 	bgDone []*sim.Proc // waiters for background drain
 	bgErr  error
 	halted bool
+
+	// zoneStrikes counts corruption detections per zone across scrub passes;
+	// at Config.QuarantineThreshold the zone is quarantined and replaced.
+	zoneStrikes map[int]int
 }
 
 // NewEngine builds an engine over a ZNS SSD. soc models the device's ARM
@@ -51,14 +55,15 @@ func NewEngine(env *sim.Env, dev *ssd.Device, soc *host.Host, cfg Config, rng *s
 	cfg = cfg.sanitize()
 	zm := NewZoneManager(dev, cfg, rng)
 	eng := &Engine{
-		cfg:      cfg,
-		env:      env,
-		soc:      soc,
-		zm:       zm,
-		mgr:      NewManager(env, zm, cfg),
-		st:       st,
-		dram:     sim.NewGauge(env),
-		idxCache: newIndexCache(cfg.IndexCacheBytes),
+		cfg:         cfg,
+		env:         env,
+		soc:         soc,
+		zm:          zm,
+		mgr:         NewManager(env, zm, cfg),
+		st:          st,
+		dram:        sim.NewGauge(env),
+		idxCache:    newIndexCache(cfg.IndexCacheBytes),
+		zoneStrikes: make(map[int]int),
 	}
 	eng.mgr.onRelease = func(id int64) { eng.idxCache.invalidateCluster(id) }
 	return eng
@@ -411,6 +416,7 @@ func (e *Engine) Compact(p *sim.Proc, name string) error {
 	}
 	ks.state = StateCompacting
 	ks.compactStart = p.Now()
+	ks.compactErr = nil
 	if err := e.mgr.Persist(p); err != nil {
 		return err
 	}
@@ -422,12 +428,16 @@ func (e *Engine) Compact(p *sim.Proc, name string) error {
 		jp.Release(ks.ingestLock)
 		if err != nil {
 			ks.compactDone.Signal()
+			ks.compactErr = err
 			return err
 		}
 		if e.cfg.DisableKVSeparation {
-			return e.runCompactionCombined(jp, ks)
+			err = e.runCompactionCombined(jp, ks)
+		} else {
+			err = e.runCompaction(jp, ks)
 		}
-		return e.runCompaction(jp, ks)
+		ks.compactErr = err
+		return err
 	})
 	return nil
 }

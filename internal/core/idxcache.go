@@ -92,25 +92,25 @@ func (c *indexCache) invalidateCluster(cluster int64) {
 // readIndexBlockCached reads a PIDX block through the engine's index cache.
 func (e *Engine) readIndexBlockCached(p *sim.Proc, c *Cluster, blockIdx int64) ([]pidxEntry, error) {
 	if data, ok := e.idxCache.get(c.id, blockIdx); ok {
-		return decodePidxBlock(data)
+		return decodePidxBlock(data, !e.cfg.DisableVerify)
 	}
 	buf := make([]byte, e.cfg.BlockBytes)
 	if err := c.ReadAt(p, buf, blockIdx*int64(e.cfg.BlockBytes)); err != nil {
 		return nil, err
 	}
 	e.idxCache.put(c.id, blockIdx, buf)
-	return decodePidxBlock(buf)
+	return decodePidxBlock(buf, !e.cfg.DisableVerify)
 }
 
 // readSidxBlockCached reads an SIDX block through the engine's index cache.
 func (e *Engine) readSidxBlockCached(p *sim.Proc, c *Cluster, blockIdx int64) ([]sidxEntry, error) {
 	if data, ok := e.idxCache.get(c.id, blockIdx); ok {
-		return decodeSidxBlock(data)
+		return decodeSidxBlock(data, !e.cfg.DisableVerify)
 	}
 	buf := make([]byte, e.cfg.BlockBytes)
 	if err := c.ReadAt(p, buf, blockIdx*int64(e.cfg.BlockBytes)); err != nil {
 		return nil, err
 	}
 	e.idxCache.put(c.id, blockIdx, buf)
-	return decodeSidxBlock(buf)
+	return decodeSidxBlock(buf, !e.cfg.DisableVerify)
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScrubReportDecode feeds arbitrary bytes to the scrub-report codec. The
+// decoder must never panic, must reject mangled payloads (the CRC trailer's
+// job), and every accepted payload must re-encode to the exact bytes it was
+// decoded from — the codec is canonical, so a report surviving the decoder IS
+// the report the device sent.
+func FuzzScrubReportDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeScrubReport(&ScrubReport{}))
+	f.Add(EncodeScrubReport(&ScrubReport{Keyspaces: 2, ScannedBytes: 1 << 20, Repaired: 1, Quarantined: 1}))
+	full := EncodeScrubReport(&ScrubReport{
+		Keyspaces:    3,
+		ScannedBytes: 12345,
+		Corrupt: []ExtentRef{
+			{Keyspace: "data#p0", Kind: ExtentSorted, Granule: 7, Zone: 42},
+			{Keyspace: "data#p1", Kind: ExtentSIDX, Index: "by-suffix", Granule: 0, Zone: 3},
+		},
+	})
+	f.Add(full)
+	f.Add(full[:len(full)-3]) // truncated CRC: must reject
+	flipped := append([]byte(nil), full...)
+	flipped[10] ^= 0x40 // body bit flip: CRC must catch it
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeScrubReport(data)
+		if err != nil {
+			return
+		}
+		reenc := EncodeScrubReport(r)
+		if !bytes.Equal(reenc, data[:len(reenc)]) {
+			t.Fatalf("accepted %d-byte report is not canonical: re-encodes to %d different bytes", len(data), len(reenc))
+		}
+	})
+}
+
+// FuzzExtentRefDecode drives the extent-ref codec alone with arbitrary bytes:
+// no panics, in-bounds consumption, and canonical round-trips for everything
+// accepted.
+func FuzzExtentRefDecode(f *testing.F) {
+	f.Add(EncodeExtentRef(nil, ExtentRef{Keyspace: "ks", Kind: ExtentVLOG, Granule: 9, Zone: 1}))
+	f.Add(EncodeExtentRef(nil, ExtentRef{Keyspace: "", Kind: ExtentKLOG}))
+	f.Add(EncodeExtentRef(nil, ExtentRef{Keyspace: "s", Kind: ExtentSIDX, Index: "idx", Granule: -1, Zone: -2}))
+	f.Add([]byte{0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeExtentRef(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if reenc := EncodeExtentRef(nil, e); !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("extent ref round-trip mismatch over %d consumed bytes", n)
+		}
+	})
+}

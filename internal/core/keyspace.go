@@ -97,6 +97,7 @@ type Keyspace struct {
 	compactDone   *sim.Event
 	compactStart  sim.Time
 	compactFinish sim.Time
+	compactErr    error // last compaction attempt's failure, nil once one succeeds
 	pendingDelete bool
 
 	// ingestLock serializes buffer and log-cluster mutation: the device may
@@ -153,6 +154,12 @@ func (ks *Keyspace) secondaryNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// CompactErr reports why the last compaction attempt failed (nil while one
+// is running or after one succeeds). Status polls surface it so waiters see
+// a typed failure — e.g. ErrCorrupted from a rotted log extent — instead of
+// polling a keyspace that will never reach COMPACTED.
+func (ks *Keyspace) CompactErr() error { return ks.compactErr }
 
 // CompactionDuration returns how long device-side compaction took (0 until
 // it finishes).
@@ -304,12 +311,26 @@ type metaKeyspace struct {
 }
 
 type metaCluster struct {
+	// ID is the cluster's manager-lifetime identity, persisted so the sums
+	// delta scheme below can match tables across frames. Recovery bumps the
+	// zone manager's cluster sequence past every recovered ID, keeping IDs
+	// unique across restarts even though frames from several runs share a zone.
+	ID      int64
 	Type    uint8
 	Stripes [][]int
 	Offset  int
 	Length  int64
 	Sealed  bool
 	Tail    []byte
+	// Sums is the per-granule CRC32-C table (0 = unverified), persisted as a
+	// delta: a snapshot carries it (HasSums true) only when it changed since
+	// the previous frame, or when the frame is the first in its zone — earlier
+	// frames are gone, so the table must be self-contained. Recovery folds
+	// sums forward across the winning zone's frames by cluster ID. Without
+	// the delta, every full-table snapshot rewrites O(total granules) of CRCs
+	// and metadata persistence dominates ingest.
+	HasSums bool
+	Sums    []uint32
 }
 
 type metaSketch struct {
@@ -327,11 +348,12 @@ type metaSecondary struct {
 	Sketch  []metaSketch
 }
 
-func clusterMeta(c *Cluster) *metaCluster {
+func clusterMeta(c *Cluster, withSums bool) *metaCluster {
 	if c == nil {
 		return nil
 	}
-	return &metaCluster{
+	mc := &metaCluster{
+		ID:      c.id,
 		Type:    uint8(c.typ),
 		Stripes: c.stripes,
 		Offset:  c.offset,
@@ -339,18 +361,35 @@ func clusterMeta(c *Cluster) *metaCluster {
 		Sealed:  c.sealed,
 		Tail:    append([]byte(nil), c.tail...),
 	}
+	if withSums {
+		mc.HasSums = true
+		mc.Sums = append([]uint32(nil), c.sums...)
+	}
+	return mc
 }
 
-func (m *Manager) clusterFromMeta(mc *metaCluster) *Cluster {
+// clusterFromMeta rebuilds a cluster from the winning snapshot, taking its
+// checksum table from the snapshot itself when present or from the sums folded
+// across the zone's earlier frames otherwise.
+func (m *Manager) clusterFromMeta(mc *metaCluster, folded map[int64][]uint32) *Cluster {
 	if mc == nil {
 		return nil
 	}
 	c := m.zm.NewCluster(ZoneType(mc.Type))
+	c.id = mc.ID
+	if mc.ID > m.zm.clusterSeq {
+		m.zm.clusterSeq = mc.ID
+	}
 	c.stripes = mc.Stripes
 	c.offset = mc.Offset
 	c.length = mc.Length
 	c.sealed = mc.Sealed
 	c.tail = append([]byte(nil), mc.Tail...)
+	if mc.HasSums {
+		c.sums = append([]uint32(nil), mc.Sums...)
+	} else {
+		c.sums = append([]uint32(nil), folded[mc.ID]...)
+	}
 	for _, s := range mc.Stripes {
 		for _, z := range s {
 			m.zm.claim(z, ZoneType(mc.Type))
@@ -377,11 +416,52 @@ func sketchFromMeta(ms []metaSketch) []sketchEntry {
 
 // Persist appends a full-table snapshot to the active metadata zone,
 // switching (and resetting) zones when the active one fills. Concurrent
-// callers serialize so frames and zone switches never interleave.
+// callers serialize so frames and zone switches never interleave. Checksum
+// tables are written as deltas: only clusters marked dirty since the previous
+// frame carry their sums, unless the frame opens a fresh zone (the frames a
+// recovery would fold over were just destroyed, so it must be self-contained).
 func (m *Manager) Persist(p *sim.Proc) error {
 	p.Acquire(m.persistLock)
 	defer p.Release(m.persistLock)
 	m.metaSeq++
+	dirty := m.zm.takeSumsDirty()
+	if err := m.persistFrame(p, dirty); err != nil {
+		m.zm.mergeSumsDirty(dirty)
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) persistFrame(p *sim.Proc, dirty map[int64]bool) error {
+	dev := m.zm.dev
+	zi, err := dev.Zone(m.activeMeta)
+	if err != nil {
+		return err
+	}
+	frame, err := m.encodeFrame(zi.WritePointer == 0, dirty)
+	if err != nil {
+		return err
+	}
+	if zi.WritePointer+int64(len(frame)) > dev.ZoneSize() {
+		// Switch to the other metadata zone; its first frame carries every
+		// sums table.
+		m.activeMeta = (m.activeMeta + 1) % m.cfg.MetadataZones
+		if err := dev.ResetZone(p, m.activeMeta); err != nil {
+			return err
+		}
+		if frame, err = m.encodeFrame(true, dirty); err != nil {
+			return err
+		}
+	}
+	return dev.WriteZone(p, m.activeMeta, frame)
+}
+
+// encodeFrame builds one snapshot frame. A cluster's sums table is included
+// when full is set or the cluster is in the dirty set.
+func (m *Manager) encodeFrame(full bool, dirty map[int64]bool) ([]byte, error) {
+	withSums := func(c *Cluster) bool {
+		return full || (c != nil && dirty[c.id])
+	}
 	snap := metaSnapshot{Seq: m.metaSeq}
 	var names []string
 	for n := range m.table {
@@ -397,10 +477,10 @@ func (m *Manager) Persist(p *sim.Proc) error {
 			Bytes:     ks.bytes,
 			MinKey:    ks.minKey,
 			MaxKey:    ks.maxKey,
-			KLOG:      clusterMeta(ks.klog),
-			VLOG:      clusterMeta(ks.vlog),
-			PIDX:      clusterMeta(ks.pidx),
-			Sorted:    clusterMeta(ks.sorted),
+			KLOG:      clusterMeta(ks.klog, withSums(ks.klog)),
+			VLOG:      clusterMeta(ks.vlog, withSums(ks.vlog)),
+			PIDX:      clusterMeta(ks.pidx, withSums(ks.pidx)),
+			Sorted:    clusterMeta(ks.sorted, withSums(ks.sorted)),
 			LogFrames: extentsMeta(ks.logFrames),
 			Sketch:    sketchMeta(ks.sketch),
 		}
@@ -417,7 +497,7 @@ func (m *Manager) Persist(p *sim.Proc) error {
 				Length:  si.spec.Length,
 				Type:    uint8(si.spec.Type),
 				Built:   si.done.Fired(),
-				Cluster: clusterMeta(si.cluster),
+				Cluster: clusterMeta(si.cluster, withSums(si.cluster)),
 				Sketch:  sketchMeta(si.sketch),
 			})
 		}
@@ -425,27 +505,14 @@ func (m *Manager) Persist(p *sim.Proc) error {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
-		return fmt.Errorf("core: metadata encode: %w", err)
+		return nil, fmt.Errorf("core: metadata encode: %w", err)
 	}
 	frame := make([]byte, 12+buf.Len())
 	binary.LittleEndian.PutUint32(frame[0:], uint32(buf.Len()))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(buf.Bytes()))
 	binary.LittleEndian.PutUint32(frame[8:], 0x4b564d44) // "KVMD"
 	copy(frame[12:], buf.Bytes())
-
-	dev := m.zm.dev
-	zi, err := dev.Zone(m.activeMeta)
-	if err != nil {
-		return err
-	}
-	if zi.WritePointer+int64(len(frame)) > dev.ZoneSize() {
-		// Switch to the other metadata zone.
-		m.activeMeta = (m.activeMeta + 1) % m.cfg.MetadataZones
-		if err := dev.ResetZone(p, m.activeMeta); err != nil {
-			return err
-		}
-	}
-	return dev.WriteZone(p, m.activeMeta, frame)
+	return frame, nil
 }
 
 // Recover rebuilds the keyspace table from the metadata zones, using the
@@ -453,13 +520,15 @@ func (m *Manager) Persist(p *sim.Proc) error {
 // frames are ignored.
 func (m *Manager) Recover(p *sim.Proc) error {
 	var best *metaSnapshot
+	var bestSums map[int64][]uint32
 	for z := 0; z < m.cfg.MetadataZones; z++ {
-		snap, err := m.scanMetaZone(p, z)
+		snap, folded, err := m.scanMetaZone(p, z)
 		if err != nil {
 			return err
 		}
 		if snap != nil && (best == nil || snap.Seq > best.Seq) {
 			best = snap
+			bestSums = folded
 			m.activeMeta = z
 		}
 	}
@@ -480,10 +549,10 @@ func (m *Manager) Recover(p *sim.Proc) error {
 			bytes:       mk.Bytes,
 			minKey:      mk.MinKey,
 			maxKey:      mk.MaxKey,
-			klog:        m.clusterFromMeta(mk.KLOG),
-			vlog:        m.clusterFromMeta(mk.VLOG),
-			pidx:        m.clusterFromMeta(mk.PIDX),
-			sorted:      m.clusterFromMeta(mk.Sorted),
+			klog:        m.clusterFromMeta(mk.KLOG, bestSums),
+			vlog:        m.clusterFromMeta(mk.VLOG, bestSums),
+			pidx:        m.clusterFromMeta(mk.PIDX, bestSums),
+			sorted:      m.clusterFromMeta(mk.Sorted, bestSums),
 			logFrames:   extentsFromMeta(mk.LogFrames),
 			sketch:      sketchFromMeta(mk.Sketch),
 			secondary:   make(map[string]*secondaryIndex),
@@ -508,7 +577,7 @@ func (m *Manager) Recover(p *sim.Proc) error {
 					Length: ms.Length,
 					Type:   keyenc.SecondaryType(ms.Type),
 				},
-				cluster: m.clusterFromMeta(ms.Cluster),
+				cluster: m.clusterFromMeta(ms.Cluster, bestSums),
 				sketch:  sketchFromMeta(ms.Sketch),
 				done:    sim.NewEvent(m.env),
 			}
@@ -565,14 +634,18 @@ func (m *Manager) rotateMeta(p *sim.Proc) error {
 	return m.Persist(p)
 }
 
-// scanMetaZone reads frames until the write pointer, returning the last
-// valid snapshot in the zone (nil if none).
-func (m *Manager) scanMetaZone(p *sim.Proc, zone int) (*metaSnapshot, error) {
+// scanMetaZone reads frames until the write pointer, returning the last valid
+// snapshot in the zone (nil if none) plus the checksum tables folded forward
+// across every valid frame, keyed by cluster ID — snapshots persist sums as
+// deltas, so a cluster's current table may live in an earlier frame than the
+// winning one.
+func (m *Manager) scanMetaZone(p *sim.Proc, zone int) (*metaSnapshot, map[int64][]uint32, error) {
 	zi, err := m.zm.dev.Zone(zone)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var last *metaSnapshot
+	folded := make(map[int64][]uint32)
 	var off int64
 	for off+12 <= zi.WritePointer {
 		hdr, err := m.zm.dev.ReadZone(p, zone, off, 12)
@@ -580,7 +653,7 @@ func (m *Manager) scanMetaZone(p *sim.Proc, zone int) (*metaSnapshot, error) {
 			if errors.Is(err, ssd.ErrReadBeyondWP) {
 				break
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		plen := int64(binary.LittleEndian.Uint32(hdr[0:]))
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
@@ -592,17 +665,28 @@ func (m *Manager) scanMetaZone(p *sim.Proc, zone int) (*metaSnapshot, error) {
 		}
 		payload, err := m.zm.dev.ReadZone(p, zone, off+12, int(plen))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
 			break
 		}
 		var snap metaSnapshot
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMetaCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: %v", ErrMetaCorrupt, err)
+		}
+		for _, mk := range snap.Keyspaces {
+			clusters := []*metaCluster{mk.KLOG, mk.VLOG, mk.PIDX, mk.Sorted}
+			for _, ms := range mk.Secondary {
+				clusters = append(clusters, ms.Cluster)
+			}
+			for _, mc := range clusters {
+				if mc != nil && mc.HasSums {
+					folded[mc.ID] = mc.Sums
+				}
+			}
 		}
 		last = &snap
 		off += 12 + plen
 	}
-	return last, nil
+	return last, folded, nil
 }

@@ -197,6 +197,13 @@ func repairLogCluster(p *sim.Proc, c *Cluster) (logRepair, error) {
 	rep := logRepair{snapLen: c.length}
 	snapTail := append([]byte(nil), c.tail...)
 	flushedSnap := rep.snapLen - int64(len(snapTail))
+	// Checksum coverage ends at the snapshot's flushed prefix: granules the
+	// repair rewrites or the roll-forward re-admits carry content the snapshot
+	// never summed (KLOG frame CRCs vouch for rolled-forward records instead).
+	if maxG := flushedSnap / int64(c.blockSz); int64(len(c.sums)) > maxG {
+		c.sums = c.sums[:maxG]
+		c.markSums()
+	}
 	if len(c.stripes) == 0 {
 		rep.media = flushedSnap
 		rep.resume = flushedSnap

@@ -97,7 +97,7 @@ func (s *sidxSource) next(p *sim.Proc) (sidxEntry, bool, error) {
 		if s.blockIdx >= totalBlocks {
 			return sidxEntry{}, false, nil
 		}
-		entries, err := readIndexBlock(p, s.ks.pidx, s.blockIdx, s.e.cfg.BlockBytes)
+		entries, err := readIndexBlock(p, s.ks.pidx, s.blockIdx, s.e.cfg.BlockBytes, !s.e.cfg.DisableVerify)
 		if err != nil {
 			return sidxEntry{}, false, err
 		}

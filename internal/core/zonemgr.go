@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"kvcsd/internal/sim"
 	"kvcsd/internal/ssd"
@@ -13,6 +14,7 @@ var (
 	ErrNoZones       = errors.New("core: no free zones")
 	ErrClusterSealed = errors.New("core: cluster sealed")
 	ErrReadBounds    = errors.New("core: read beyond cluster length")
+	ErrUnverified    = errors.New("core: granule has no checksum to repair against")
 )
 
 // ZoneType labels what a zone cluster stores (paper Figure 4).
@@ -52,17 +54,24 @@ func (t ZoneType) String() string {
 // zone clusters. The first Config.MetadataZones zones are reserved for the
 // keyspace manager's metadata.
 type ZoneManager struct {
-	dev        *ssd.Device
-	cfg        Config
-	rng        *sim.RNG
-	free       []int // free zone indexes, LIFO
-	used       map[int]ZoneType
-	clusterSeq int64
+	dev         *ssd.Device
+	cfg         Config
+	rng         *sim.RNG
+	free        []int // free zone indexes, LIFO
+	used        map[int]ZoneType
+	quarantined map[int]bool // retired zones: never allocated again
+	clusterSeq  int64
+	// sumsDirty names clusters whose checksum table changed since the last
+	// metadata snapshot. Persist consumes it to write sums tables as deltas
+	// (unchanged tables are omitted and folded forward at recovery) — without
+	// this, every full-table snapshot rewrites O(total granules) of CRCs.
+	sumsDirty map[int64]bool
 }
 
 // NewZoneManager creates a manager over all non-reserved zones.
 func NewZoneManager(dev *ssd.Device, cfg Config, rng *sim.RNG) *ZoneManager {
-	zm := &ZoneManager{dev: dev, cfg: cfg, rng: rng, used: make(map[int]ZoneType)}
+	zm := &ZoneManager{dev: dev, cfg: cfg, rng: rng, used: make(map[int]ZoneType),
+		quarantined: make(map[int]bool), sumsDirty: make(map[int64]bool)}
 	for i := dev.NumZones() - 1; i >= cfg.MetadataZones; i-- {
 		zm.free = append(zm.free, i)
 	}
@@ -85,6 +94,37 @@ func (zm *ZoneManager) UsedByType() map[ZoneType]int {
 		out[t]++
 	}
 	return out
+}
+
+// QuarantinedZones returns the number of zones retired from allocation.
+func (zm *ZoneManager) QuarantinedZones() int { return len(zm.quarantined) }
+
+// quarantine retires a zone: it leaves the used set and never re-enters the
+// free pool, modelling a worn-out region of media the FTL maps out.
+func (zm *ZoneManager) quarantine(z int) {
+	if zm.quarantined[z] {
+		return
+	}
+	zm.quarantined[z] = true
+	delete(zm.used, z)
+	for i, f := range zm.free {
+		if f == z {
+			zm.free = append(zm.free[:i], zm.free[i+1:]...)
+			break
+		}
+	}
+	zm.dev.Stats().QuarantinedZones.Add(1)
+}
+
+// allocZone takes a single zone from the free pool (zone replacement).
+func (zm *ZoneManager) allocZone(t ZoneType) (int, error) {
+	if len(zm.free) == 0 {
+		return 0, fmt.Errorf("%w: need 1, have 0", ErrNoZones)
+	}
+	z := zm.free[len(zm.free)-1]
+	zm.free = zm.free[:len(zm.free)-1]
+	zm.used[z] = t
+	return z, nil
 }
 
 // allocStripe takes StripeWidth zones from the free pool.
@@ -118,14 +158,17 @@ func (zm *ZoneManager) claim(z int, t ZoneType) {
 	}
 }
 
-// release resets zones and returns them to the pool.
+// release resets zones and returns them to the pool. Quarantined zones are
+// reset but stay retired.
 func (zm *ZoneManager) release(p *sim.Proc, zones []int) error {
 	for _, z := range zones {
 		if err := zm.dev.ResetZone(p, z); err != nil {
 			return err
 		}
 		delete(zm.used, z)
-		zm.free = append(zm.free, z)
+		if !zm.quarantined[z] {
+			zm.free = append(zm.free, z)
+		}
 	}
 	return nil
 }
@@ -161,6 +204,11 @@ type Cluster struct {
 	length  int64
 	tail    []byte
 	sealed  bool
+	// sums holds one CRC32-C per flushed granule; 0 means unverified (the
+	// sentinel costs one in 2^32 granules their coverage, which the scrubber
+	// simply skips). Granules past len(sums) are also unverified — snapshots
+	// taken before a crash cover only what they saw.
+	sums []uint32
 }
 
 // Type returns what the cluster stores.
@@ -249,9 +297,43 @@ func (c *Cluster) Append(p *sim.Proc, data []byte) error {
 		if err := c.zm.dev.WriteZoneSpans(p, zones, data); err != nil {
 			return err
 		}
+		for g := 0; g < full; g++ {
+			c.noteGranule(first+int64(g), c.tail[g*c.blockSz:(g+1)*c.blockSz])
+		}
 		c.tail = c.tail[full*c.blockSz:]
 	}
 	return nil
+}
+
+// noteGranule records the checksum of one flushed granule's full bytes.
+func (c *Cluster) noteGranule(g int64, b []byte) {
+	for int64(len(c.sums)) <= g {
+		c.sums = append(c.sums, 0)
+	}
+	c.sums[g] = crc32.Checksum(b, castagnoli)
+	c.markSums()
+}
+
+// markSums flags the cluster's checksum table as changed so the next metadata
+// snapshot persists it. Every mutation of c.sums must call this.
+func (c *Cluster) markSums() {
+	c.zm.sumsDirty[c.id] = true
+}
+
+// takeSumsDirty hands the current dirty set to a metadata persist and starts a
+// fresh one, so marks arriving while the snapshot is being written are not
+// lost when the persist clears its set.
+func (zm *ZoneManager) takeSumsDirty() map[int64]bool {
+	taken := zm.sumsDirty
+	zm.sumsDirty = make(map[int64]bool)
+	return taken
+}
+
+// mergeSumsDirty returns a taken dirty set after a failed persist.
+func (zm *ZoneManager) mergeSumsDirty(taken map[int64]bool) {
+	for id := range taken {
+		zm.sumsDirty[id] = true
+	}
 }
 
 // Seal flushes the tail (zero-padded to a granule) and freezes the cluster.
@@ -271,6 +353,7 @@ func (c *Cluster) Seal(p *sim.Proc) error {
 		if err := c.zm.dev.WriteZone(p, zone, padded); err != nil {
 			return err
 		}
+		c.noteGranule(granule, padded)
 		c.tail = nil
 	}
 	c.sealed = true
@@ -350,14 +433,25 @@ func (c *Cluster) readFlushed(p *sim.Proc, buf []byte, off int64) error {
 	if err != nil {
 		return err
 	}
-	// Scatter span bytes back into the caller buffer.
+	// Scatter span bytes back into the caller buffer, verifying each whole
+	// granule against its recorded checksum on the way (spans are granule
+	// aligned, so verification needs no extra I/O).
 	w := int64(c.zm.cfg.StripeWidth)
+	verify := !c.zm.cfg.DisableVerify
 	for i, z := range order {
 		acc := spans[z]
 		data := datas[i]
 		// Granules of this zone are acc.firstG, acc.firstG+w, ...
 		for k := int64(0); k*int64(c.blockSz) < int64(len(data)); k++ {
 			g := acc.firstG + k*w
+			if verify && g < int64(len(c.sums)) && c.sums[g] != 0 {
+				block := data[k*int64(c.blockSz) : (k+1)*int64(c.blockSz)]
+				if crc32.Checksum(block, castagnoli) != c.sums[g] {
+					c.zm.dev.Stats().CorruptDetected.Add(1)
+					return &CorruptionError{Type: c.typ, Cluster: c.id, Granule: g,
+						Zone: z, ZoneOff: acc.start + k*int64(c.blockSz)}
+				}
+			}
 			gStart := g * int64(c.blockSz) // logical offset of granule start
 			// Intersect [gStart, gStart+blockSz) with [off, off+len(buf)).
 			lo := gStart
@@ -388,5 +482,167 @@ func (c *Cluster) Release(p *sim.Proc) error {
 	c.tail = nil
 	c.length = 0
 	c.sealed = true
+	c.sums = nil
 	return c.zm.release(p, zones)
+}
+
+// mediaGranules returns how many granules have media backing: flushed bytes
+// rounded up, because Seal pads the final partial granule onto media.
+func (c *Cluster) mediaGranules() int64 {
+	fl := c.length - int64(len(c.tail))
+	return (fl + int64(c.blockSz) - 1) / int64(c.blockSz)
+}
+
+// scanGranules reads back the flushed granules in [lo, hi] (clamped to media)
+// and checks each against its recorded checksum, returning the corrupt granule
+// indices in order plus the bytes read. Granules without coverage are read but
+// not judged. Counters are the caller's job — the scrubber owns its own
+// accounting, and a scan must not double-count with the read path.
+func (c *Cluster) scanGranules(p *sim.Proc, lo, hi int64) ([]int64, int64, error) {
+	if mg := c.mediaGranules(); hi >= mg {
+		hi = mg - 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		return nil, 0, nil
+	}
+	// Group consecutive granules per zone into spans, as readFlushed does.
+	type spanAcc struct {
+		zone   int
+		start  int64
+		n      int64
+		firstG int64
+	}
+	spans := make(map[int]*spanAcc)
+	var order []int
+	for g := lo; g <= hi; g++ {
+		zone, zoff := c.locate(g)
+		if acc, ok := spans[zone]; ok {
+			acc.n += int64(c.blockSz)
+		} else {
+			spans[zone] = &spanAcc{zone: zone, start: zoff, n: int64(c.blockSz), firstG: g}
+			order = append(order, zone)
+		}
+	}
+	req := make([]ssd.ZoneSpan, len(order))
+	for i, z := range order {
+		acc := spans[z]
+		req[i] = ssd.ZoneSpan{Zone: acc.zone, Off: acc.start, N: int(acc.n)}
+	}
+	datas, err := c.zm.dev.ReadZoneSpans(p, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	byZone := make(map[int][]byte, len(order))
+	for i, z := range order {
+		byZone[z] = datas[i]
+	}
+	var corrupt []int64
+	var scanned int64
+	w := int64(c.zm.cfg.StripeWidth)
+	for g := lo; g <= hi; g++ {
+		zone, _ := c.locate(g)
+		acc := spans[zone]
+		k := (g - acc.firstG) / w
+		block := byZone[zone][k*int64(c.blockSz) : (k+1)*int64(c.blockSz)]
+		scanned += int64(c.blockSz)
+		if g >= int64(len(c.sums)) || c.sums[g] == 0 {
+			continue
+		}
+		if crc32.Checksum(block, castagnoli) != c.sums[g] {
+			corrupt = append(corrupt, g)
+		}
+	}
+	return corrupt, scanned, nil
+}
+
+// ReadGranule returns the full media bytes of one flushed granule, verified
+// against its checksum — the donor side of replica repair must never hand out
+// poisoned bytes. The returned slice is a copy.
+func (c *Cluster) ReadGranule(p *sim.Proc, g int64) ([]byte, error) {
+	if g < 0 || g >= c.mediaGranules() {
+		return nil, ErrReadBounds
+	}
+	zone, off := c.locate(g)
+	data, err := c.zm.dev.ReadZone(p, zone, off, c.blockSz)
+	if err != nil {
+		return nil, err
+	}
+	if !c.zm.cfg.DisableVerify && g < int64(len(c.sums)) && c.sums[g] != 0 &&
+		crc32.Checksum(data, castagnoli) != c.sums[g] {
+		c.zm.dev.Stats().CorruptDetected.Add(1)
+		return nil, &CorruptionError{Type: c.typ, Cluster: c.id, Granule: g, Zone: zone, ZoneOff: off}
+	}
+	out := make([]byte, len(data))
+	copy(out, data) // ReadZone aliases the zone buffer
+	return out, nil
+}
+
+// RepairGranule rewrites one granule in place from a healthy copy. The payload
+// must match the recorded checksum — repair must never launder wrong bytes
+// into a verified granule — so unverified granules refuse repair and a payload
+// that fails the check (the donor replica was itself corrupt) is rejected as
+// ErrCorrupted.
+func (c *Cluster) RepairGranule(p *sim.Proc, g int64, data []byte) error {
+	if g < 0 || g >= c.mediaGranules() {
+		return ErrReadBounds
+	}
+	if len(data) != c.blockSz {
+		return fmt.Errorf("core: repair payload %d bytes, granule is %d", len(data), c.blockSz)
+	}
+	if g >= int64(len(c.sums)) || c.sums[g] == 0 {
+		return ErrUnverified
+	}
+	if crc32.Checksum(data, castagnoli) != c.sums[g] {
+		return fmt.Errorf("%w: repair payload fails granule %d checksum", ErrCorrupted, g)
+	}
+	zone, off := c.locate(g)
+	if err := c.zm.dev.Rewrite(p, zone, off, data); err != nil {
+		return err
+	}
+	c.zm.dev.Stats().RepairedExtents.Add(1)
+	return nil
+}
+
+// replaceZone rebuilds one stripe member onto a freshly allocated zone and
+// quarantines the old one: the written bytes are copied as-is (corrupt
+// granules keep mismatching their checksums until replica repair rewrites
+// them), the stripe entry is swapped, and the bad zone is retired from
+// allocation. Returns the replacement zone.
+func (c *Cluster) replaceZone(p *sim.Proc, bad int) (int, error) {
+	si, sj := -1, -1
+	for i, s := range c.stripes {
+		for j, z := range s {
+			if z == bad {
+				si, sj = i, j
+			}
+		}
+	}
+	if si < 0 {
+		return 0, fmt.Errorf("core: zone %d not in cluster %d", bad, c.id)
+	}
+	fresh, err := c.zm.allocZone(c.typ)
+	if err != nil {
+		return 0, err
+	}
+	info, err := c.zm.dev.Zone(bad)
+	if err != nil {
+		return 0, err
+	}
+	if info.WritePointer > 0 {
+		data, err := c.zm.dev.ReadZone(p, bad, 0, int(info.WritePointer))
+		if err != nil {
+			return 0, err
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		if err := c.zm.dev.WriteZone(p, fresh, cp); err != nil {
+			return 0, err
+		}
+	}
+	c.stripes[si][sj] = fresh
+	c.zm.quarantine(bad)
+	return fresh, nil
 }

@@ -147,7 +147,36 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 	for i := 0; i < opts.Dispatchers; i++ {
 		env.Go("kvcsd-dispatch", d.dispatchLoop)
 	}
+	if opts.Engine.ScrubInterval > 0 {
+		env.Go("kvcsd-scrub", d.scrubLoop)
+	}
 	return d
+}
+
+// scrubLoop runs the background media scrubber every Engine.ScrubInterval of
+// virtual time. Scrub reads go through the SSD channels and its checksum work
+// through the SoC cores, contending with foreground commands the way paper
+// compaction does. The loop exits at Shutdown (it must, or the simulation's
+// event queue never drains) and skips passes while the device is powered off.
+func (d *Device) scrubLoop(p *sim.Proc) {
+	for {
+		p.Sleep(sim.Duration(d.opts.Engine.ScrubInterval))
+		if d.closed {
+			return
+		}
+		if d.poweredOff {
+			continue
+		}
+		rep, err := d.engine.MediaScrub(p)
+		if err != nil || rep == nil {
+			continue // scrub is advisory; errors surface via counters
+		}
+		if d.gaugeReg != nil {
+			d.gaugeReg.Gauge("scrub/scanned_bytes").Add(float64(rep.ScannedBytes))
+			d.gaugeReg.Gauge("scrub/corrupt_extents").Add(float64(len(rep.Corrupt)))
+			d.gaugeReg.Gauge("scrub/quarantined_zones").Add(float64(rep.Quarantined))
+		}
+	}
 }
 
 // Queue returns the NVMe queue pair clients submit to.
@@ -315,7 +344,14 @@ func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
 		if err != nil {
 			return statusOnly(err)
 		}
-		return &nvme.Completion{Status: nvme.StatusOK, Done: ks.State() == core.StateCompacted}
+		done := ks.State() == core.StateCompacted
+		// A dead compaction attempt (e.g. a rotted log extent failed the
+		// sort's verified reads) must surface as a typed status, not leave
+		// the waiter polling a keyspace that will never reach COMPACTED.
+		if !done && ks.CompactErr() != nil {
+			return statusOnly(ks.CompactErr())
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Done: done}
 
 	case nvme.OpBuildSecondaryIndex:
 		spec := core.SecondarySpec{
@@ -388,6 +424,30 @@ func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
 		}
 		return &nvme.Completion{Status: nvme.StatusOK, Pairs: pairs}
 
+	case nvme.OpScrubMedia:
+		rep, err := eng.MediaScrub(p)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Value: core.EncodeScrubReport(rep)}
+
+	case nvme.OpReadExtent:
+		data, err := eng.ReadExtent(p, extentRef(cmd))
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Value: data}
+
+	case nvme.OpRepairExtent:
+		return statusOnly(eng.RepairExtent(p, extentRef(cmd), cmd.Value))
+
+	case nvme.OpCorruptMedia:
+		flips, err := eng.CorruptExtent(extentRef(cmd), cmd.Extent.Bits)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Count: int64(flips)}
+
 	case nvme.OpKeyspaceInfo:
 		info, err := eng.KeyspaceInfo(cmd.Keyspace)
 		if err != nil {
@@ -407,6 +467,16 @@ func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
 
 	default:
 		return &nvme.Completion{Status: nvme.StatusInvalid}
+	}
+}
+
+// extentRef translates a command's extent address to the core form.
+func extentRef(cmd *nvme.Command) core.ExtentRef {
+	return core.ExtentRef{
+		Keyspace: cmd.Keyspace,
+		Kind:     core.ExtentKind(cmd.Extent.Kind),
+		Index:    cmd.Extent.Index,
+		Granule:  cmd.Extent.Granule,
 	}
 }
 
@@ -431,6 +501,10 @@ func statusOf(err error) nvme.Status {
 		return nvme.StatusInvalid
 	case errors.Is(err, ssd.ErrPoweredOff):
 		return nvme.StatusPoweredOff
+	case errors.Is(err, core.ErrCorrupted):
+		return nvme.StatusCorrupted
+	case errors.Is(err, core.ErrExtentGone):
+		return nvme.StatusNotFound
 	default:
 		return nvme.StatusInternal
 	}

@@ -1,0 +1,216 @@
+package device
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kvcsd/internal/core"
+	"kvcsd/internal/nvme"
+	"kvcsd/internal/sim"
+	"kvcsd/internal/ssd"
+)
+
+// TestRestartWithLatentBitRot combines the two corruption modes in one zone
+// history: latent bit-rot in snapshot-covered VLOG granules AND a power cut
+// tearing an in-flight append. The two must stay separately attributed — the
+// recovery scrub realigns the torn zone without touching (or laundering) the
+// rot, the media scrub then finds exactly the two rotted granules, and each
+// granule repairs exactly once.
+func TestRestartWithLatentBitRot(t *testing.T) {
+	env, d, st := newTestDevice()
+	env.Go("host", func(p *sim.Proc) {
+		defer d.Shutdown()
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCreateKeyspace, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("create: %v", c.Status)
+		}
+		var pairs []nvme.KVPair
+		for i := 0; i < 500; i++ {
+			pairs = append(pairs, nvme.KVPair{
+				Key:   []byte(fmt.Sprintf("key-%04d", i)),
+				Value: []byte(fmt.Sprintf("value-%04d-%048d", i, i)),
+			})
+		}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpBulkStore, Keyspace: "ks", Pairs: pairs}); c.Status != nvme.StatusOK {
+			t.Fatalf("bulk: %v", c.Status)
+		}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("sync: %v", c.Status)
+		}
+
+		// Snapshot clean copies of the first two VLOG granules (the replica
+		// donor's role in this single-device test), then rot them in place.
+		var donors [2][]byte
+		for g := int64(0); g < 2; g++ {
+			addr := nvme.ExtentAddr{Kind: uint8(core.ExtentVLOG), Granule: g}
+			c := submit(p, d, &nvme.Command{Op: nvme.OpReadExtent, Keyspace: "ks", Extent: addr})
+			if c.Status != nvme.StatusOK {
+				t.Fatalf("read extent %d: %v", g, c.Status)
+			}
+			donors[g] = c.Value
+		}
+		for g := int64(0); g < 2; g++ {
+			addr := nvme.ExtentAddr{Kind: uint8(core.ExtentVLOG), Granule: g, Bits: 8}
+			if c := submit(p, d, &nvme.Command{Op: nvme.OpCorruptMedia, Keyspace: "ks", Extent: addr}); c.Status != nvme.StatusOK {
+				t.Fatalf("corrupt granule %d: %v", g, c.Status)
+			}
+		}
+
+		// Keep ingesting unsynced data while a second proc waits for a flush
+		// burst to start issuing media writes, then cuts power so the append
+		// tears mid-granule.
+		var cutRep ssd.PowerCutReport
+		cutter := env.Go("cutter", func(cp *sim.Proc) {
+			base := st.MediaWrite.Value()
+			for st.MediaWrite.Value() == base && !d.PoweredOff() {
+				cp.Sleep(time.Microsecond)
+			}
+			cutRep = d.PowerCut(cp)
+		})
+		cut := false
+		for i := 0; i < 3000; i++ {
+			key := []byte(fmt.Sprintf("post-%04d", i))
+			val := []byte(fmt.Sprintf("postval-%04d-%044d", i, i))
+			c := submit(p, d, &nvme.Command{Op: nvme.OpStore, Keyspace: "ks", Key: key, Value: val})
+			if c.Status == nvme.StatusPoweredOff {
+				cut = true
+				break
+			}
+			if c.Status != nvme.StatusOK {
+				t.Fatalf("store %d: %v", i, c.Status)
+			}
+		}
+		p.Join(cutter)
+		if !cut {
+			t.Fatal("power cut never landed during the unsynced ingest")
+		}
+		if cutRep.TornZones == 0 {
+			t.Fatalf("cut tore no zone (in-flight appends: %d)", cutRep.InFlightAppends)
+		}
+
+		rep, err := d.Restart(p)
+		if err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+		// The recovery scrub's job is write-pointer realignment; the latent
+		// rot sits in snapshot-covered granules it must not read, flag, or
+		// overwrite.
+		if rep.RepairedZones == 0 {
+			t.Fatal("recovery realigned no zone despite a torn append")
+		}
+		if n := st.CorruptDetected.Value(); n != 0 {
+			t.Fatalf("restart detected %d corruptions (media scrub's job, not recovery's)", n)
+		}
+		if n := st.RepairedExtents.Value(); n != 0 {
+			t.Fatalf("restart repaired %d extents (zone realignment must not count as extent repair)", n)
+		}
+
+		// One media scrub pass: exactly the two rotted granules, and not the
+		// granule the recovery completed (its checksum coverage was dropped,
+		// so it cannot be double-counted as corrupt).
+		scrub := func() *core.ScrubReport {
+			c := submit(p, d, &nvme.Command{Op: nvme.OpScrubMedia})
+			if c.Status != nvme.StatusOK {
+				t.Fatalf("scrub: %v", c.Status)
+			}
+			sr, err := core.DecodeScrubReport(c.Value)
+			if err != nil {
+				t.Fatalf("decode scrub report: %v", err)
+			}
+			return sr
+		}
+		sr := scrub()
+		if len(sr.Corrupt) != 2 {
+			t.Fatalf("scrub found %d corrupt extents, want exactly the 2 rotted granules: %+v", len(sr.Corrupt), sr.Corrupt)
+		}
+		for i, ext := range sr.Corrupt {
+			if ext.Kind != core.ExtentVLOG || ext.Granule != int64(i) {
+				t.Fatalf("corrupt extent %d = %s granule %d, want vlog granule %d", i, ext.Kind, ext.Granule, i)
+			}
+		}
+		if n := st.CorruptDetected.Value(); n != 2 {
+			t.Fatalf("detected counter = %d, want 2", n)
+		}
+
+		// Repair each granule once from its saved donor copy; a second scrub
+		// pass must come back clean without growing the repair count.
+		for g := int64(0); g < 2; g++ {
+			addr := nvme.ExtentAddr{Kind: uint8(core.ExtentVLOG), Granule: g}
+			if c := submit(p, d, &nvme.Command{Op: nvme.OpRepairExtent, Keyspace: "ks", Extent: addr, Value: donors[g]}); c.Status != nvme.StatusOK {
+				t.Fatalf("repair granule %d: %v", g, c.Status)
+			}
+		}
+		if n := st.RepairedExtents.Value(); n != 2 {
+			t.Fatalf("repaired extents = %d, want 2 (one per rotted granule)", n)
+		}
+		sr = scrub()
+		if len(sr.Corrupt) != 0 {
+			t.Fatalf("post-repair scrub still finds %d corrupt extents: %+v", len(sr.Corrupt), sr.Corrupt)
+		}
+		if n := st.RepairedExtents.Value(); n != 2 {
+			t.Fatalf("repaired extents grew to %d after a clean scrub (double-counted)", n)
+		}
+
+		// With the rot repaired, compaction reads the VLOG clean and every
+		// synced pair survives the whole ordeal byte-exact.
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCompact, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("compact: %v", c.Status)
+		}
+		waitCompacted(p, d, "ks")
+		for _, pr := range pairs {
+			c := submit(p, d, &nvme.Command{Op: nvme.OpRetrieve, Keyspace: "ks", Key: pr.Key})
+			if c.Status != nvme.StatusOK || string(c.Value) != string(pr.Value) {
+				t.Fatalf("lost synced pair %q: %v %q", pr.Key, c.Status, c.Value)
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestCompactionFailsTypedOnRottedVLOG rots a value granule and then compacts:
+// the sort's verified reads must kill the compaction with StatusCorrupted
+// surfaced through the status poll — never a sorted run built from poisoned
+// bytes, and never a waiter polling forever.
+func TestCompactionFailsTypedOnRottedVLOG(t *testing.T) {
+	env, d, _ := newTestDevice()
+	env.Go("host", func(p *sim.Proc) {
+		defer d.Shutdown()
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCreateKeyspace, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("create: %v", c.Status)
+		}
+		for i := 0; i < 300; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			val := []byte(fmt.Sprintf("value-%04d-%040d", i, i))
+			if c := submit(p, d, &nvme.Command{Op: nvme.OpStore, Keyspace: "ks", Key: key, Value: val}); c.Status != nvme.StatusOK {
+				t.Fatalf("store %d: %v", i, c.Status)
+			}
+		}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpSync, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("sync: %v", c.Status)
+		}
+		addr := nvme.ExtentAddr{Kind: uint8(core.ExtentVLOG), Granule: 0, Bits: 8}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCorruptMedia, Keyspace: "ks", Extent: addr}); c.Status != nvme.StatusOK {
+			t.Fatalf("corrupt: %v", c.Status)
+		}
+		if c := submit(p, d, &nvme.Command{Op: nvme.OpCompact, Keyspace: "ks"}); c.Status != nvme.StatusOK {
+			t.Fatalf("compact: %v", c.Status)
+		}
+		for i := 0; ; i++ {
+			c := submit(p, d, &nvme.Command{Op: nvme.OpCompactStatus, Keyspace: "ks"})
+			if c.Done {
+				t.Fatal("compaction succeeded over a rotted VLOG granule")
+			}
+			if c.Status != nvme.StatusOK {
+				if c.Status != nvme.StatusCorrupted {
+					t.Fatalf("compact status = %v, want %v", c.Status, nvme.StatusCorrupted)
+				}
+				return
+			}
+			if i > 10000 {
+				t.Fatal("compact status never surfaced the corruption")
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	env.Run()
+}

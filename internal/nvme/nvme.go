@@ -46,6 +46,13 @@ const (
 	OpKeyspaceInfo
 	OpSync
 	OpCompactWithIndexes
+
+	// Integrity extensions: background media scrub, extent read/repair for
+	// replica read-repair, and targeted corruption injection (test verb).
+	OpScrubMedia
+	OpReadExtent
+	OpRepairExtent
+	OpCorruptMedia
 )
 
 var opNames = map[Opcode]string{
@@ -68,6 +75,10 @@ var opNames = map[Opcode]string{
 	OpKeyspaceInfo:        "KeyspaceInfo",
 	OpSync:                "Sync",
 	OpCompactWithIndexes:  "CompactWithIndexes",
+	OpScrubMedia:          "ScrubMedia",
+	OpReadExtent:          "ReadExtent",
+	OpRepairExtent:        "RepairExtent",
+	OpCorruptMedia:        "CorruptMedia",
 }
 
 // String names the opcode.
@@ -91,6 +102,7 @@ const (
 	StatusNoSpace
 	StatusInternal
 	StatusPoweredOff // device lost power; retry after it is restarted
+	StatusCorrupted  // checksum mismatch on the read path; retry on another replica
 )
 
 // String names the status.
@@ -112,6 +124,8 @@ func (s Status) String() string {
 		return "Internal"
 	case StatusPoweredOff:
 		return "PoweredOff"
+	case StatusCorrupted:
+		return "Corrupted"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -184,6 +198,11 @@ type Command struct {
 	// ResultLimit caps query results (0 = unlimited).
 	ResultLimit int
 
+	// Extent addresses one checksummed granule (OpReadExtent, OpRepairExtent,
+	// OpCorruptMedia); the granule's keyspace is Command.Keyspace and repair
+	// payloads travel in Command.Value.
+	Extent ExtentAddr
+
 	// Span is the command's trace root, set by an instrumented client. The
 	// queue and the device attach stage spans to it; nil when tracing is off.
 	Span *obs.Span
@@ -200,11 +219,26 @@ func (c *Command) WireSize() int64 {
 	return n
 }
 
+// ExtentAddr addresses one checksummed granule of a keyspace cluster in the
+// replica-independent form core.ExtentRef defines: the cluster kind (a
+// core.ExtentKind value), the secondary-index name for SIDX extents, and the
+// granule ordinal.
+type ExtentAddr struct {
+	Kind    uint8
+	Index   string
+	Granule int64
+	// Bits is how many bits OpCorruptMedia flips (0 = device default).
+	Bits int
+}
+
 // Completion is the device's response to a command.
 type Completion struct {
 	Status Status
-	// Value holds a single result (OpRetrieve).
+	// Value holds a single result (OpRetrieve, OpReadExtent) or an encoded
+	// scrub report (OpScrubMedia).
 	Value []byte
+	// Count reports scalar results (bit flips applied by OpCorruptMedia).
+	Count int64
 	// Pairs holds streamed query results.
 	Pairs []KVPair
 	// Exists answers OpExist.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"kvcsd/internal/client"
+	"kvcsd/internal/core"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/wire"
 )
@@ -455,6 +456,38 @@ func (c *Client) PowerCut(device int) (string, error) {
 // Recover restarts a powered-off device and returns the recovery report.
 func (c *Client) Recover(device int) (string, error) {
 	resp, err := c.call(&wire.Request{Op: wire.OpRecover, Device: uint32(device)})
+	if err != nil {
+		return "", err
+	}
+	return resp.Report, nil
+}
+
+// Scrub runs a media scrub of one device (array member id; 0 on a
+// single-device server). An array server also repairs what it finds from
+// healthy replica copies. Returns the decoded report plus the server's
+// one-line summary.
+func (c *Client) Scrub(device int) (*core.ScrubReport, string, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpScrub, Device: uint32(device)})
+	if err != nil {
+		return nil, "", err
+	}
+	rep, err := core.DecodeScrubReport(resp.Value)
+	if err != nil {
+		return nil, resp.Report, err
+	}
+	return rep, resp.Report, nil
+}
+
+// Corrupt flips addr.Bits bits inside one extent of keyspace on a device —
+// the remote fault-injection hook mirroring PowerCut. Returns the server's
+// report line.
+func (c *Client) Corrupt(device int, keyspace string, addr wire.ExtentAddr) (string, error) {
+	resp, err := c.call(&wire.Request{
+		Op:       wire.OpCorrupt,
+		Device:   uint32(device),
+		Keyspace: keyspace,
+		Extent:   &addr,
+	})
 	if err != nil {
 		return "", err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"kvcsd/internal/array"
 	"kvcsd/internal/client"
+	"kvcsd/internal/core"
 	"kvcsd/internal/device"
 	"kvcsd/internal/host"
 	"kvcsd/internal/keyenc"
@@ -89,6 +90,24 @@ func clientSpecs(specs []wire.IndexSpec) []client.IndexSpec {
 		out[i] = clientSpec(s)
 	}
 	return out
+}
+
+// extentAddr converts the wire extent body to the NVMe command form.
+func extentAddr(e *wire.ExtentAddr) (nvme.ExtentAddr, bool) {
+	if e == nil {
+		return nvme.ExtentAddr{}, false
+	}
+	return nvme.ExtentAddr{Kind: e.Kind, Index: e.Index, Granule: e.Granule, Bits: int(e.Bits)}, true
+}
+
+// scrubResponse renders a scrub report as both the human-readable Report
+// line and the self-checking binary form (Value) remote tooling decodes.
+func scrubResponse(rep *core.ScrubReport) *wire.Response {
+	return &wire.Response{
+		Status: wire.StatusOK,
+		Report: rep.String(),
+		Value:  core.EncodeScrubReport(rep),
+	}
 }
 
 // --- Single-device backend -------------------------------------------------
@@ -179,6 +198,25 @@ func (b *deviceBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 			return respErr(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+
+	case wire.OpScrub:
+		rep, err := b.cl.ScrubMedia(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return scrubResponse(rep)
+
+	case wire.OpCorrupt:
+		addr, ok := extentAddr(req.Extent)
+		if !ok {
+			return &wire.Response{Status: wire.StatusInvalid, Err: "corrupt: missing extent address"}
+		}
+		flips, err := b.cl.CorruptMedia(p, req.Keyspace, addr)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK,
+			Report: fmt.Sprintf("flipped %d bits in %s granule %d", flips, req.Keyspace, addr.Granule)}
 	}
 
 	ks, err := b.handle(p, req.Keyspace)
@@ -382,6 +420,34 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 			return respErr(err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Report: fmt.Sprintf("%+v", rep)}
+
+	case wire.OpScrub:
+		id := int(req.Device)
+		if id < 0 || id >= len(b.arr.Members()) {
+			return &wire.Response{Status: wire.StatusInvalid, Err: fmt.Sprintf("device %d out of range", id)}
+		}
+		// An array scrub repairs what it finds from healthy replica copies.
+		rep, err := b.arr.RepairDevice(p, id)
+		if err != nil {
+			return respErr(err)
+		}
+		return scrubResponse(rep)
+
+	case wire.OpCorrupt:
+		id := int(req.Device)
+		if id < 0 || id >= len(b.arr.Members()) {
+			return &wire.Response{Status: wire.StatusInvalid, Err: fmt.Sprintf("device %d out of range", id)}
+		}
+		addr, ok := extentAddr(req.Extent)
+		if !ok {
+			return &wire.Response{Status: wire.StatusInvalid, Err: "corrupt: missing extent address"}
+		}
+		flips, err := b.arr.CorruptExtent(p, id, req.Keyspace, addr)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK,
+			Report: fmt.Sprintf("flipped %d bits in %s granule %d on device %d", flips, req.Keyspace, addr.Granule, id)}
 	}
 
 	if rk, err := b.arr.OpenReplicated(req.Keyspace); err == nil {

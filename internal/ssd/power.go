@@ -143,6 +143,12 @@ type FaultProfile struct {
 	LatencyRate map[string]float64
 	// ExtraLatency is added when a latency fault fires (default 1ms).
 	ExtraLatency time.Duration
+	// RotRate maps a read kind ("zone-read") to the probability that the read
+	// surfaces latent bit-rot: seeded bits in the range being read flip in
+	// place before the read returns, silently. See rot.go.
+	RotRate map[string]float64
+	// RotBits is how many bits each rot event flips (default DefaultRotBits).
+	RotBits int
 }
 
 // SetFaultProfile installs (or, with nil, removes) a probabilistic fault

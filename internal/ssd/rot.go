@@ -1,0 +1,104 @@
+// Silent-corruption (bit-rot) modelling. Unlike InjectFault/FaultProfile
+// errors — which fail an operation loudly — rot poisons bytes on the media in
+// place: subsequent reads of the range succeed and return wrong bytes. Only a
+// checksum layer above the device can tell. Rot is persistent until a repair
+// rewrites the range (Rewrite) or the zone is reset.
+//
+// Two injection mechanisms, both deterministic given their seeds:
+//
+//   - CorruptBlock is the targeted verb: flip seeded bits in a specific byte
+//     range of a zone, for chaos scenarios and the kvcsd-cli corrupt verb;
+//   - FaultProfile.RotRate arms ambient decay: each matching read draws
+//     against the rate and, when it fires, flips seeded bits somewhere in the
+//     range being read — the "reads surface latent corruption" model.
+package ssd
+
+import (
+	"kvcsd/internal/sim"
+)
+
+// DefaultRotBits is how many bits a rot event flips when the profile does not
+// say otherwise. More than one bit defeats accidental parity cancellation.
+const DefaultRotBits = 3
+
+// CorruptBlock flips bits in the byte range [off, off+n) of a zone, below the
+// write pointer: seeded, persistent, and silent — reads of the range keep
+// succeeding and return the poisoned bytes. It flips max(1, bits) bits at
+// seeded positions and returns how many byte positions were touched. No
+// virtual time passes: rot is not an I/O.
+func (d *Device) CorruptBlock(zone int, off, n int64, bits int) (int, error) {
+	if zone < 0 || zone >= len(d.zones) {
+		return 0, ErrZoneBounds
+	}
+	z := &d.zones[zone]
+	if off < 0 || n <= 0 || off+n > z.wp {
+		return 0, ErrReadBeyondWP
+	}
+	if bits < 1 {
+		bits = DefaultRotBits
+	}
+	return d.flipBits(z, off, n, bits), nil
+}
+
+// flipBits flips `bits` seeded bit positions within z.data[off:off+n] and
+// returns the byte positions touched.
+func (d *Device) flipBits(z *zone, off, n int64, bits int) int {
+	touched := 0
+	for i := 0; i < bits; i++ {
+		pos := off + int64(d.rng.Intn(int(n)))
+		bit := byte(1) << uint(d.rng.Intn(8))
+		z.data[pos] ^= bit
+		touched++
+	}
+	d.st.MediaRotted.Add(int64(touched))
+	return touched
+}
+
+// maybeRot draws the ambient-decay schedule for one read of [off, off+n) in a
+// zone: when the profile's RotRate for the kind fires, seeded bits somewhere
+// in the range flip before the read returns — so the caller receives poisoned
+// bytes with a successful status.
+func (d *Device) maybeRot(kind string, zone int, off, n int64) {
+	if d.fprof == nil || n <= 0 {
+		return
+	}
+	rate := d.fprof.RotRate[kind]
+	if rate <= 0 || d.frng.Float64() >= rate {
+		return
+	}
+	bits := d.fprof.RotBits
+	if bits < 1 {
+		bits = DefaultRotBits
+	}
+	d.flipBits(&d.zones[zone], off, n, bits)
+}
+
+// Rewrite programs bytes in place below a zone's write pointer — the repair
+// verb. Real ZNS media cannot overwrite, but a repair path rewriting a
+// corrupted extent models a read-modify-write zone renovation; the simulation
+// grants it directly and charges one channel write operation. The range must
+// lie entirely below the write pointer.
+func (d *Device) Rewrite(p *sim.Proc, zone int, off int64, data []byte) error {
+	if zone < 0 || zone >= len(d.zones) {
+		return ErrZoneBounds
+	}
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
+	z := &d.zones[zone]
+	if off < 0 || off+int64(len(data)) > z.wp {
+		return ErrReadBeyondWP
+	}
+	if err := d.checkFault("zone-write", int64(zone)); err != nil {
+		return err
+	}
+	d.busy(p, d.Channel(zone), "rewrite", d.cfg.WriteLatency+d.faultLatency("zone-write"),
+		int64(len(data)), d.cfg.WriteBandwidth)
+	if d.poweredOff {
+		return ErrPoweredOff
+	}
+	copy(z.data[off:], data)
+	d.st.MediaWrite.Add(int64(len(data)))
+	d.st.MediaRepaired.Add(int64(len(data)))
+	return nil
+}

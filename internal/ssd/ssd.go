@@ -323,6 +323,7 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 		if err := d.checkFault("zone-read", int64(sp.Zone)); err != nil {
 			return nil, err
 		}
+		d.maybeRot("zone-read", sp.Zone, sp.Off, int64(sp.N))
 		done := d.Channel(sp.Zone).Reserve(d.cfg.ReadLatency + d.faultLatency("zone-read") + sim.TransferTime(int64(sp.N), d.cfg.ReadBandwidth))
 		if done > latest {
 			latest = done
@@ -571,6 +572,7 @@ func (d *Device) ReadZone(p *sim.Proc, idx int, off int64, n int) ([]byte, error
 	if err := d.checkFault("zone-read", int64(idx)); err != nil {
 		return nil, err
 	}
+	d.maybeRot("zone-read", idx, off, int64(n))
 	d.busy(p, d.Channel(idx), "read", d.cfg.ReadLatency+d.faultLatency("zone-read"), int64(n), d.cfg.ReadBandwidth)
 	if d.poweredOff {
 		return nil, ErrPoweredOff

@@ -46,6 +46,19 @@ type IOStats struct {
 	// channel operation completed (torn and queued appends). Media bytes
 	// surviving on NAND = MediaWrite - MediaTorn.
 	MediaTorn Counter
+	// MediaRotted counts bytes poisoned in place by bit-rot injection:
+	// reads of those ranges return wrong bytes, not errors, until a repair
+	// rewrites them.
+	MediaRotted Counter
+	// MediaRepaired counts bytes rewritten in place by extent repair.
+	MediaRepaired Counter
+	// Integrity machinery: checksum failures detected on the read path or by
+	// the scrubber, bytes the scrubber verified, extents rebuilt from a
+	// replica, and zones quarantined after repeated corruption.
+	CorruptDetected  Counter
+	ScrubbedBytes    Counter
+	RepairedExtents  Counter
+	QuarantinedZones Counter
 	// Host link traffic: bytes crossing the host<->device PCIe boundary.
 	HostToDevice Counter
 	DeviceToHost Counter
@@ -71,6 +84,12 @@ func NewIOStats() *IOStats {
 	s.MediaRead.name = "media_read_bytes"
 	s.MediaWrite.name = "media_write_bytes"
 	s.MediaTorn.name = "media_torn_bytes"
+	s.MediaRotted.name = "media_rotted_bytes"
+	s.MediaRepaired.name = "media_repaired_bytes"
+	s.CorruptDetected.name = "corrupt_detected"
+	s.ScrubbedBytes.name = "scrubbed_bytes"
+	s.RepairedExtents.name = "repaired_extents"
+	s.QuarantinedZones.name = "quarantined_zones"
 	s.HostToDevice.name = "host_to_device_bytes"
 	s.DeviceToHost.name = "device_to_host_bytes"
 	s.AppWrite.name = "app_write_bytes"
@@ -167,7 +186,9 @@ func (s *IOStats) Snapshot() map[string]int64 {
 
 func (s *IOStats) counters() []*Counter {
 	return []*Counter{
-		&s.MediaRead, &s.MediaWrite, &s.MediaTorn, &s.HostToDevice, &s.DeviceToHost,
+		&s.MediaRead, &s.MediaWrite, &s.MediaTorn, &s.MediaRotted, &s.MediaRepaired,
+		&s.CorruptDetected, &s.ScrubbedBytes, &s.RepairedExtents, &s.QuarantinedZones,
+		&s.HostToDevice, &s.DeviceToHost,
 		&s.AppWrite, &s.AppRead, &s.Puts, &s.Gets, &s.Scans, &s.Deletes,
 		&s.BulkPuts, &s.Commands, &s.FSReads, &s.FSWrites,
 		&s.CacheHits, &s.CacheMisses,

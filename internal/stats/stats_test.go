@@ -70,7 +70,7 @@ func TestSnapshotContainsAllCounters(t *testing.T) {
 	s := NewIOStats()
 	s.Gets.Add(7)
 	m := s.Snapshot()
-	if len(m) != 17 {
+	if len(m) != 23 {
 		t.Fatalf("snapshot has %d entries", len(m))
 	}
 	if m["gets"] != 7 {

@@ -229,6 +229,13 @@ func EncodeRequest(r *Request) []byte {
 	if r.Hello != nil {
 		encodeHelloMsg(e, r.Hello)
 	}
+	e.boolean(r.Extent != nil)
+	if r.Extent != nil {
+		e.u8(r.Extent.Kind)
+		e.str(r.Extent.Index)
+		e.varint(r.Extent.Granule)
+		e.uvarint(uint64(r.Extent.Bits))
+	}
 	return e.b
 }
 
@@ -259,6 +266,14 @@ func DecodeRequest(h Header, payload []byte) (*Request, error) {
 	}
 	if d.boolean() {
 		r.Hello = decodeHelloMsg(d)
+	}
+	if d.boolean() {
+		r.Extent = &ExtentAddr{
+			Kind:    d.u8(),
+			Index:   d.str(),
+			Granule: d.varint(),
+			Bits:    uint32(d.uvarint()),
+		}
 	}
 	if err := d.done(); err != nil {
 		return nil, err

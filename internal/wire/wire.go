@@ -38,8 +38,10 @@ const (
 	// and the shard-ownership ring table in Stats reports. Version 4 widened
 	// the header with a session token, added the Hello handshake (tenant id,
 	// priority class, resumable sessions), QoS lane bits in the flags byte,
-	// and the per-tenant section of Stats reports.
-	Version uint8 = 4
+	// and the per-tenant section of Stats reports. Version 5 added the
+	// integrity verbs (Scrub/Corrupt), the extent-address request body, and
+	// the Corrupted status.
+	Version uint8 = 5
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 44
 	// TrailerSize is the CRC32-C trailer length in bytes.
@@ -126,6 +128,13 @@ const (
 	// gateway — a Hello never enters the fair scheduler.
 	OpHello
 
+	// Integrity verbs (DESIGN.md §11): OpScrub runs a media scrub of one
+	// device (an array backend also repairs what it finds from replica
+	// copies); OpCorrupt flips bits inside one extent — the remote
+	// fault-injection hook behind kvcsd-cli corrupt, mirroring power-cut.
+	OpScrub
+	OpCorrupt
+
 	opMax // one past the last valid opcode
 )
 
@@ -156,6 +165,8 @@ var opNames = map[Op]string{
 	OpAppendEntries:      "AppendEntries",
 	OpMigrate:            "Migrate",
 	OpHello:              "Hello",
+	OpScrub:              "Scrub",
+	OpCorrupt:            "Corrupt",
 }
 
 // String names the opcode.
@@ -209,6 +220,10 @@ func (o Op) NVMe() nvme.Opcode {
 		return nvme.OpBuildSecondaryIndex
 	case OpIndexStatus:
 		return nvme.OpIndexStatus
+	case OpScrub:
+		return nvme.OpScrubMedia
+	case OpCorrupt:
+		return nvme.OpCorruptMedia
 	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover,
 		OpRequestVote, OpAppendEntries, OpMigrate, OpHello:
 		return nvme.OpKeyspaceInfo
@@ -220,16 +235,18 @@ func (o Op) NVMe() nvme.Opcode {
 // failure (connection loss, timeout, shed) without changing the outcome —
 // the same replay rules the client library applies to NVMe commands: reads
 // and status polls trivially, writes because duplicate log records
-// deduplicate at compaction, and PowerCut because it is idempotent while the
-// device is off. Lifecycle verbs (create/delete keyspace, compaction and
-// index kicks, recover) are not replayed: a replay of one that actually
-// landed would report a different status.
+// deduplicate at compaction, PowerCut because it is idempotent while the
+// device is off, and Scrub because re-verifying (and re-repairing with
+// content-identical bytes) converges to the same state. Lifecycle verbs
+// (create/delete keyspace, compaction and index kicks, recover) are not
+// replayed: a replay of one that actually landed would report a different
+// status. Neither is Corrupt — a replay flips additional bits.
 func (o Op) Idempotent() bool {
 	switch o {
 	case OpPing, OpOpenKeyspace, OpPut, OpDelete, OpBulkPut, OpSync,
 		OpGet, OpExist, OpScan, OpSecondaryRange, OpSecondaryPoint,
 		OpCompactStatus, OpIndexStatus, OpKeyspaceInfo, OpStats, OpPowerCut,
-		OpHello:
+		OpHello, OpScrub:
 		return true
 	}
 	return false
@@ -249,6 +266,7 @@ const (
 	StatusNoSpace       = Status(nvme.StatusNoSpace)
 	StatusInternal      = Status(nvme.StatusInternal)
 	StatusPoweredOff    = Status(nvme.StatusPoweredOff)
+	StatusCorrupted     = Status(nvme.StatusCorrupted)
 
 	// StatusOverloaded is the admission-control shed: the server refused the
 	// request instead of queueing it unboundedly. Safe to retry with backoff.
@@ -385,7 +403,7 @@ func LaneOf(op Op) Lane {
 		OpIndexStatus, OpStats, OpOpenKeyspace, OpHello:
 		return LaneLatency
 	case OpBulkPut, OpCompact, OpCompactWithIndexes, OpBuildIndex,
-		OpPowerCut, OpRecover, OpMigrate:
+		OpPowerCut, OpRecover, OpMigrate, OpScrub, OpCorrupt:
 		return LaneBulk
 	}
 	return LaneNormal
@@ -445,9 +463,13 @@ type Request struct {
 	// partitions (0 or 1 = pinned) — meaningful only against an array.
 	Parts uint32
 
-	// Device targets an array member (PowerCut/Recover); ignored by a
-	// single-device server.
+	// Device targets an array member (PowerCut/Recover/Scrub/Corrupt);
+	// ignored by a single-device server.
 	Device uint32
+
+	// Extent addresses one checksummed granule for OpCorrupt frames (nil on
+	// every other verb).
+	Extent *ExtentAddr
 
 	// Replica carries the consensus message body for OpRequestVote,
 	// OpAppendEntries, and OpMigrate frames (nil on every client verb).
@@ -456,6 +478,16 @@ type Request struct {
 	// Hello carries the session handshake body for OpHello frames (nil on
 	// every other verb).
 	Hello *HelloMsg
+}
+
+// ExtentAddr is the wire form of a logical extent address (keyspace comes
+// from Request.Keyspace): which cluster kind, which secondary index (for
+// sidx extents), which granule, and — for OpCorrupt — how many bits to flip.
+type ExtentAddr struct {
+	Kind    uint8
+	Index   string
+	Granule int64
+	Bits    uint32
 }
 
 // DeviceHealth is one array member's health in a stats report.
