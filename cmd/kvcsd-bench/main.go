@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, scrub, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, scrub, compactsplit, all")
 	scale := flag.Int("scale", 1, "multiply dataset sizes by this factor")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	devices := flag.Int("devices", 8, "largest device count in the array-scaling sweep")
@@ -210,6 +210,15 @@ func main() {
 		emit("scrub", bench.ClockVirtual, t, "scrub_interval")
 		ran = true
 	}
+	if want("compactsplit") {
+		t, err := bench.CompactSplit(s)
+		if err != nil {
+			fail(err)
+		}
+		t.Print(out)
+		emit("compactsplit", bench.ClockVirtual, t, "policy", "width")
+		ran = true
+	}
 	if want("ablations") {
 		type abl struct {
 			name string
@@ -236,7 +245,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, scrub, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "kvcsd-bench: unknown -fig %q (try 7a, 7b, 8, 9, 10a, 10b, table1, ablations, array, remote, failover, fairness, scrub, compactsplit, all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -19,6 +19,8 @@
 //	kvcsd-cli -devices 4 get 0xA1B2...         # point GET (hex or raw key)
 //	kvcsd-cli -devices 4 scan -limit 10        # ordered scatter-gather scan
 //	kvcsd-cli -devices 4 compact               # staggered fleet compaction
+//	kvcsd-cli -devices 4 compact -policy collaborative -width 4   # host/device split + pipeline
+//	kvcsd-cli -cold-zones 256 compact -migrate-cold               # lifetime-aware cold placement
 //	kvcsd-cli -devices 4 delete-keyspace       # drop the preloaded keyspace
 //	kvcsd-cli -devices 3 -replicas 2 power-cut -dev 0    # kill one replica, degraded reads
 //	kvcsd-cli -devices 3 -replicas 2 recover -dev 0      # power-cycle + recovery scrub stats
@@ -44,6 +46,7 @@ import (
 
 	"kvcsd"
 	"kvcsd/internal/array"
+	"kvcsd/internal/device"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/stats"
 )
@@ -60,6 +63,7 @@ type cliConfig struct {
 	ksName    string
 	addr      string
 	tenant    string
+	coldZones int
 }
 
 func main() {
@@ -74,6 +78,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "simulation seed (same seed = same virtual cluster)")
 	flag.StringVar(&cfg.ksName, "ks", "data", "keyspace name for array commands")
 	flag.StringVar(&cfg.tenant, "tenant", "", "remote mode: open a session as this tenant so requests are billed to its fair share")
+	flag.IntVar(&cfg.coldZones, "cold-zones", 0, "local mode: reserve this many zones per device as a cold tier (enables compact -migrate-cold)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -104,7 +109,7 @@ func main() {
 	case "scan":
 		err = runScan(cfg, args)
 	case "compact":
-		err = runCompact(cfg)
+		err = runCompact(cfg, args)
 	case "delete-keyspace":
 		err = runDeleteKeyspace(cfg)
 	case "stats":
@@ -137,6 +142,12 @@ func newArray(cfg cliConfig, env *sim.Env) *array.Array {
 	opts.Devices = cfg.devices
 	opts.Replicas = cfg.replicas
 	opts.Seed = cfg.seed
+	if cfg.coldZones > 0 {
+		d := device.DefaultOptions()
+		d.SSD.ColdZones = cfg.coldZones
+		d.Engine.ColdHeatThreshold = 1
+		opts.Device = d
+	}
 	return array.New(env, opts)
 }
 
@@ -307,8 +318,27 @@ func runScan(cfg cliConfig, args []string) error {
 	})
 }
 
-func runCompact(cfg cliConfig) error {
+func runCompact(cfg cliConfig, args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	policy := fs.String("policy", "", "install a compaction policy first: device, host, or collaborative")
+	width := fs.Int("width", 0, "install a device compaction pipeline width (0 = sequential)")
+	cold := fs.Bool("migrate-cold", false, "after compaction, sweep every device's cold tier and report zones moved")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ccfg, set, err := compactionConfigFlags(*policy, *width)
+	if err != nil {
+		return err
+	}
 	return runArray(cfg, func(p *sim.Proc, a *array.Array) error {
+		if set {
+			for _, m := range a.Members() {
+				if ccfg, err = m.Client.SetCompactionConfig(p, ccfg); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("installed compaction config: policy=%s width=%d\n", ccfg.Policy, ccfg.PipelineWidth)
+		}
 		ks, err := load(p, a, cfg)
 		if err != nil {
 			return err
@@ -327,6 +357,18 @@ func runCompact(cfg cliConfig) error {
 		fmt.Printf("state=%s pairs=%d zones=%d\n", info.State, info.Pairs, info.ZoneCount)
 		for _, row := range ks.ShardMap() {
 			fmt.Printf("  shard %s\n", row)
+		}
+		printCompactions(progressRows(a))
+		if *cold {
+			var total int64
+			for _, m := range a.Members() {
+				moved, err := m.Client.MigrateCold(p)
+				if err != nil {
+					return err
+				}
+				total += moved
+			}
+			fmt.Printf("extra cold-tier sweep: %d zones migrated (the fleet window already sweeps after each device's compactions)\n", total)
 		}
 		return nil
 	})
@@ -377,6 +419,7 @@ func runStats(cfg cliConfig) error {
 			}
 			fmt.Printf("  device %d: %s (consecutive failures: %d)\n", h.ID, state, h.Failures)
 		}
+		printCompactions(progressRows(a))
 		fmt.Printf("virtual time: %v\n", p.Now())
 		return nil
 	})

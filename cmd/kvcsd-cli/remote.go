@@ -39,7 +39,7 @@ func runRemote(cfg cliConfig, cmd string, args []string) error {
 	case "scan":
 		return remoteScan(c, cfg, args)
 	case "compact":
-		return remoteCompact(c, cfg)
+		return remoteCompact(c, cfg, args)
 	case "delete-keyspace":
 		return remoteDeleteKeyspace(c, cfg)
 	case "stats":
@@ -157,10 +157,38 @@ func remoteScan(c *remote.Client, cfg cliConfig, args []string) error {
 	return nil
 }
 
-func remoteCompact(c *remote.Client, cfg cliConfig) error {
+func remoteCompact(c *remote.Client, cfg cliConfig, args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	policy := fs.String("policy", "", "install a compaction policy first: device, host, or collaborative")
+	width := fs.Int("width", 0, "install a device compaction pipeline width (0 = sequential)")
+	status := fs.Bool("status", false, "only report compaction progress, do not start a compaction")
+	cold := fs.Bool("migrate-cold", false, "after compaction, sweep device cold tiers and report zones moved")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ccfg, set, err := compactionConfigFlags(*policy, *width)
+	if err != nil {
+		return err
+	}
+	if set {
+		if ccfg, err = c.SetCompactionPolicy(ccfg); err != nil {
+			return err
+		}
+		fmt.Printf("installed compaction config: policy=%s width=%d\n", ccfg.Policy, ccfg.PipelineWidth)
+	}
 	ks, err := c.OpenKeyspace(cfg.ksName)
 	if err != nil {
 		return err
+	}
+	if *status {
+		pr, done, err := ks.CompactionProgress()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: done=%v stage=%s granules=%d/%d moved=%s runs=host:%d/device:%d occupancy=%d\n",
+			cfg.ksName, done, pr.Stage, pr.GranulesDone, pr.GranulesTotal,
+			stats.HumanBytes(int64(pr.BytesMoved)), pr.HostRuns, pr.DeviceRuns, pr.Occupancy)
+		return nil
 	}
 	t0 := time.Now()
 	if err := ks.Compact(); err != nil {
@@ -175,6 +203,21 @@ func remoteCompact(c *remote.Client, cfg cliConfig) error {
 	}
 	fmt.Printf("compacted %s in %v (wall)\n", cfg.ksName, time.Since(t0).Round(time.Microsecond))
 	fmt.Printf("state=%s pairs=%d zones=%d\n", info.State, info.Pairs, info.ZoneCount)
+	if pr, _, err := ks.CompactionProgress(); err == nil {
+		fmt.Printf("split: host runs=%d device runs=%d bytes moved=%s\n",
+			pr.HostRuns, pr.DeviceRuns, stats.HumanBytes(int64(pr.BytesMoved)))
+	}
+	if *cold {
+		var total int64
+		for dev := 0; dev < maxOf(cfg.devices, 1); dev++ {
+			moved, err := c.MigrateCold(dev)
+			if err != nil {
+				return err
+			}
+			total += moved
+		}
+		fmt.Printf("extra cold-tier sweep: %d zones migrated (array servers already sweep inside the fleet compaction window)\n", total)
+	}
 	return nil
 }
 
@@ -231,6 +274,15 @@ func remoteStats(c *remote.Client) error {
 				fmt.Printf("    shed by cause: session-cap=%d tenant-cap=%d global-cap=%d backlog-full=%d\n",
 					t.ShedSession, t.ShedTenant, t.ShedGlobal, t.ShedBacklog)
 			}
+		}
+	}
+	if len(rep.Compactions) > 0 {
+		fmt.Printf("compactions:\n")
+		for _, row := range rep.Compactions {
+			pr := row.Progress
+			fmt.Printf("  %-12s stage=%-8s granules=%d/%d moved=%s runs=host:%d/device:%d occupancy=%d\n",
+				row.Keyspace, pr.Stage, pr.GranulesDone, pr.GranulesTotal,
+				stats.HumanBytes(int64(pr.BytesMoved)), pr.HostRuns, pr.DeviceRuns, pr.Occupancy)
 		}
 	}
 	if r := rep.RPC; r != nil {

@@ -130,8 +130,10 @@ type Array struct {
 	gate        *sim.Resource // compaction admission gate
 	gDown       *sim.Gauge    // array/devices_down
 	gCompactRun *sim.Gauge    // array/compactions_running
+	gColdMoves  *sim.Gauge    // array/cold_zones_migrated
 	lastAdmit   sim.Time      // last compaction admission (stagger)
 	admits      int64         // compaction admissions so far
+	lastJobs    []*compactJob // previous admission (occupancy-aware stagger)
 	rr          int           // round-robin read cursor
 
 	keyspaces map[string]*Keyspace
@@ -192,6 +194,7 @@ func New(env *sim.Env, opts Options) *Array {
 		a.reg = obs.NewRegistry(env)
 		a.gDown = a.reg.Gauge("array/devices_down")
 		a.gCompactRun = a.reg.Gauge("array/compactions_running")
+		a.gColdMoves = a.reg.Gauge("array/cold_zones_migrated")
 	}
 	if opts.Trace {
 		a.tr = obs.NewTracer(env)

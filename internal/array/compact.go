@@ -2,6 +2,7 @@ package array
 
 import (
 	"fmt"
+	"time"
 
 	"kvcsd/internal/client"
 	"kvcsd/internal/sim"
@@ -112,6 +113,12 @@ func (a *Array) runDeviceCompactions(q *sim.Proc, jobs []*compactJob) {
 		a.admits++
 		a.lastAdmit = q.Now()
 	}
+	// Occupancy-aware stagger: beyond the fixed delay, hold this admission
+	// until the previously admitted device's compaction pipelines have
+	// drained their buffered chunks — admission by live backpressure.
+	prev := a.lastJobs
+	a.lastJobs = jobs
+	a.drainPipelines(q, prev)
 	if a.gCompactRun != nil {
 		a.gCompactRun.Add(1)
 		defer a.gCompactRun.Add(-1)
@@ -129,6 +136,33 @@ func (a *Array) runDeviceCompactions(q *sim.Proc, jobs []*compactJob) {
 			continue
 		}
 		j.err = j.pt.handles[j.ri].WaitCompacted(q)
+	}
+	// Lifetime-aware placement rides the compaction window: once this
+	// device's compactions settle, run one cold-placement sweep on it.
+	// Advisory — devices without a cold tier report zero moves.
+	dev := jobs[0].pt.replicas[jobs[0].ri]
+	if moved, err := a.members[dev].Client.MigrateCold(q); err == nil && a.gColdMoves != nil {
+		a.gColdMoves.Add(float64(moved))
+	}
+}
+
+// drainPipelines polls the previous admission's compaction progress until
+// every pipeline's occupancy reaches zero (bounded, advisory: errors or a
+// stuck pipeline stop the wait after the iteration cap).
+func (a *Array) drainPipelines(q *sim.Proc, prev []*compactJob) {
+	for iter := 0; iter < 256; iter++ {
+		occ := 0
+		for _, j := range prev {
+			pr, _, err := j.pt.handles[j.ri].CompactionProgress(q)
+			if err != nil {
+				return
+			}
+			occ += int(pr.Occupancy)
+		}
+		if occ == 0 {
+			return
+		}
+		q.Sleep(time.Millisecond)
 	}
 }
 

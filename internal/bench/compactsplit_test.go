@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCompactSplitShape runs the compaction-split figure and asserts the
+// subsystem's acceptance shape: under concurrent foreground load the
+// collaborative policy finishes compaction faster than both the host-only
+// and device-only policies, the parallel device pipeline (width 4) beats the
+// sequential baseline (width 1) for every policy without degrading the
+// foreground p99 beyond a small bound, and the collaborative rows really did
+// split the runs across the link. The harness is a seeded virtual-time
+// simulation, so the orderings are exact, not statistical.
+func TestCompactSplitShape(t *testing.T) {
+	tab, err := CompactSplit(DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(compactSplitSweep) {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), len(compactSplitSweep))
+	}
+	// Row layout follows compactSplitSweep: device{1,4}, host{1,4}, collab{1,4}.
+	const (
+		dev1, dev4, host1, host4, col1, col4 = 0, 1, 2, 3, 4, 5
+	)
+	compact := func(row int) float64 { return tab.Float(row, "compact_s") }
+
+	// Tentpole: the load-driven split beats both fixed placements, at both
+	// pipeline widths.
+	for _, w := range []struct {
+		col, dev, host int
+		width          string
+	}{{col1, dev1, host1, "1"}, {col4, dev4, host4, "4"}} {
+		if c, d := compact(w.col), compact(w.dev); c >= d {
+			t.Errorf("width %s: collaborative compaction %.4fs not faster than device-only %.4fs", w.width, c, d)
+		}
+		if c, h := compact(w.col), compact(w.host); c >= h {
+			t.Errorf("width %s: collaborative compaction %.4fs not faster than host-only %.4fs", w.width, c, h)
+		}
+	}
+	// The parallel pipeline beats the sequential baseline per policy...
+	for _, pair := range [][2]int{{dev4, dev1}, {host4, host1}, {col4, col1}} {
+		if par, seq := compact(pair[0]), compact(pair[1]); par >= seq {
+			t.Errorf("row %d: pipelined compaction %.4fs not faster than sequential %.4fs", pair[0], par, seq)
+		}
+		// ...at comparable foreground latency (well under the 25% CI drift
+		// tolerance; the widths share the same probe workload).
+		p4, p1 := tab.Float(pair[0], "fg_p99_ms"), tab.Float(pair[1], "fg_p99_ms")
+		if p4 > p1*1.15 {
+			t.Errorf("row %d: pipelined fg p99 %.3fms vs sequential %.3fms, want within 15%%", pair[0], p4, p1)
+		}
+	}
+	// The collaborative planner split the runs; the fixed policies did not.
+	for _, row := range []int{col1, col4} {
+		if hr, dr := tab.Float(row, "host_runs"), tab.Float(row, "device_runs"); hr == 0 || dr == 0 {
+			t.Errorf("collaborative row %d split %v/%v, want both sides engaged", row, hr, dr)
+		}
+	}
+	if hr := tab.Float(host1, "host_runs"); hr == 0 {
+		t.Error("host-only row merged no runs on the host")
+	}
+	if dr := tab.Float(dev1, "device_runs"); dr == 0 {
+		t.Error("device-only row merged no runs on the device")
+	}
+
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty table render")
+	}
+}

@@ -43,6 +43,13 @@ type Options struct {
 	// CompactionCuts is the number of crash points placed at seeded
 	// virtual-time offsets inside a compaction run.
 	CompactionCuts int
+	// PipelineCuts is the number of crash points placed inside a
+	// collaborative, width-4 pipelined compaction with a live host assist
+	// loop — cuts land mid-pipeline and mid-host-merge.
+	PipelineCuts int
+	// MigrationCuts is the number of crash points placed inside a cold-tier
+	// migration sweep following compaction.
+	MigrationCuts int
 	// ValueSize pads every value to this many bytes (>= 24).
 	ValueSize int
 	// Device is the device template; the zero value selects a small
@@ -50,8 +57,9 @@ type Options struct {
 	Device device.Options
 }
 
-// DefaultOptions returns a campaign with 180 load-phase and 24
-// compaction-phase crash points.
+// DefaultOptions returns a campaign with 180 load-phase, 24
+// compaction-phase, 12 pipelined-compaction and 8 cold-migration crash
+// points.
 func DefaultOptions() Options {
 	return Options{
 		Seed:           1,
@@ -59,16 +67,21 @@ func DefaultOptions() Options {
 		SyncEvery:      16,
 		CutEvery:       2,
 		CompactionCuts: 24,
+		PipelineCuts:   12,
+		MigrationCuts:  8,
 		ValueSize:      64,
 	}
 }
 
 // Point is the outcome of one crash point.
 type Point struct {
-	// Phase is "load" or "compact".
+	// Phase is "load", "compact", "pipeline" or "migrate".
 	Phase string
-	// Cut is the op index (load) or the virtual-ns offset into compaction.
+	// Cut is the op index (load) or the virtual-ns offset into the phase.
 	Cut int64
+	// HostJobs counts merge jobs the host assist loop completed at a
+	// pipeline point (before the cut plus during the re-compaction).
+	HostJobs int
 	// Synced is how many pairs were acked and synced before the cut.
 	Synced int
 	// Present is how many pairs a full primary scan returned after recovery.
@@ -160,6 +173,22 @@ func Run(opts Options) *Result {
 			res.Points = append(res.Points, pt)
 		}
 	}
+	if opts.PipelineCuts > 0 {
+		window := probeTunedWindow(opts, -2, tunePipeline, true, false)
+		rng := sim.NewRNG(opts.Seed).Fork(0x50495045) // "PIPE"
+		for j := 0; j < opts.PipelineCuts; j++ {
+			off := sim.Duration(rng.Float64() * float64(window))
+			res.Points = append(res.Points, runPipelinePoint(opts, j, off))
+		}
+	}
+	if opts.MigrationCuts > 0 {
+		window := probeTunedWindow(opts, -3, tuneMigrate, false, true)
+		rng := sim.NewRNG(opts.Seed).Fork(0x4D494752) // "MIGR"
+		for j := 0; j < opts.MigrationCuts; j++ {
+			off := sim.Duration(rng.Float64() * float64(window))
+			res.Points = append(res.Points, runMigratePoint(opts, j, off))
+		}
+	}
 	for _, pt := range res.Points {
 		if pt.Err != "" {
 			res.Failures++
@@ -168,8 +197,9 @@ func Run(opts Options) *Result {
 	return res
 }
 
-// newPointDevice builds a fresh simulation and device for one crash point.
-func newPointDevice(opts Options, salt int64) (*sim.Env, *device.Device) {
+// newPointDevice builds a fresh simulation and device for one crash point;
+// tune (optional) reshapes the device template for phase-specific points.
+func newPointDevice(opts Options, salt int64, tune func(*device.Options)) (*sim.Env, *device.Device) {
 	env := sim.NewEnv()
 	dopts := opts.Device
 	if dopts.QueueDepth == 0 && dopts.SSD.Channels == 0 {
@@ -179,6 +209,9 @@ func newPointDevice(opts Options, salt int64) (*sim.Env, *device.Device) {
 		dopts.Engine.IngestBufferBytes = 16 << 10
 		dopts.Engine.SortBudgetBytes = 64 << 10
 		dopts.Engine.StripeWidth = 2
+	}
+	if tune != nil {
+		tune(&dopts)
 	}
 	dopts.Seed = opts.Seed ^ (salt+1)*0x9E3779B9
 	return env, device.New(env, dopts, stats.NewIOStats())
@@ -336,7 +369,7 @@ func verify(p *sim.Proc, d *device.Device, opts Options, pt *Point, lastStored i
 // runLoadPoint crashes after acking op `cut` during load.
 func runLoadPoint(opts Options, cut int) Point {
 	pt := Point{Phase: "load", Cut: int64(cut)}
-	env, d := newPointDevice(opts, int64(cut))
+	env, d := newPointDevice(opts, int64(cut), nil)
 	env.Go("chaos", func(p *sim.Proc) {
 		defer d.Shutdown()
 		if err := prologue(p, d); err != nil {
@@ -372,7 +405,7 @@ func runLoadPoint(opts Options, cut int) Point {
 // offsets are drawn from it.
 func probeCompaction(opts Options) sim.Duration {
 	var window sim.Duration
-	env, d := newPointDevice(opts, -1)
+	env, d := newPointDevice(opts, -1, nil)
 	env.Go("chaos", func(p *sim.Proc) {
 		defer d.Shutdown()
 		if err := prologue(p, d); err != nil {
@@ -410,7 +443,7 @@ func probeCompaction(opts Options) sim.Duration {
 // single pair must survive.
 func runCompactPoint(opts Options, idx int, off sim.Duration) Point {
 	pt := Point{Phase: "compact", Cut: int64(off)}
-	env, d := newPointDevice(opts, int64(1<<20+idx))
+	env, d := newPointDevice(opts, int64(1<<20+idx), nil)
 	env.Go("chaos", func(p *sim.Proc) {
 		defer d.Shutdown()
 		if err := prologue(p, d); err != nil {

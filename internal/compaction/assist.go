@@ -1,0 +1,161 @@
+package compaction
+
+import (
+	"errors"
+
+	"kvcsd/internal/sim"
+)
+
+// ErrAssistClosed reports that the assist queue shut down (device halt or
+// power cut) before a job completed; the submitter falls back to merging the
+// job's runs on the SoC.
+var ErrAssistClosed = errors.New("compaction: host assist queue closed")
+
+// Job is one host-merge work item: a framed group of encoded sorted runs
+// (EncodeRuns) the host merges into a single run and pushes back.
+type Job struct {
+	ID      uint64
+	Payload []byte
+
+	done   bool
+	result []byte
+	err    error
+	waiter *sim.Proc
+}
+
+// AssistQueue hands merge jobs from compacting engine procs to the host
+// assist loop. The loop long-polls via Poll (blocking inside the device
+// dispatcher until work arrives), merges, and answers via Complete; the
+// compaction proc that submitted the job waits on it with Wait while merging
+// its own device-side share concurrently.
+type AssistQueue struct {
+	env      *sim.Env
+	pending  []*Job
+	inflight map[uint64]*Job
+	pollWait []*sim.Proc
+	closed   bool
+	attached bool
+	hostLoad int
+	seq      uint64
+}
+
+// NewAssistQueue builds an empty queue.
+func NewAssistQueue(env *sim.Env) *AssistQueue {
+	return &AssistQueue{env: env, inflight: make(map[uint64]*Job)}
+}
+
+// Attached reports whether a host assist loop has ever polled — the
+// planner's signal that host merging is available at all.
+func (q *AssistQueue) Attached() bool { return q != nil && q.attached && !q.closed }
+
+// HostLoad returns the host CPU run-queue length reported on the most
+// recent poll.
+func (q *AssistQueue) HostLoad() int {
+	if q == nil {
+		return 0
+	}
+	return q.hostLoad
+}
+
+// Pending returns the number of jobs not yet picked up.
+func (q *AssistQueue) Pending() int { return len(q.pending) }
+
+// Submit enqueues a merge job and wakes a poller. It never blocks; callers
+// overlap their own work and Wait later.
+func (q *AssistQueue) Submit(payload []byte) (*Job, error) {
+	if q.closed {
+		return nil, ErrAssistClosed
+	}
+	q.seq++
+	j := &Job{ID: q.seq, Payload: payload}
+	q.pending = append(q.pending, j)
+	q.wakeOnePoller()
+	return j, nil
+}
+
+// Wait blocks until the job completes (or the queue closes) and returns the
+// host-merged run bytes.
+func (q *AssistQueue) Wait(p *sim.Proc, j *Job) ([]byte, error) {
+	for !j.done {
+		j.waiter = p
+		p.Block()
+	}
+	j.waiter = nil
+	return j.result, j.err
+}
+
+// Poll blocks until a job is available, registering the caller as an
+// attached assist loop and recording its reported host load. ok is false
+// once the queue closes — the loop's signal to exit.
+func (q *AssistQueue) Poll(p *sim.Proc, hostLoad int) (*Job, bool) {
+	q.hostLoad = hostLoad
+	if !q.closed {
+		q.attached = true
+	}
+	for len(q.pending) == 0 && !q.closed {
+		q.pollWait = append(q.pollWait, p)
+		p.Block()
+	}
+	if len(q.pending) == 0 {
+		return nil, false
+	}
+	j := q.pending[0]
+	q.pending = q.pending[1:]
+	q.inflight[j.ID] = j
+	return j, true
+}
+
+// Complete resolves a picked-up job with the host's merged bytes (or its
+// error) and wakes the submitter. Unknown IDs (stale pushes after a power
+// cut rebuilt the engine) are ignored.
+func (q *AssistQueue) Complete(id uint64, result []byte, err error) bool {
+	j, ok := q.inflight[id]
+	if !ok {
+		return false
+	}
+	delete(q.inflight, id)
+	j.result, j.err, j.done = result, err, true
+	if j.waiter != nil {
+		q.env.Wake(j.waiter)
+	}
+	return true
+}
+
+// Close fails every pending and in-flight job with ErrAssistClosed and wakes
+// all pollers and waiters: submitters fall back to device-side merging, the
+// assist loop sees ok=false and exits. Safe to call repeatedly.
+func (q *AssistQueue) Close() {
+	if q == nil || q.closed {
+		return
+	}
+	q.closed = true
+	q.attached = false
+	for _, j := range q.pending {
+		j.err, j.done = ErrAssistClosed, true
+		if j.waiter != nil {
+			q.env.Wake(j.waiter)
+		}
+	}
+	q.pending = nil
+	for id, j := range q.inflight {
+		delete(q.inflight, id)
+		j.err, j.done = ErrAssistClosed, true
+		if j.waiter != nil {
+			q.env.Wake(j.waiter)
+		}
+	}
+	for len(q.pollWait) > 0 {
+		p := q.pollWait[0]
+		q.pollWait = q.pollWait[1:]
+		q.env.Wake(p)
+	}
+}
+
+func (q *AssistQueue) wakeOnePoller() {
+	if len(q.pollWait) == 0 {
+		return
+	}
+	p := q.pollWait[0]
+	q.pollWait = q.pollWait[1:]
+	q.env.Wake(p)
+}

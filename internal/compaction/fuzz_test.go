@@ -1,0 +1,84 @@
+package compaction
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeConfig drives the compact-policy codec with arbitrary bytes: no
+// panics, and every accepted payload re-encodes to the exact input (the
+// codec is canonical).
+func FuzzDecodeConfig(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeConfig(Config{}))
+	f.Add(EncodeConfig(Config{Policy: PolicyCollaborative, PipelineWidth: 4}))
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeConfig(c), data) {
+			t.Fatalf("config not canonical: %+v from %x", c, data)
+		}
+	})
+}
+
+// FuzzDecodeProgress fuzzes the compaction-progress codec.
+func FuzzDecodeProgress(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeProgress(Progress{}))
+	f.Add(EncodeProgress(Progress{Stage: StageValues, GranulesDone: 1, GranulesTotal: 2, BytesMoved: 1 << 40, HostRuns: 9, DeviceRuns: 1, Occupancy: 65535}))
+	f.Add([]byte{0x06, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := DecodeProgress(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeProgress(pr), data) {
+			t.Fatalf("progress not canonical: %+v from %x", pr, data)
+		}
+	})
+}
+
+// FuzzDecodeHeat fuzzes the heat-table codec, guarding the bounded
+// allocation and canonical round-trip.
+func FuzzDecodeHeat(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeHeat(NewHeatTable(0)))
+	h := NewHeatTable(5)
+	h.Touch(0)
+	h.Touch(4)
+	h.Touch(4)
+	f.Add(EncodeHeat(h))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ht, err := DecodeHeat(data)
+		if err != nil {
+			return
+		}
+		if ht.Len() > maxHeatGranules {
+			t.Fatalf("oversized table accepted: %d", ht.Len())
+		}
+		if !bytes.Equal(EncodeHeat(ht), data) {
+			t.Fatalf("heat not canonical from %x", data)
+		}
+	})
+}
+
+// FuzzDecodeRuns fuzzes the host-merge run framing.
+func FuzzDecodeRuns(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeRuns(nil))
+	f.Add(EncodeRuns([][]byte{[]byte("a"), []byte("bb")}))
+	f.Add([]byte{0x02, 0xff, 0xff, 0xff, 0xff, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runs, err := DecodeRuns(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeRuns(runs), data) {
+			t.Fatalf("runs not canonical from %x", data)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package compaction
+
+import "encoding/binary"
+
+// HeatTable tracks per-granule read heat on a keyspace's sorted cluster.
+// Foreground Get/Scan paths Touch the granules they read; the cold-migration
+// scan asks which granules stayed cold since the table was last decayed, and
+// the engine halves every counter after each migration pass so old heat ages
+// out instead of pinning data hot forever.
+type HeatTable struct {
+	counts  []uint32
+	touches uint64
+}
+
+// NewHeatTable sizes a zeroed table for n granules.
+func NewHeatTable(n int) *HeatTable {
+	if n < 0 {
+		n = 0
+	}
+	return &HeatTable{counts: make([]uint32, n)}
+}
+
+// Len returns the number of tracked granules.
+func (h *HeatTable) Len() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.counts)
+}
+
+// Touches returns the total touch count since the table was built.
+func (h *HeatTable) Touches() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.touches
+}
+
+// Touch bumps the heat of one granule; out-of-range granules are ignored so
+// callers need not bounds-check speculative offsets.
+func (h *HeatTable) Touch(granule int) {
+	if h == nil || granule < 0 || granule >= len(h.counts) {
+		return
+	}
+	if h.counts[granule] < 1<<31 {
+		h.counts[granule]++
+	}
+	h.touches++
+}
+
+// Heat returns one granule's counter (0 when out of range).
+func (h *HeatTable) Heat(granule int) uint32 {
+	if h == nil || granule < 0 || granule >= len(h.counts) {
+		return 0
+	}
+	return h.counts[granule]
+}
+
+// Decay halves every counter — called after each migration pass so heat is
+// "touches since roughly the last few passes", not "touches ever".
+func (h *HeatTable) Decay() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] >>= 1
+	}
+}
+
+// MaxInRange returns the hottest counter among granules [lo, hi).
+func (h *HeatTable) MaxInRange(lo, hi int) uint32 {
+	if h == nil {
+		return 0
+	}
+	lo = clampInt(lo, 0, len(h.counts))
+	hi = clampInt(hi, lo, len(h.counts))
+	var max uint32
+	for _, c := range h.counts[lo:hi] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// EncodeHeat renders the canonical byte form of a table: the granule count
+// followed by delta-free uvarint counters (most are tiny, so this stays
+// compact without a second pass).
+func EncodeHeat(h *HeatTable) []byte {
+	n := h.Len()
+	buf := make([]byte, 0, 2+n)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, c := range h.counts {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf
+}
+
+// maxHeatGranules bounds decoder allocation against hostile lengths.
+const maxHeatGranules = 1 << 22
+
+// DecodeHeat parses a heat table, rejecting oversized lengths, out-of-range
+// counters, and trailing bytes.
+func DecodeHeat(b []byte) (*HeatTable, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxHeatGranules {
+		return nil, errCodec
+	}
+	rest := b[sz:]
+	h := &HeatTable{counts: make([]uint32, n)}
+	for i := range h.counts {
+		v, m := binary.Uvarint(rest)
+		if m <= 0 || v > 1<<32-1 {
+			return nil, errCodec
+		}
+		h.counts[i] = uint32(v)
+		rest = rest[m:]
+	}
+	if len(rest) != 0 {
+		return nil, errCodec
+	}
+	return h, nil
+}

@@ -1,0 +1,131 @@
+package compaction
+
+import "encoding/binary"
+
+// Stage labels where a compaction (or cold migration) currently is.
+type Stage uint8
+
+// Compaction stages, in pipeline order.
+const (
+	StageIdle Stage = iota
+	StageFlush
+	StageSort
+	StageMerge
+	StageValues
+	StageWrite
+	StageMigrate
+	stageMax
+)
+
+// String names the stage for stats output.
+func (s Stage) String() string {
+	switch s {
+	case StageIdle:
+		return "idle"
+	case StageFlush:
+		return "flush"
+	case StageSort:
+		return "sort"
+	case StageMerge:
+		return "merge"
+	case StageValues:
+		return "values"
+	case StageWrite:
+		return "write"
+	case StageMigrate:
+		return "migrate"
+	}
+	return "stage?"
+}
+
+// Progress is a point-in-time view of one keyspace's compaction, surfaced
+// through compact-status completions and wire StatsReports.
+type Progress struct {
+	// Stage is the pipeline stage the compaction is in.
+	Stage Stage
+	// GranulesDone / GranulesTotal track the current stage's sweep.
+	GranulesDone  uint32
+	GranulesTotal uint32
+	// BytesMoved accumulates every byte the compaction has written so far
+	// (runs, merged output, index blocks, sorted values).
+	BytesMoved uint64
+	// HostRuns / DeviceRuns record the planner's split for this pass.
+	HostRuns   uint16
+	DeviceRuns uint16
+	// Occupancy is the number of pipeline chunks currently buffered
+	// in-flight — nonzero means stages are still draining.
+	Occupancy uint16
+}
+
+// WireSize is the modeled completion payload cost of shipping a Progress.
+func (pr *Progress) WireSize() int64 {
+	if pr == nil {
+		return 0
+	}
+	return 24
+}
+
+// EncodeProgress renders the canonical byte form of a Progress.
+func EncodeProgress(pr Progress) []byte {
+	buf := make([]byte, 0, 1+5*binary.MaxVarintLen64)
+	buf = append(buf, byte(pr.Stage))
+	buf = binary.AppendUvarint(buf, uint64(pr.GranulesDone))
+	buf = binary.AppendUvarint(buf, uint64(pr.GranulesTotal))
+	buf = binary.AppendUvarint(buf, pr.BytesMoved)
+	buf = binary.AppendUvarint(buf, uint64(pr.HostRuns))
+	buf = binary.AppendUvarint(buf, uint64(pr.DeviceRuns))
+	buf = binary.AppendUvarint(buf, uint64(pr.Occupancy))
+	return buf
+}
+
+// DecodeProgress parses a Progress, rejecting unknown stages, out-of-range
+// fields, and trailing bytes.
+func DecodeProgress(b []byte) (Progress, error) {
+	if len(b) < 1 || Stage(b[0]) >= stageMax {
+		return Progress{}, errCodec
+	}
+	pr := Progress{Stage: Stage(b[0])}
+	rest := b[1:]
+	u32 := func() (uint32, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > 1<<32-1 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return uint32(v), true
+	}
+	var ok bool
+	if pr.GranulesDone, ok = u32(); !ok {
+		return Progress{}, errCodec
+	}
+	if pr.GranulesTotal, ok = u32(); !ok {
+		return Progress{}, errCodec
+	}
+	v, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Progress{}, errCodec
+	}
+	pr.BytesMoved = v
+	rest = rest[n:]
+	u16 := func() (uint16, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > 1<<16-1 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return uint16(v), true
+	}
+	if pr.HostRuns, ok = u16(); !ok {
+		return Progress{}, errCodec
+	}
+	if pr.DeviceRuns, ok = u16(); !ok {
+		return Progress{}, errCodec
+	}
+	if pr.Occupancy, ok = u16(); !ok {
+		return Progress{}, errCodec
+	}
+	if len(rest) != 0 {
+		return Progress{}, errCodec
+	}
+	return pr, nil
+}

@@ -1,0 +1,102 @@
+package compaction
+
+import "kvcsd/internal/sim"
+
+// Ring is a bounded producer/consumer buffer between two pipeline stage
+// procs, built on the sim Block/Wake primitive (the same wake-list idiom as
+// the NVMe submission queue). Push blocks while the ring is full, Pop while
+// it is empty; Close releases both sides so pipelines always drain even on
+// error paths. The onDelta hook feeds the engine's pipeline-occupancy gauge.
+type Ring[T any] struct {
+	env      *sim.Env
+	cap      int
+	items    []T
+	pushWait []*sim.Proc
+	popWait  []*sim.Proc
+	closed   bool
+	onDelta  func(int)
+}
+
+// NewRing builds a ring holding at most capacity items (minimum 1). onDelta,
+// if non-nil, is called with +1 on every buffered item and -1 on every
+// consumed one.
+func NewRing[T any](env *sim.Env, capacity int, onDelta func(int)) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{env: env, cap: capacity, onDelta: onDelta}
+}
+
+// Len returns the number of buffered items.
+func (r *Ring[T]) Len() int { return len(r.items) }
+
+// Push appends an item, blocking while the ring is full. It returns false if
+// the ring was closed (the consumer gave up — stop producing).
+func (r *Ring[T]) Push(p *sim.Proc, v T) bool {
+	for len(r.items) >= r.cap && !r.closed {
+		r.pushWait = append(r.pushWait, p)
+		p.Block()
+	}
+	if r.closed {
+		return false
+	}
+	r.items = append(r.items, v)
+	if r.onDelta != nil {
+		r.onDelta(1)
+	}
+	r.wake(&r.popWait)
+	return true
+}
+
+// Pop removes the oldest item, blocking while the ring is empty. ok is false
+// once the ring is closed and drained.
+func (r *Ring[T]) Pop(p *sim.Proc) (v T, ok bool) {
+	for len(r.items) == 0 && !r.closed {
+		r.popWait = append(r.popWait, p)
+		p.Block()
+	}
+	if len(r.items) == 0 {
+		return v, false
+	}
+	v = r.items[0]
+	r.items = r.items[1:]
+	if r.onDelta != nil {
+		r.onDelta(-1)
+	}
+	r.wake(&r.pushWait)
+	return v, true
+}
+
+// Close wakes every blocked producer and consumer. Buffered items remain
+// poppable (a closed ring drains); further pushes are refused. Items never
+// consumed still retire from the occupancy hook so gauges return to zero.
+func (r *Ring[T]) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for len(r.pushWait) > 0 {
+		r.wake(&r.pushWait)
+	}
+	for len(r.popWait) > 0 {
+		r.wake(&r.popWait)
+	}
+}
+
+// Discard empties the ring without consuming, retiring occupancy for every
+// dropped item — error paths call Close then Discard so the gauge settles.
+func (r *Ring[T]) Discard() {
+	if r.onDelta != nil && len(r.items) > 0 {
+		r.onDelta(-len(r.items))
+	}
+	r.items = nil
+}
+
+func (r *Ring[T]) wake(list *[]*sim.Proc) {
+	if len(*list) == 0 {
+		return
+	}
+	p := (*list)[0]
+	*list = (*list)[1:]
+	r.env.Wake(p)
+}

@@ -1,0 +1,47 @@
+package compaction
+
+import "encoding/binary"
+
+// maxRunBytes bounds a single host-merge payload; a run group larger than
+// this should never be shipped (the planner splits at run granularity and
+// runs are sort-budget sized).
+const maxRunBytes = 1 << 30
+
+// EncodeRuns frames a group of encoded sorted runs into one host-merge
+// payload: run count, then per-run length-prefixed bytes.
+func EncodeRuns(runs [][]byte) []byte {
+	total := binary.MaxVarintLen64
+	for _, r := range runs {
+		total += binary.MaxVarintLen64 + len(r)
+	}
+	buf := make([]byte, 0, total)
+	buf = binary.AppendUvarint(buf, uint64(len(runs)))
+	for _, r := range runs {
+		buf = binary.AppendUvarint(buf, uint64(len(r)))
+		buf = append(buf, r...)
+	}
+	return buf
+}
+
+// DecodeRuns parses a host-merge payload back into its runs, rejecting
+// oversized counts and trailing bytes. Returned slices alias the input.
+func DecodeRuns(b []byte) ([][]byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<16 {
+		return nil, errCodec
+	}
+	rest := b[sz:]
+	runs := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || l > maxRunBytes || uint64(len(rest)-m) < l {
+			return nil, errCodec
+		}
+		runs = append(runs, rest[m:m+int(l)])
+		rest = rest[m+int(l):]
+	}
+	if len(rest) != 0 {
+		return nil, errCodec
+	}
+	return runs, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/sim"
 )
 
@@ -44,6 +45,7 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 	// vlogOff (the most recently inserted duplicate wins). A tombstone does
 	// not advance the VLOG, so it can share a vlogOff with a LATER put of
 	// the same key — on that tie the put is newer and must sort first.
+	ks.progress.Stage = compaction.StageSort
 	keySorter := NewSorter[klogEntry](e.zm, e.soc, e.cfg, klogCodec{}, func(a, b klogEntry) bool {
 		c := bytes.Compare(a.key, b.key)
 		if c != 0 {
@@ -54,10 +56,40 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 		}
 		return !a.isTombstone() && b.isTombstone()
 	})
+	keySorter.Env = e.env
+	keySorter.PipelineWidth = e.pipelineWidth
+	keySorter.OnOccupancy = func(d int) { e.noteOccupancy(ks, d) }
+	// The split decision samples utilization over the run-formation phase,
+	// not just the instant the merge starts: closed-loop foreground readers
+	// keep at most one command in flight each, so they are invisible to
+	// queue-depth probes and only show up as sustained busy time. Channel
+	// pressure uses the busiest channel, not the mean — hot data pins
+	// individual channels, and a striped merge is gated by its slowest one.
+	socCPU := e.soc.CPU()
+	sortBusy0, sortT0 := socCPU.BusyTime(), e.env.Now()
+	chBusy0 := e.zm.channelBusyTimes(nil)
+	keySorter.PlanSplit = func(n int) int {
+		sig := e.signals()
+		if dt := e.env.Now() - sortT0; dt > 0 {
+			sig.SoCUtil = float64(socCPU.BusyTime()-sortBusy0) /
+				(float64(dt) * float64(socCPU.Capacity()))
+			for i, b := range e.zm.channelBusyTimes(nil) {
+				if u := float64(b-chBusy0[i]) / float64(dt); u > sig.ChannelUtil {
+					sig.ChannelUtil = u
+				}
+			}
+		}
+		return compaction.DecideSplit(e.compactPolicy, sig, n).HostRuns
+	}
+	keySorter.SubmitAssist = e.submitAssist
+	keySorter.CollectAssist = e.collectAssist
 	sortedKeys, err := keySorter.Sort(p, newFrameSource(ks.klog, klogCodec{}, ks.logFrames))
 	if err != nil {
 		return err
 	}
+	ks.progress.BytesMoved += uint64(keySorter.BytesWritten)
+	ks.progress.HostRuns = clampU16(keySorter.HostRuns)
+	ks.progress.DeviceRuns = clampU16(keySorter.DeviceRuns)
 
 	// Pass over sorted keys: drop duplicate keys, assign destination
 	// offsets, build PIDX blocks + sketch, and scatter destination entries
@@ -70,6 +102,10 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 	var livePairs int64
 	var lastKey []byte
 	haveLast := false
+	blockSz := int64(e.cfg.BlockBytes)
+	ks.progress.Stage = compaction.StageMerge
+	ks.progress.GranulesDone = 0
+	ks.progress.GranulesTotal = uint32((sortedKeys.Len() + blockSz - 1) / blockSz)
 	sc := newScanner(sortedKeys, klogCodec{}, 0)
 	codec := klogCodec{}
 	dcodec := destCodec{}
@@ -81,6 +117,7 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 		if !ok {
 			break
 		}
+		ks.progress.GranulesDone = uint32(sc.off / blockSz)
 		if haveLast && bytes.Equal(rec.key, lastKey) {
 			continue // older duplicate, superseded
 		}
@@ -144,6 +181,28 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 	}
 
 	sorted := e.zm.NewCluster(ZoneSortedValues)
+	ks.progress.Stage = compaction.StageValues
+	ks.progress.GranulesDone = 0
+	ks.progress.GranulesTotal = uint32((int64(totalValueBytes) + blockSz - 1) / blockSz)
+	// The zone-write stage: when the pipeline is enabled, sorted-value chunks
+	// push into a bounded ring and land on media from a dedicated proc,
+	// overlapping bucket reads with zone writes.
+	var pw *pipelineWriter
+	if e.env != nil && e.pipelineWidth > 1 {
+		pw = newPipelineWriter(e.env, sorted, e.pipelineWidth, func(d int) { e.noteOccupancy(ks, d) })
+		defer func() {
+			if pw != nil {
+				pw.finish(p)
+			}
+		}()
+	}
+	appendSorted := func(buf []byte) error {
+		ks.progress.BytesMoved += uint64(len(buf))
+		if pw != nil {
+			return pw.write(p, buf)
+		}
+		return sorted.Append(p, buf)
+	}
 	writeBuf := make([]byte, 0, 256<<10)
 	var nextDest uint64
 	var cursor *pidxCursor
@@ -172,18 +231,31 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 				}
 			}
 			nextDest += uint64(len(vr.value))
+			ks.progress.GranulesDone = uint32(int64(nextDest) / blockSz)
 			writeBuf = append(writeBuf, vr.value...)
 			if len(writeBuf) >= 256<<10 {
-				if err := sorted.Append(p, writeBuf); err != nil {
+				if err := appendSorted(writeBuf); err != nil {
 					return err
 				}
-				writeBuf = writeBuf[:0]
+				if pw != nil {
+					// The write stage owns the pushed chunk now.
+					writeBuf = make([]byte, 0, 256<<10)
+				} else {
+					writeBuf = writeBuf[:0]
+				}
 			}
 		}
 	}
 	if len(writeBuf) > 0 {
-		if err := sorted.Append(p, writeBuf); err != nil {
+		if err := appendSorted(writeBuf); err != nil {
 			return err
+		}
+	}
+	if pw != nil {
+		ferr := pw.finish(p)
+		pw = nil
+		if ferr != nil {
+			return ferr
 		}
 	}
 	if err := sorted.Seal(p); err != nil {
@@ -205,6 +277,9 @@ func (e *Engine) compactInto(p *sim.Proc, ks *Keyspace, onPair func(*sim.Proc, [
 	ks.count = livePairs
 	ks.state = StateCompacted
 	ks.compactFinish = p.Now()
+	// Fresh heat table sized to the sorted-values granules: placement
+	// decisions restart from cold after every compaction pass.
+	ks.heat = compaction.NewHeatTable(int((sorted.Len() + blockSz - 1) / blockSz))
 	if err := e.mgr.Persist(p); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ package core
 import (
 	"time"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/keyenc"
 )
 
@@ -67,6 +68,21 @@ type Config struct {
 	// QuarantineThreshold is how many corruption detections a zone absorbs
 	// before it is quarantined and its cluster rebuilt onto a fresh zone.
 	QuarantineThreshold int
+	// CompactionPolicy selects who merges sorted runs during compaction:
+	// the device SoC alone (default), the host alone, or a collaborative
+	// split driven by live load signals (requires a host assist loop).
+	CompactionPolicy compaction.Policy
+	// PipelineWidth bounds the in-flight 256 KiB buffers between the
+	// compaction pipeline's read, merge, and write stages. 1 disables the
+	// pipeline (stages run sequentially in one proc).
+	PipelineWidth int
+	// ColdHeatThreshold is the per-granule read count below which a sorted
+	// zone counts as cold and becomes a migration candidate. Zones whose
+	// hottest granule stays under the threshold move to the cold tier.
+	ColdHeatThreshold int
+	// ColdMigrateBatch caps zones migrated to the cold tier per
+	// MigrateCold pass, bounding the background I/O burst.
+	ColdMigrateBatch int
 }
 
 // DefaultConfig returns simulation defaults.
@@ -83,6 +99,9 @@ func DefaultConfig() Config {
 		MaxKeyLen:           1 << 10,
 		MaxValueLen:         64 << 10,
 		QuarantineThreshold: 3,
+		PipelineWidth:       4,
+		ColdHeatThreshold:   1,
+		ColdMigrateBatch:    4,
 	}
 }
 
@@ -124,6 +143,15 @@ func (c Config) sanitize() Config {
 	}
 	if c.QuarantineThreshold <= 0 {
 		c.QuarantineThreshold = d.QuarantineThreshold
+	}
+	if c.PipelineWidth <= 0 {
+		c.PipelineWidth = d.PipelineWidth
+	}
+	if c.ColdHeatThreshold <= 0 {
+		c.ColdHeatThreshold = d.ColdHeatThreshold
+	}
+	if c.ColdMigrateBatch <= 0 {
+		c.ColdMigrateBatch = d.ColdMigrateBatch
 	}
 	return c
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/host"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
@@ -35,8 +36,22 @@ type Engine struct {
 	idxCache *indexCache
 
 	// Observability (optional).
-	tr      *obs.Tracer
-	gBgJobs *sim.Gauge
+	tr        *obs.Tracer
+	gBgJobs   *sim.Gauge
+	gPipeOcc  *sim.Gauge
+	gHostJobs *sim.Gauge
+
+	// Collaborative compaction state: the assist queue host merge loops poll,
+	// the active policy (runtime-settable), and the total chunks buffered in
+	// compaction pipelines right now (the device's drain signal).
+	assist        *compaction.AssistQueue
+	compactPolicy compaction.Policy
+	pipelineWidth int
+	pipelineOcc   int
+	hostJobs      int
+	// queueProbe, when set by the device runtime, reports the NVMe
+	// submission-queue backlog — the planner's foreground-pressure signal.
+	queueProbe func() int
 
 	// Background job accounting.
 	bgJobs int
@@ -55,15 +70,18 @@ func NewEngine(env *sim.Env, dev *ssd.Device, soc *host.Host, cfg Config, rng *s
 	cfg = cfg.sanitize()
 	zm := NewZoneManager(dev, cfg, rng)
 	eng := &Engine{
-		cfg:         cfg,
-		env:         env,
-		soc:         soc,
-		zm:          zm,
-		mgr:         NewManager(env, zm, cfg),
-		st:          st,
-		dram:        sim.NewGauge(env),
-		idxCache:    newIndexCache(cfg.IndexCacheBytes),
-		zoneStrikes: make(map[int]int),
+		cfg:           cfg,
+		env:           env,
+		soc:           soc,
+		zm:            zm,
+		mgr:           NewManager(env, zm, cfg),
+		st:            st,
+		dram:          sim.NewGauge(env),
+		idxCache:      newIndexCache(cfg.IndexCacheBytes),
+		zoneStrikes:   make(map[int]int),
+		assist:        compaction.NewAssistQueue(env),
+		compactPolicy: cfg.CompactionPolicy,
+		pipelineWidth: cfg.PipelineWidth,
 	}
 	eng.mgr.onRelease = func(id int64) { eng.idxCache.invalidateCluster(id) }
 	return eng
@@ -92,6 +110,124 @@ func (e *Engine) SetObs(tr *obs.Tracer, reg *obs.Registry) {
 	reg.AddGauge("engine/dram", e.dram)
 	e.gBgJobs = reg.Gauge("engine/bg_jobs")
 	e.gBgJobs.Set(float64(e.bgJobs))
+	e.gPipeOcc = reg.Gauge("engine/pipeline_occupancy")
+	e.gPipeOcc.Set(float64(e.pipelineOcc))
+	e.gHostJobs = reg.Gauge("engine/host_merge_jobs")
+	e.gHostJobs.Set(float64(e.hostJobs))
+}
+
+// --- Collaborative compaction ---------------------------------------------
+
+// AssistQueue exposes the host-merge assist queue the device runtime polls
+// on behalf of host assist loops.
+func (e *Engine) AssistQueue() *compaction.AssistQueue { return e.assist }
+
+// CloseAssist shuts the assist queue down (device halt or power cut):
+// pending host-merge jobs fail and in-progress sorts fall back to merging on
+// the SoC.
+func (e *Engine) CloseAssist() { e.assist.Close() }
+
+// SetQueueProbe installs the device runtime's NVMe backlog probe (the
+// planner's foreground-pressure signal).
+func (e *Engine) SetQueueProbe(fn func() int) { e.queueProbe = fn }
+
+// SetCompactionConfig updates the compaction policy and pipeline width at
+// runtime. Zero width keeps the current one.
+func (e *Engine) SetCompactionConfig(c compaction.Config) {
+	e.compactPolicy = c.Policy
+	if c.PipelineWidth > 0 {
+		e.pipelineWidth = c.PipelineWidth
+	}
+}
+
+// CompactionConfig returns the active compaction policy and pipeline width.
+func (e *Engine) CompactionConfig() compaction.Config {
+	return compaction.Config{Policy: e.compactPolicy, PipelineWidth: e.pipelineWidth}
+}
+
+// PipelineOccupancy returns the chunks currently buffered across compaction
+// pipeline stages — the fleet scheduler's "still draining" signal.
+func (e *Engine) PipelineOccupancy() int { return e.pipelineOcc }
+
+// noteOccupancy tracks pipeline-buffer occupancy per keyspace and globally.
+func (e *Engine) noteOccupancy(ks *Keyspace, d int) {
+	e.pipelineOcc += d
+	if ks != nil {
+		ks.pipelineOcc += d
+		ks.progress.Occupancy = clampU16(ks.pipelineOcc)
+	}
+	if e.gPipeOcc != nil {
+		e.gPipeOcc.Add(float64(d))
+	}
+}
+
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffff {
+		return 0xffff
+	}
+	return uint16(v)
+}
+
+// signals snapshots the live load signals the collaborative planner splits
+// on: device-side backlog and channel utilization against host-side CPU
+// pressure reported by the assist loop.
+func (e *Engine) signals() compaction.Signals {
+	sig := compaction.Signals{
+		BgJobs:       e.bgJobs - 1, // the compaction asking is itself a bg job
+		HostQueue:    e.assist.HostLoad(),
+		HostAttached: e.assist.Attached(),
+	}
+	if sig.BgJobs < 0 {
+		sig.BgJobs = 0
+	}
+	if e.queueProbe != nil {
+		sig.QueueDepth = e.queueProbe()
+	}
+	sig.SoCQueue = e.soc.CPU().InUse() + e.soc.CPU().QueueLen()
+	sig.ChannelUtil = e.zm.channelUtil()
+	return sig
+}
+
+// submitAssist reads a run group off the media, frames it, and enqueues it
+// for a host assist loop. Non-blocking past the reads.
+func (e *Engine) submitAssist(p *sim.Proc, runs []*Cluster) (*compaction.Job, error) {
+	encoded := make([][]byte, len(runs))
+	for i, r := range runs {
+		buf := make([]byte, r.Len())
+		if err := r.ReadAt(p, buf, 0); err != nil {
+			return nil, err
+		}
+		encoded[i] = buf
+	}
+	job, err := e.assist.Submit(compaction.EncodeRuns(encoded))
+	if err != nil {
+		return nil, err
+	}
+	e.hostJobs++
+	if e.gHostJobs != nil {
+		e.gHostJobs.Add(1)
+	}
+	return job, nil
+}
+
+// collectAssist waits for a host-merged run and hands its bytes to the final
+// merge. The run stays in SoC DRAM — landing it in a scratch cluster and
+// re-reading it would cost a full extra media pass. An error means the host
+// went away; the sorter falls back.
+func (e *Engine) collectAssist(p *sim.Proc, job *compaction.Job) ([]byte, error) {
+	merged, err := e.assist.Wait(p, job)
+	e.hostJobs--
+	if e.gHostJobs != nil {
+		e.gHostJobs.Add(-1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.soc.Copy(p, int64(len(merged))) // DMA landing into SoC DRAM
+	return merged, nil
 }
 
 // Recover rebuilds engine state from the metadata zones after a restart.
@@ -423,6 +559,8 @@ func (e *Engine) Compact(p *sim.Proc, name string) error {
 	// The remaining ingest-buffer flush is part of the background job: the
 	// Compact command itself returns immediately (deferred compaction).
 	e.spawnJob("compact-"+name, func(jp *sim.Proc) error {
+		ks.progress = compaction.Progress{Stage: compaction.StageFlush}
+		defer func() { ks.progress.Stage = compaction.StageIdle }()
 		jp.Acquire(ks.ingestLock)
 		err := e.flushBuffer(jp, ks)
 		jp.Release(ks.ingestLock)
@@ -440,6 +578,114 @@ func (e *Engine) Compact(p *sim.Proc, name string) error {
 		return err
 	})
 	return nil
+}
+
+// Progress returns a snapshot of a keyspace's compaction progress.
+func (e *Engine) Progress(name string) (compaction.Progress, error) {
+	ks, err := e.Keyspace(name)
+	if err != nil {
+		return compaction.Progress{}, err
+	}
+	return ks.progress, nil
+}
+
+// ProgressReport is one keyspace's compaction progress, for stats reporting.
+type ProgressReport struct {
+	Keyspace string
+	Progress compaction.Progress
+}
+
+// Progresses lists compaction progress for every keyspace with activity
+// (non-idle stage or a finished split), in name order.
+func (e *Engine) Progresses() []ProgressReport {
+	var out []ProgressReport
+	for _, name := range e.mgr.Names() {
+		ks, ok := e.mgr.Get(name)
+		if !ok {
+			continue
+		}
+		pr := ks.progress
+		if pr.Stage == compaction.StageIdle && pr.BytesMoved == 0 {
+			continue
+		}
+		out = append(out, ProgressReport{Keyspace: name, Progress: pr})
+	}
+	return out
+}
+
+// MigrateCold sweeps COMPACTED keyspaces for sorted-value zones every
+// granule of which stayed below Config.ColdHeatThreshold and copies them to
+// the device's cold tier, at most Config.ColdMigrateBatch zones per call.
+// The metadata snapshot referencing the fresh cold zones persists before the
+// hot originals are released, so a power cut mid-migration leaves at worst
+// orphan cold zones for the recovery sweep. Each swept keyspace ends with a
+// heat decay: data must keep being read to stay on the hot tier.
+func (e *Engine) MigrateCold(p *sim.Proc) (int, error) {
+	if e.zm.ColdCapacity() == 0 {
+		return 0, nil
+	}
+	budget := e.cfg.ColdMigrateBatch
+	moved := 0
+	for _, name := range e.mgr.Names() {
+		ks, ok := e.mgr.Get(name)
+		if !ok || ks.pendingDelete || ks.state != StateCompacted || ks.sorted == nil || ks.heat == nil {
+			continue
+		}
+		prev := ks.progress.Stage
+		ks.progress.Stage = compaction.StageMigrate
+		var olds []int
+		for _, stripe := range ks.sorted.stripes {
+			for _, z := range stripe {
+				if budget <= 0 || e.zm.ColdCapacity() == 0 {
+					break
+				}
+				if e.zm.IsColdZone(z) {
+					continue
+				}
+				hot := false
+				for _, g := range ks.sorted.zoneGranules(z) {
+					if ks.heat.Heat(int(g)) >= uint32(e.cfg.ColdHeatThreshold) {
+						hot = true
+						break
+					}
+				}
+				if hot {
+					continue
+				}
+				info, err := e.zm.dev.Zone(z)
+				if err != nil {
+					ks.progress.Stage = prev
+					return moved, err
+				}
+				if _, err := ks.sorted.migrateZone(p, z); err != nil {
+					ks.progress.Stage = prev
+					return moved, err
+				}
+				ks.progress.BytesMoved += uint64(info.WritePointer)
+				olds = append(olds, z)
+				budget--
+				moved++
+			}
+		}
+		if len(olds) > 0 {
+			// Persist before release: the crash-safety invariant shared with
+			// compaction's log swap.
+			if err := e.mgr.Persist(p); err != nil {
+				ks.progress.Stage = prev
+				return moved, err
+			}
+			if err := e.zm.release(p, olds); err != nil {
+				ks.progress.Stage = prev
+				return moved, err
+			}
+		}
+		ks.heat.Decay()
+		ks.progress.Stage = prev
+		if budget <= 0 {
+			break
+		}
+	}
+	return moved, nil
 }
 
 // WaitCompacted blocks until the keyspace's compaction finishes.

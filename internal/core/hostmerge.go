@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+
+	"kvcsd/internal/host"
+	"kvcsd/internal/sim"
+)
+
+// MergeEncodedKlogRuns k-way merges a group of encoded, individually sorted
+// KLOG runs into one sorted run, charging the work to the given host's CPU.
+// It is the host half of collaborative compaction: the device ships a run
+// group over the assist queue (compaction.EncodeRuns), the host assist loop
+// merges it here, and the result ships back as a single pre-merged run.
+//
+// The ordering matches the device's key sorter exactly — key ascending, then
+// vlogOff descending (newest duplicate first), then puts before tombstones,
+// ties broken by run index — so a host-merged run is byte-for-byte a valid
+// input to the device's final merge.
+func MergeEncodedKlogRuns(p *sim.Proc, h *host.Host, runs [][]byte) ([]byte, error) {
+	codec := klogCodec{}
+	type cursor struct {
+		rec  klogEntry
+		data []byte
+	}
+	cursors := make([]*cursor, 0, len(runs))
+	var total int
+	for _, r := range runs {
+		total += len(r)
+		c := &cursor{data: r}
+		rec, n, err := codec.Decode(c.data, true)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			continue // empty run
+		}
+		c.rec, c.data = rec, c.data[n:]
+		cursors = append(cursors, c)
+	}
+
+	less := func(a, b klogEntry) bool {
+		c := bytes.Compare(a.key, b.key)
+		if c != 0 {
+			return c < 0
+		}
+		if a.vlogOff != b.vlogOff {
+			return a.vlogOff > b.vlogOff
+		}
+		return !a.isTombstone() && b.isTombstone()
+	}
+
+	logK := int64(1)
+	for k := len(cursors); k > 1; k >>= 1 {
+		logK++
+	}
+	out := make([]byte, 0, total)
+	var pending int64
+	for len(cursors) > 0 {
+		best := 0
+		for i := 1; i < len(cursors); i++ {
+			if less(cursors[i].rec, cursors[best].rec) {
+				best = i
+			}
+		}
+		c := cursors[best]
+		out = codec.Encode(out, c.rec)
+		pending++
+		if pending >= 4096 {
+			h.Compares(p, pending*logK)
+			pending = 0
+		}
+		rec, n, err := codec.Decode(c.data, true)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			cursors = append(cursors[:best], cursors[best+1:]...)
+			continue
+		}
+		c.rec, c.data = rec, c.data[n:]
+	}
+	if pending > 0 {
+		h.Compares(p, pending*logK)
+	}
+	h.Copy(p, int64(total))
+	return out, nil
+}

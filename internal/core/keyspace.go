@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/keyenc"
 	"kvcsd/internal/sim"
 	"kvcsd/internal/ssd"
@@ -106,6 +107,15 @@ type Keyspace struct {
 
 	// combinedSeq numbers insertions in the DisableKVSeparation ablation.
 	combinedSeq uint64
+
+	// heat counts reads per SORTED_VALUES granule since the last compaction
+	// (or migration pass) — the lifetime signal cold-tier placement acts on.
+	// Persisted with the metadata snapshot so restarts keep placement history.
+	heat *compaction.HeatTable
+	// progress is the live compaction-progress snapshot stats report.
+	progress compaction.Progress
+	// pipelineOcc is this keyspace's share of buffered pipeline chunks.
+	pipelineOcc int
 }
 
 type bufferedPair struct {
@@ -160,6 +170,23 @@ func (ks *Keyspace) secondaryNames() []string {
 // a typed failure — e.g. ErrCorrupted from a rotted log extent — instead of
 // polling a keyspace that will never reach COMPACTED.
 func (ks *Keyspace) CompactErr() error { return ks.compactErr }
+
+// CompactionProgress returns the live compaction-progress snapshot.
+func (ks *Keyspace) CompactionProgress() compaction.Progress { return ks.progress }
+
+// Heat returns the per-granule read-heat table (nil before first compaction).
+func (ks *Keyspace) Heat() *compaction.HeatTable { return ks.heat }
+
+// touchHeat records foreground reads of n bytes at byte offset off in the
+// keyspace's SORTED_VALUES cluster, bumping every granule the span covers.
+func (ks *Keyspace) touchHeat(off int64, n int, blockSize int) {
+	if ks.heat == nil || n <= 0 || blockSize <= 0 {
+		return
+	}
+	for g := off / int64(blockSize); g <= (off+int64(n)-1)/int64(blockSize); g++ {
+		ks.heat.Touch(int(g))
+	}
+}
 
 // CompactionDuration returns how long device-side compaction took (0 until
 // it finishes).
@@ -308,6 +335,9 @@ type metaKeyspace struct {
 	LogFrames [][2]int64 // validated KLOG frame extents [start, end)
 	Sketch    []metaSketch
 	Secondary []metaSecondary
+	// Heat is the encoded per-granule read-heat table (compaction.EncodeHeat);
+	// empty when the keyspace has no compacted data yet.
+	Heat []byte
 }
 
 type metaCluster struct {
@@ -484,6 +514,9 @@ func (m *Manager) encodeFrame(full bool, dirty map[int64]bool) ([]byte, error) {
 			LogFrames: extentsMeta(ks.logFrames),
 			Sketch:    sketchMeta(ks.sketch),
 		}
+		if ks.heat != nil {
+			mk.Heat = compaction.EncodeHeat(ks.heat)
+		}
 		var snames []string
 		for sn := range ks.secondary {
 			snames = append(snames, sn)
@@ -557,6 +590,12 @@ func (m *Manager) Recover(p *sim.Proc) error {
 			sketch:      sketchFromMeta(mk.Sketch),
 			secondary:   make(map[string]*secondaryIndex),
 			compactDone: sim.NewEvent(m.env),
+		}
+		if len(mk.Heat) > 0 {
+			if ht, err := compaction.DecodeHeat(mk.Heat); err == nil {
+				ks.heat = ht
+			}
+			// Undecodable heat is advisory: placement restarts cold.
 		}
 		// A keyspace caught mid-compaction rolls back to WRITABLE: its
 		// KLOG/VLOG are intact, and compaction can simply be reinvoked.

@@ -96,6 +96,7 @@ func (e *Engine) Get(p *sim.Proc, name string, key []byte) ([]byte, bool, error)
 	if err := ks.sorted.ReadAt(p, val, int64(entries[i].vlogOff)); err != nil {
 		return nil, false, err
 	}
+	ks.touchHeat(int64(entries[i].vlogOff), len(val), e.cfg.BlockBytes)
 	e.st.AppRead.Add(int64(len(val)))
 	return val, true, nil
 }
@@ -177,6 +178,7 @@ func (e *Engine) RangePrimary(p *sim.Proc, name string, lo, hi []byte, limit int
 				if err := ks.sorted.ReadAt(p, win, start); err != nil {
 					return emitted, err
 				}
+				ks.touchHeat(start, len(win), e.cfg.BlockBytes)
 				winOff = start
 			}
 			val := append([]byte(nil), win[start-winOff:start-winOff+need]...)
@@ -282,6 +284,7 @@ func (e *Engine) RangeSecondary(p *sim.Proc, name, index string, lo, hi []byte, 
 		if err := ks.sorted.ReadAt(p, span, start); err != nil {
 			return 0, err
 		}
+		ks.touchHeat(start, len(span), e.cfg.BlockBytes)
 		for k := i; k <= j; k++ {
 			m := matches[order[k]]
 			off := int64(m.svOff) - start

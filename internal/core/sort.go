@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/host"
 	"kvcsd/internal/sim"
 )
@@ -31,7 +32,9 @@ type recordSource[T any] interface {
 	next(p *sim.Proc) (rec T, ok bool, err error)
 }
 
-// scanner streams records of type T from a cluster.
+// scanner streams records of type T from a cluster. When pf is set, refills
+// pop chunks a prefetch stage proc read ahead instead of issuing the read
+// inline — the pipeline's read stage.
 type scanner[T any] struct {
 	c     *Cluster
 	codec Codec[T]
@@ -39,6 +42,7 @@ type scanner[T any] struct {
 	pos   int   // parse position within buf
 	off   int64 // logical cluster offset of buf[0]
 	chunk int
+	pf    *prefetcher
 }
 
 func newScanner[T any](c *Cluster, codec Codec[T], chunk int) *scanner[T] {
@@ -78,13 +82,48 @@ func (s *scanner[T]) next(p *sim.Proc) (rec T, ok bool, err error) {
 			want = int(avail)
 		}
 		if want > 0 {
-			start := len(s.buf)
-			s.buf = append(s.buf, make([]byte, want)...)
-			if err := s.c.ReadAt(p, s.buf[start:], s.off+int64(start)); err != nil {
-				return rec, false, err
+			if s.pf != nil {
+				data, err := s.pf.next(p)
+				if err != nil {
+					return rec, false, err
+				}
+				if len(data) != want {
+					return rec, false, fmt.Errorf("%w: prefetch chunk %d, want %d", ErrRecordCorrupt, len(data), want)
+				}
+				s.buf = append(s.buf, data...)
+			} else {
+				start := len(s.buf)
+				s.buf = append(s.buf, make([]byte, want)...)
+				if err := s.c.ReadAt(p, s.buf[start:], s.off+int64(start)); err != nil {
+					return rec, false, err
+				}
 			}
 		}
 	}
+}
+
+// memSource streams records straight out of SoC DRAM — the landing path for
+// a host-merged run, which arrives over PCIe and feeds the final merge
+// without ever touching the media.
+type memSource[T any] struct {
+	codec Codec[T]
+	buf   []byte
+	pos   int
+}
+
+func (m *memSource[T]) next(p *sim.Proc) (rec T, ok bool, err error) {
+	if m.pos >= len(m.buf) {
+		return rec, false, nil
+	}
+	r, n, derr := m.codec.Decode(m.buf[m.pos:], true)
+	if derr != nil {
+		return rec, false, derr
+	}
+	if n == 0 {
+		return rec, false, fmt.Errorf("%w: trailing %d bytes", ErrRecordCorrupt, len(m.buf)-m.pos)
+	}
+	m.pos += n
+	return r, true, nil
 }
 
 // Sorter performs a bounded-DRAM external merge sort of record streams —
@@ -100,6 +139,31 @@ type Sorter[T any] struct {
 	// Runs and MergePasses record what the last Sort did (ablation metrics).
 	Runs        int
 	MergePasses int
+	// BytesWritten counts bytes this sorter appended to scratch and output
+	// clusters (compaction progress accounting).
+	BytesWritten int64
+	// HostRuns and DeviceRuns record how the last Sort split its reduced
+	// runs between the host assist loop and the device (zero/zero when the
+	// sort ran device-only).
+	HostRuns, DeviceRuns int
+
+	// Pipeline configuration. When Env is set and PipelineWidth > 1, merges
+	// run as staged procs — per-run read prefetchers and a zone-write stage —
+	// connected by bounded rings so granule reads, the k-way merge, and zone
+	// writes overlap across SoC cores. OnOccupancy (optional) observes every
+	// buffered chunk entering (+1) and leaving (-1) the pipeline.
+	Env           *sim.Env
+	PipelineWidth int
+	OnOccupancy   func(int)
+
+	// Host-assist hooks (collaborative compaction). PlanSplit decides how
+	// many of the reduced runs ship to the host; SubmitAssist frames and
+	// enqueues them (non-blocking) and CollectAssist waits for the merged
+	// run. A collect error falls back to device-side merging. All three must
+	// be set for splitting to happen.
+	PlanSplit     func(nRuns int) int
+	SubmitAssist  func(p *sim.Proc, runs []*Cluster) (*compaction.Job, error)
+	CollectAssist func(p *sim.Proc, job *compaction.Job) ([]byte, error)
 }
 
 // NewSorter builds a sorter using the engine's zone manager for scratch
@@ -114,7 +178,9 @@ func (s *Sorter[T]) SortCluster(p *sim.Proc, in *Cluster) (*Cluster, error) {
 }
 
 // Sort consumes a record source and returns a new sealed cluster with the
-// records in ascending order.
+// records in ascending order. When the host-assist hooks are set and the
+// planner assigns it a share, part of the final merge runs on the host while
+// the device merges the rest concurrently.
 func (s *Sorter[T]) Sort(p *sim.Proc, src recordSource[T]) (*Cluster, error) {
 	runs, err := s.reduce(p, src)
 	if err != nil {
@@ -124,8 +190,19 @@ func (s *Sorter[T]) Sort(p *sim.Proc, src recordSource[T]) (*Cluster, error) {
 		out := s.zm.NewCluster(ZoneTemp)
 		return out, out.Seal(p)
 	}
+	s.HostRuns, s.DeviceRuns = 0, 0
+	if s.PlanSplit != nil && s.SubmitAssist != nil && s.CollectAssist != nil && len(runs) > 1 {
+		if h := s.PlanSplit(len(runs)); h > 0 && h <= len(runs) {
+			merged, err, ok := s.sortSplit(p, runs, h)
+			if ok {
+				return merged, err
+			}
+			// Assist unavailable: fall through to the device-only merge.
+		}
+	}
 	if len(runs) > 1 {
 		s.MergePasses++
+		s.DeviceRuns = len(runs)
 		merged, err := s.mergeRuns(p, runs)
 		if err != nil {
 			return nil, err
@@ -137,6 +214,133 @@ func (s *Sorter[T]) Sort(p *sim.Proc, src recordSource[T]) (*Cluster, error) {
 	}
 	return runs[0], nil
 }
+
+// sortSplit ships the first h runs to the host assist loop, pre-merges the
+// remainder on the device while the host works, then merges the (at most
+// two) resulting runs. ok is false when the assist queue refused the job —
+// the caller then merges everything device-side.
+func (s *Sorter[T]) sortSplit(p *sim.Proc, runs []*Cluster, h int) (*Cluster, error, bool) {
+	hostGroup, devGroup := runs[:h], runs[h:]
+	// Ship the host group from a stage proc so its media reads overlap the
+	// device group's merge instead of running as a serial prefix — under
+	// foreground load those reads queue behind hot-data traffic, and the
+	// device share has nothing else to wait on.
+	var (
+		job     *compaction.Job
+		subErr  error
+		subDone bool
+		waiter  *sim.Proc
+	)
+	if s.Env != nil && len(devGroup) > 1 {
+		s.Env.Go("assist-submit", func(sp *sim.Proc) {
+			job, subErr = s.SubmitAssist(sp, hostGroup)
+			subDone = true
+			if waiter != nil {
+				s.Env.Wake(waiter)
+			}
+		})
+	} else {
+		job, subErr = s.SubmitAssist(p, hostGroup)
+		subDone = true
+	}
+	s.HostRuns, s.DeviceRuns = h, len(devGroup)
+	// Device share merges while the host chews on its group: the submit is
+	// non-blocking past its reads and the assist loop runs as its own procs.
+	var devRun *Cluster
+	var err error
+	if len(devGroup) > 1 {
+		s.MergePasses++
+		devRun, err = s.mergeRuns(p, devGroup)
+		if err != nil {
+			return nil, err, true
+		}
+		if err := releaseAll(p, devGroup); err != nil {
+			return nil, err, true
+		}
+	} else if len(devGroup) == 1 {
+		devRun = devGroup[0]
+	}
+	for !subDone {
+		waiter = p
+		p.Block()
+	}
+	waiter = nil
+	if subErr != nil {
+		if devRun != nil && len(devGroup) > 1 {
+			// The device share is already merged; fold the unshipped host
+			// group in rather than abandoning the pass.
+			s.HostRuns = 0
+			fallback := append([]*Cluster{devRun}, hostGroup...)
+			s.MergePasses++
+			merged, err := s.mergeRuns(p, fallback)
+			if err != nil {
+				return nil, err, true
+			}
+			if err := releaseAll(p, fallback); err != nil {
+				return nil, err, true
+			}
+			return merged, nil, true
+		}
+		return nil, nil, false
+	}
+	hostRun, herr := s.CollectAssist(p, job)
+	if herr != nil {
+		// Host went away mid-merge (halt, power cut): merge the host group
+		// on the device instead. devRun keeps its pre-merged form.
+		s.HostRuns = 0
+		fallback := hostGroup
+		if devRun != nil {
+			fallback = append([]*Cluster{devRun}, hostGroup...)
+		}
+		if len(fallback) == 1 {
+			return fallback[0], nil, true
+		}
+		s.MergePasses++
+		merged, err := s.mergeRuns(p, fallback)
+		if err != nil {
+			return nil, err, true
+		}
+		if err := releaseAll(p, fallback); err != nil {
+			return nil, err, true
+		}
+		return merged, nil, true
+	}
+	if err := releaseAll(p, hostGroup); err != nil {
+		return nil, err, true
+	}
+	if devRun == nil {
+		// The host merged everything; there is nothing to merge against, so
+		// land the bytes in one raw pass without re-decoding them.
+		out := s.zm.NewCluster(ZoneTemp)
+		for off := 0; off < len(hostRun); off += 256 << 10 {
+			end := off + 256<<10
+			if end > len(hostRun) {
+				end = len(hostRun)
+			}
+			s.BytesWritten += int64(end - off)
+			if err := out.Append(p, hostRun[off:end]); err != nil {
+				return nil, err, true
+			}
+		}
+		return out, out.Seal(p), true
+	}
+	// Final merge: the device's pre-merged run off the media against the
+	// host's run streamed straight from DRAM (it arrived over PCIe and is
+	// never landed in a scratch cluster — that extra media pass is what made
+	// naive pre-merge splits lose to a monolithic device merge).
+	s.MergePasses++
+	merged, err := s.mergeRunsMixed(p, []*Cluster{devRun}, [][]byte{hostRun})
+	if err != nil {
+		return nil, err, true
+	}
+	if err := releaseAll(p, []*Cluster{devRun}); err != nil {
+		return nil, err, true
+	}
+	return merged, nil, true
+}
+
+// pipelined reports whether merges should run as staged procs.
+func (s *Sorter[T]) pipelined() bool { return s.Env != nil && s.PipelineWidth > 1 }
 
 // SortTo sorts the source and streams the ordered records to emit instead of
 // materializing a final cluster — used by the value-sorting pass so sorted
@@ -212,6 +416,7 @@ func (s *Sorter[T]) makeRuns(p *sim.Proc, sc recordSource[T]) ([]*Cluster, error
 		for _, rec := range batch {
 			buf = s.codec.Encode(buf, rec)
 			if len(buf) >= 256<<10 {
+				s.BytesWritten += int64(len(buf))
 				if err := run.Append(p, buf); err != nil {
 					return err
 				}
@@ -219,6 +424,7 @@ func (s *Sorter[T]) makeRuns(p *sim.Proc, sc recordSource[T]) ([]*Cluster, error
 			}
 		}
 		if len(buf) > 0 {
+			s.BytesWritten += int64(len(buf))
 			if err := run.Append(p, buf); err != nil {
 				return err
 			}
@@ -285,25 +491,61 @@ func (h *mergeHeapT[T]) Pop() interface{} {
 	return it
 }
 
-// mergeRuns k-way merges sorted runs into one sorted cluster.
+// mergeRuns k-way merges sorted runs into one sorted cluster. When the
+// pipeline is on, appends go through a dedicated zone-write stage proc so the
+// merge never stalls on channel time.
 func (s *Sorter[T]) mergeRuns(p *sim.Proc, runs []*Cluster) (*Cluster, error) {
+	return s.mergeRunsMixed(p, runs, nil)
+}
+
+// mergeRunsMixed is mergeRuns plus in-memory runs (see mergeMixed).
+func (s *Sorter[T]) mergeRunsMixed(p *sim.Proc, runs []*Cluster, mem [][]byte) (*Cluster, error) {
 	out := s.zm.NewCluster(ZoneTemp)
+	var w *pipelineWriter
+	if s.pipelined() {
+		w = newPipelineWriter(s.Env, out, s.PipelineWidth, s.OnOccupancy)
+	}
 	buf := make([]byte, 0, 256<<10)
-	err := s.merge(p, runs, func(mp *sim.Proc, rec T) error {
+	err := s.mergeMixed(p, runs, mem, func(mp *sim.Proc, rec T) error {
 		buf = s.codec.Encode(buf, rec)
 		if len(buf) >= 256<<10 {
-			if err := out.Append(mp, buf); err != nil {
-				return err
+			s.BytesWritten += int64(len(buf))
+			if w != nil {
+				if err := w.write(mp, buf); err != nil {
+					return err
+				}
+				buf = make([]byte, 0, 256<<10)
+			} else {
+				if err := out.Append(mp, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
 			}
-			buf = buf[:0]
 		}
 		return nil
 	})
 	if err != nil {
+		if w != nil {
+			w.finish(p) // drain the write stage; the cluster is abandoned
+		}
 		return nil, err
 	}
 	if len(buf) > 0 {
-		if err := out.Append(p, buf); err != nil {
+		s.BytesWritten += int64(len(buf))
+		if w != nil {
+			err = w.write(p, buf)
+		} else {
+			err = out.Append(p, buf)
+		}
+		if err != nil {
+			if w != nil {
+				w.finish(p)
+			}
+			return nil, err
+		}
+	}
+	if w != nil {
+		if err := w.finish(p); err != nil {
 			return nil, err
 		}
 	}
@@ -315,24 +557,58 @@ func (s *Sorter[T]) mergeInto(p *sim.Proc, runs []*Cluster, emit func(p *sim.Pro
 	return s.merge(p, runs, emit)
 }
 
-// merge is the k-way merge core.
+// merge is the k-way merge core over cluster-backed runs. When the pipeline
+// is on, each run gets a read-stage prefetcher proc streaming chunks ahead of
+// the merge through a bounded ring; all stage procs are joined before merge
+// returns, on every path, so no proc outlives its compaction.
 func (s *Sorter[T]) merge(p *sim.Proc, runs []*Cluster, emit func(p *sim.Proc, rec T) error) error {
-	scanners := make([]*scanner[T], len(runs))
+	return s.mergeMixed(p, runs, nil, emit)
+}
+
+// mergeMixed k-way merges cluster-backed runs plus optional in-memory runs
+// (host-merged results that arrive over PCIe and never touch the media).
+func (s *Sorter[T]) mergeMixed(p *sim.Proc, runs []*Cluster, mem [][]byte, emit func(p *sim.Proc, rec T) error) error {
+	srcs := make([]recordSource[T], 0, len(runs)+len(mem))
+	var pfs []*prefetcher
+	if s.pipelined() {
+		defer func() {
+			for _, pf := range pfs {
+				pf.stop(p)
+			}
+		}()
+	}
 	h := &mergeHeapT[T]{less: s.less}
-	for i, r := range runs {
-		scanners[i] = newScanner(r, s.codec, 0)
-		rec, ok, err := scanners[i].next(p)
+	for _, r := range runs {
+		sc := newScanner(r, s.codec, 0)
+		if s.pipelined() {
+			pf := startPrefetcher(s.Env, r, sc.chunk, s.PipelineWidth, s.OnOccupancy)
+			sc.pf = pf
+			pfs = append(pfs, pf)
+		}
+		srcs = append(srcs, sc)
+		rec, ok, err := sc.next(p)
 		if err != nil {
 			return err
 		}
 		if ok {
-			h.items = append(h.items, mergeItem[T]{rec: rec, src: i})
+			h.items = append(h.items, mergeItem[T]{rec: rec, src: len(srcs) - 1})
+		}
+	}
+	for _, b := range mem {
+		ms := &memSource[T]{codec: s.codec, buf: b}
+		srcs = append(srcs, ms)
+		rec, ok, err := ms.next(p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem[T]{rec: rec, src: len(srcs) - 1})
 		}
 	}
 	heap.Init(h)
 
 	logK := int64(1)
-	for k := len(runs); k > 1; k >>= 1 {
+	for k := len(srcs); k > 1; k >>= 1 {
 		logK++
 	}
 	var pending int64 // records merged since last CPU charge
@@ -346,7 +622,7 @@ func (s *Sorter[T]) merge(p *sim.Proc, runs []*Cluster, emit func(p *sim.Proc, r
 			s.soc.Compares(p, pending*logK)
 			pending = 0
 		}
-		rec, ok, err := scanners[top.src].next(p)
+		rec, ok, err := srcs[top.src].next(p)
 		if err != nil {
 			return err
 		}
@@ -361,4 +637,111 @@ func (s *Sorter[T]) merge(p *sim.Proc, runs []*Cluster, emit func(p *sim.Proc, r
 		s.soc.Compares(p, pending*logK)
 	}
 	return nil
+}
+
+// prefetcher is the pipeline's read stage: a proc streaming a cluster's
+// bytes sequentially in chunk-sized pieces through a bounded ring, so the
+// merge stage consumes granules the read stage fetched one-or-more chunks
+// ago. Chunk boundaries match the scanner's refill pattern exactly.
+type prefetcher struct {
+	ring *compaction.Ring[[]byte]
+	proc *sim.Proc
+	err  error
+}
+
+func startPrefetcher(env *sim.Env, c *Cluster, chunk, width int, onDelta func(int)) *prefetcher {
+	pf := &prefetcher{ring: compaction.NewRing[[]byte](env, width, onDelta)}
+	pf.proc = env.Go("compact:read", func(p *sim.Proc) {
+		defer pf.ring.Close()
+		for off := int64(0); off < c.Len(); {
+			n := int64(chunk)
+			if rem := c.Len() - off; n > rem {
+				n = rem
+			}
+			buf := make([]byte, n)
+			if err := c.ReadAt(p, buf, off); err != nil {
+				pf.err = err
+				return
+			}
+			off += n
+			if !pf.ring.Push(p, buf) {
+				return // consumer stopped early
+			}
+		}
+	})
+	return pf
+}
+
+// next returns the next prefetched chunk.
+func (pf *prefetcher) next(p *sim.Proc) ([]byte, error) {
+	data, ok := pf.ring.Pop(p)
+	if !ok {
+		if pf.err != nil {
+			return nil, pf.err
+		}
+		return nil, fmt.Errorf("%w: prefetch underrun", ErrRecordCorrupt)
+	}
+	return data, nil
+}
+
+// stop shuts the read stage down on any exit path: close the ring (unblocks
+// a producer mid-Push), drop unconsumed chunks so occupancy settles, and
+// join the stage proc.
+func (pf *prefetcher) stop(p *sim.Proc) {
+	pf.ring.Close()
+	p.Join(pf.proc)
+	pf.ring.Discard()
+}
+
+// pipelineWriter is the pipeline's zone-write stage: merged chunks push into
+// a bounded ring and a dedicated proc appends them to the output cluster, so
+// merge compute and zone writes overlap.
+type pipelineWriter struct {
+	ring *compaction.Ring[[]byte]
+	proc *sim.Proc
+	out  *Cluster
+	err  error
+}
+
+func newPipelineWriter(env *sim.Env, out *Cluster, width int, onDelta func(int)) *pipelineWriter {
+	w := &pipelineWriter{ring: compaction.NewRing[[]byte](env, width, onDelta), out: out}
+	w.proc = env.Go("compact:write", func(p *sim.Proc) {
+		for {
+			buf, ok := w.ring.Pop(p)
+			if !ok {
+				return
+			}
+			if w.err != nil {
+				continue // drain after a failed append
+			}
+			if err := out.Append(p, buf); err != nil {
+				w.err = err
+			}
+		}
+	})
+	return w
+}
+
+// write hands one chunk to the write stage. The caller must not reuse buf.
+func (w *pipelineWriter) write(p *sim.Proc, buf []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.ring.Push(p, buf) {
+		if w.err != nil {
+			return w.err
+		}
+		return fmt.Errorf("core: pipeline writer closed")
+	}
+	return nil
+}
+
+// finish drains the write stage, joins its proc, and reports any append
+// error. Safe on error paths: remaining chunks drain (or fail) and the proc
+// always exits.
+func (w *pipelineWriter) finish(p *sim.Proc) error {
+	w.ring.Close()
+	p.Join(w.proc)
+	w.ring.Discard()
+	return w.err
 }

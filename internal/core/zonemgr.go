@@ -57,7 +57,9 @@ type ZoneManager struct {
 	dev         *ssd.Device
 	cfg         Config
 	rng         *sim.RNG
-	free        []int // free zone indexes, LIFO
+	free        []int // free hot-tier zone indexes, LIFO
+	freeCold    []int // free cold-tier zone indexes (device tail), LIFO
+	coldStart   int   // zones at index >= coldStart belong to the cold tier
 	used        map[int]ZoneType
 	quarantined map[int]bool // retired zones: never allocated again
 	clusterSeq  int64
@@ -68,14 +70,39 @@ type ZoneManager struct {
 	sumsDirty map[int64]bool
 }
 
-// NewZoneManager creates a manager over all non-reserved zones.
+// NewZoneManager creates a manager over all non-reserved zones. The device's
+// trailing ColdZones (if configured) form a separate cold-tier pool used only
+// by explicit cold migration, never by regular allocation.
 func NewZoneManager(dev *ssd.Device, cfg Config, rng *sim.RNG) *ZoneManager {
 	zm := &ZoneManager{dev: dev, cfg: cfg, rng: rng, used: make(map[int]ZoneType),
 		quarantined: make(map[int]bool), sumsDirty: make(map[int64]bool)}
+	zm.coldStart = dev.NumZones()
+	if cz := dev.Config().ColdZones; cz > 0 && cz < dev.NumZones()-cfg.MetadataZones {
+		zm.coldStart = dev.NumZones() - cz
+	}
 	for i := dev.NumZones() - 1; i >= cfg.MetadataZones; i-- {
-		zm.free = append(zm.free, i)
+		if i >= zm.coldStart {
+			zm.freeCold = append(zm.freeCold, i)
+		} else {
+			zm.free = append(zm.free, i)
+		}
 	}
 	return zm
+}
+
+// IsColdZone reports whether a zone index belongs to the cold tier.
+func (zm *ZoneManager) IsColdZone(z int) bool { return z >= zm.coldStart }
+
+// ColdCapacity returns the number of unallocated cold-tier zones.
+func (zm *ZoneManager) ColdCapacity() int { return len(zm.freeCold) }
+
+// channelUtil reports the fraction of SSD channels with a reservation
+// backlog right now — the planner's device-I/O-pressure signal.
+func (zm *ZoneManager) channelUtil() float64 { return zm.dev.ChannelBacklog() }
+
+// channelBusyTimes returns per-channel busy time (see ssd.ChannelBusyTimes).
+func (zm *ZoneManager) channelBusyTimes(out []sim.Duration) []sim.Duration {
+	return zm.dev.ChannelBusyTimes(out)
 }
 
 // Device returns the underlying SSD.
@@ -107,13 +134,22 @@ func (zm *ZoneManager) quarantine(z int) {
 	}
 	zm.quarantined[z] = true
 	delete(zm.used, z)
-	for i, f := range zm.free {
+	zm.dropFree(z)
+	zm.dev.Stats().QuarantinedZones.Add(1)
+}
+
+// dropFree removes a zone from whichever free pool holds it.
+func (zm *ZoneManager) dropFree(z int) {
+	pool := &zm.free
+	if zm.IsColdZone(z) {
+		pool = &zm.freeCold
+	}
+	for i, f := range *pool {
 		if f == z {
-			zm.free = append(zm.free[:i], zm.free[i+1:]...)
-			break
+			*pool = append((*pool)[:i], (*pool)[i+1:]...)
+			return
 		}
 	}
-	zm.dev.Stats().QuarantinedZones.Add(1)
 }
 
 // allocZone takes a single zone from the free pool (zone replacement).
@@ -123,6 +159,17 @@ func (zm *ZoneManager) allocZone(t ZoneType) (int, error) {
 	}
 	z := zm.free[len(zm.free)-1]
 	zm.free = zm.free[:len(zm.free)-1]
+	zm.used[z] = t
+	return z, nil
+}
+
+// allocColdZone takes a single zone from the cold-tier pool (cold migration).
+func (zm *ZoneManager) allocColdZone(t ZoneType) (int, error) {
+	if len(zm.freeCold) == 0 {
+		return 0, fmt.Errorf("%w: cold tier exhausted", ErrNoZones)
+	}
+	z := zm.freeCold[len(zm.freeCold)-1]
+	zm.freeCold = zm.freeCold[:len(zm.freeCold)-1]
 	zm.used[z] = t
 	return z, nil
 }
@@ -150,12 +197,7 @@ func (zm *ZoneManager) claim(z int, t ZoneType) {
 		return
 	}
 	zm.used[z] = t
-	for i, f := range zm.free {
-		if f == z {
-			zm.free = append(zm.free[:i], zm.free[i+1:]...)
-			break
-		}
-	}
+	zm.dropFree(z)
 }
 
 // release resets zones and returns them to the pool. Quarantined zones are
@@ -167,7 +209,11 @@ func (zm *ZoneManager) release(p *sim.Proc, zones []int) error {
 		}
 		delete(zm.used, z)
 		if !zm.quarantined[z] {
-			zm.free = append(zm.free, z)
+			if zm.IsColdZone(z) {
+				zm.freeCold = append(zm.freeCold, z)
+			} else {
+				zm.free = append(zm.free, z)
+			}
 		}
 	}
 	return nil
@@ -645,4 +691,59 @@ func (c *Cluster) replaceZone(p *sim.Proc, bad int) (int, error) {
 	c.stripes[si][sj] = fresh
 	c.zm.quarantine(bad)
 	return fresh, nil
+}
+
+// migrateZone copies one stripe member onto a freshly allocated cold-tier
+// zone and swaps the stripe entry — lifetime-aware placement moving a cold
+// zone onto the cheap/slow tier. The old zone is NOT released here: callers
+// persist metadata (which then references the fresh zone) first and release
+// afterwards — the same persist-before-release invariant compaction uses, so
+// a power cut leaves the old zone as an orphan for the recovery sweep rather
+// than a dangling reference.
+func (c *Cluster) migrateZone(p *sim.Proc, old int) (int, error) {
+	si, sj := -1, -1
+	for i, s := range c.stripes {
+		for j, z := range s {
+			if z == old {
+				si, sj = i, j
+			}
+		}
+	}
+	if si < 0 {
+		return 0, fmt.Errorf("core: zone %d not in cluster %d", old, c.id)
+	}
+	fresh, err := c.zm.allocColdZone(c.typ)
+	if err != nil {
+		return 0, err
+	}
+	info, err := c.zm.dev.Zone(old)
+	if err != nil {
+		return 0, err
+	}
+	if info.WritePointer > 0 {
+		data, err := c.zm.dev.ReadZone(p, old, 0, int(info.WritePointer))
+		if err != nil {
+			return 0, err
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		if err := c.zm.dev.WriteZone(p, fresh, cp); err != nil {
+			return 0, err
+		}
+	}
+	c.stripes[si][sj] = fresh
+	return fresh, nil
+}
+
+// zoneGranules lists the granule indexes stored on one stripe member, in
+// ascending order — the heat scan for cold-migration candidacy.
+func (c *Cluster) zoneGranules(zone int) []int64 {
+	var out []int64
+	mg := c.mediaGranules()
+	for g := int64(0); g < mg; g++ {
+		if z, _ := c.locate(g); z == zone {
+			out = append(out, g)
+		}
+	}
+	return out
 }

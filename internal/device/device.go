@@ -14,6 +14,7 @@ import (
 	"errors"
 	"time"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/core"
 	"kvcsd/internal/host"
 	"kvcsd/internal/nvme"
@@ -118,6 +119,9 @@ func New(env *sim.Env, opts Options, st *stats.IOStats) *Device {
 		st:     st,
 		rng:    rng,
 	}
+	// The collaborative planner reads the submission-queue backlog as its
+	// foreground-pressure signal.
+	d.engine.SetQueueProbe(func() int { return d.queue.Pending() })
 	if opts.Trace || opts.Metrics {
 		if opts.Metrics {
 			if opts.SharedRegistry != nil {
@@ -266,6 +270,9 @@ func (d *Device) WaitBackgroundIdle(p *sim.Proc) error {
 // dispatch loops exit. Any running samplers record a final row and stop.
 func (d *Device) Shutdown() {
 	d.closed = true
+	// Fail outstanding host-merge jobs and release parked poll dispatchers;
+	// in-flight compactions fall back to device-side merging.
+	d.engine.CloseAssist()
 	d.queue.Close()
 	for _, s := range d.samplers {
 		s.Stop()
@@ -351,7 +358,44 @@ func (d *Device) execute(p *sim.Proc, cmd *nvme.Command) *nvme.Completion {
 		if !done && ks.CompactErr() != nil {
 			return statusOnly(ks.CompactErr())
 		}
-		return &nvme.Completion{Status: nvme.StatusOK, Done: done}
+		pr := ks.CompactionProgress()
+		return &nvme.Completion{Status: nvme.StatusOK, Done: done, Progress: &pr}
+
+	case nvme.OpHostMergePoll:
+		// Long-poll: the dispatcher parks until a merge job arrives (there
+		// are several dispatch loops, so foreground commands keep flowing).
+		job, ok := eng.AssistQueue().Poll(p, cmd.ResultLimit)
+		if !ok {
+			return &nvme.Completion{Status: nvme.StatusOK, Done: true}
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Value: job.Payload, Count: int64(job.ID)}
+
+	case nvme.OpHostMergePush:
+		var herr error
+		if len(cmd.Value) == 0 {
+			herr = errors.New("device: host merge pushed no data")
+		}
+		// Unknown job IDs (stale pushes after a power cut rebuilt the
+		// engine) are ignored by the queue.
+		eng.AssistQueue().Complete(uint64(cmd.Extent.Granule), cmd.Value, herr)
+		return &nvme.Completion{Status: nvme.StatusOK}
+
+	case nvme.OpCompactPolicy:
+		if len(cmd.Value) > 0 {
+			cc, err := compaction.DecodeConfig(cmd.Value)
+			if err != nil {
+				return &nvme.Completion{Status: nvme.StatusInvalid}
+			}
+			eng.SetCompactionConfig(cc)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Value: compaction.EncodeConfig(eng.CompactionConfig())}
+
+	case nvme.OpMigrateCold:
+		moved, err := eng.MigrateCold(p)
+		if err != nil {
+			return statusOnly(err)
+		}
+		return &nvme.Completion{Status: nvme.StatusOK, Count: int64(moved)}
 
 	case nvme.OpBuildSecondaryIndex:
 		spec := core.SecondarySpec{

@@ -31,6 +31,10 @@ func (d *Device) PowerCut(p *sim.Proc) ssd.PowerCutReport {
 	}
 	d.poweredOff = true
 	d.engine.Halt()
+	// Fail host-merge jobs and release parked poll dispatchers: waiting
+	// compactions fall back to device merging and then die against the
+	// powered-off media; the host assist loop sees Done and exits.
+	d.engine.CloseAssist()
 	return d.ssd.PowerCut(p)
 }
 
@@ -67,6 +71,7 @@ func (d *Device) Restart(p *sim.Proc) (*core.RecoveryReport, error) {
 	d.restarts++
 	eng := core.NewEngine(d.env, d.ssd, d.soc, d.opts.Engine, d.rng.Fork(int64(d.restarts)+1), d.st)
 	eng.SetObs(d.tr, d.gaugeReg)
+	eng.SetQueueProbe(func() int { return d.queue.Pending() })
 	if err := eng.Recover(p); err != nil {
 		d.ssd.PowerCut(p) // recovery failed: the device stays dark
 		return nil, err

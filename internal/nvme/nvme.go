@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/keyenc"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/sim"
@@ -53,6 +54,14 @@ const (
 	OpReadExtent
 	OpRepairExtent
 	OpCorruptMedia
+
+	// Collaborative compaction extensions: the host assist loop long-polls
+	// merge jobs and pushes merged runs back; the array tier sets the split
+	// policy and triggers cold-placement sweeps.
+	OpHostMergePoll
+	OpHostMergePush
+	OpCompactPolicy
+	OpMigrateCold
 )
 
 var opNames = map[Opcode]string{
@@ -79,6 +88,10 @@ var opNames = map[Opcode]string{
 	OpReadExtent:          "ReadExtent",
 	OpRepairExtent:        "RepairExtent",
 	OpCorruptMedia:        "CorruptMedia",
+	OpHostMergePoll:       "HostMergePoll",
+	OpHostMergePush:       "HostMergePush",
+	OpCompactPolicy:       "CompactPolicy",
+	OpMigrateCold:         "MigrateCold",
 }
 
 // String names the opcode.
@@ -247,6 +260,9 @@ type Completion struct {
 	Info KeyspaceInfo
 	// Done reports background-operation completion for status polls.
 	Done bool
+	// Progress carries compaction-pipeline progress on OpCompactStatus
+	// (nil when the device predates the extension).
+	Progress *compaction.Progress
 }
 
 // WireSize approximates the completion's size on the return path: a 16 B
@@ -255,6 +271,9 @@ func (c *Completion) WireSize() int64 {
 	n := int64(16 + len(c.Value))
 	for _, p := range c.Pairs {
 		n += int64(len(p.Key) + len(p.Value) + 8)
+	}
+	if c.Progress != nil {
+		n += c.Progress.WireSize()
 	}
 	return n
 }

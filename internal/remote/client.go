@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"kvcsd/internal/client"
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/core"
 	"kvcsd/internal/obs"
 	"kvcsd/internal/wire"
@@ -476,6 +477,37 @@ func (c *Client) Scrub(device int) (*core.ScrubReport, string, error) {
 		return nil, resp.Report, err
 	}
 	return rep, resp.Report, nil
+}
+
+// SetCompactionPolicy installs the compaction policy and pipeline width on
+// the server's device (every healthy member of an array) and returns the
+// resulting active config.
+func (c *Client) SetCompactionPolicy(cfg compaction.Config) (compaction.Config, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpCompactPolicy, Value: compaction.EncodeConfig(cfg)})
+	if err != nil {
+		return compaction.Config{}, err
+	}
+	return compaction.DecodeConfig(resp.Value)
+}
+
+// CompactionPolicy queries the server's active compaction config.
+func (c *Client) CompactionPolicy() (compaction.Config, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpCompactPolicy})
+	if err != nil {
+		return compaction.Config{}, err
+	}
+	return compaction.DecodeConfig(resp.Value)
+}
+
+// MigrateCold triggers one lifetime-aware cold-placement sweep on a device
+// (array member id; 0 on a single-device server) and returns how many zones
+// moved to the cold tier.
+func (c *Client) MigrateCold(device int) (int64, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpMigrateCold, Device: uint32(device)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Moved, nil
 }
 
 // Corrupt flips addr.Bits bits inside one extent of keyspace on a device —

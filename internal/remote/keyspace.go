@@ -2,10 +2,12 @@ package remote
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"kvcsd/internal/client"
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/nvme"
 	"kvcsd/internal/wire"
 )
@@ -222,6 +224,20 @@ func (k *Keyspace) CompactDone() (bool, error) {
 		return false, err
 	}
 	return resp.Done, nil
+}
+
+// CompactionProgress returns the keyspace's live compaction-pipeline
+// progress alongside the done flag (an array server aggregates shards into
+// one row).
+func (k *Keyspace) CompactionProgress() (compaction.Progress, bool, error) {
+	resp, err := k.c.call(&wire.Request{Op: wire.OpCompactStatus, Keyspace: k.name})
+	if err != nil {
+		return compaction.Progress{}, false, err
+	}
+	if resp.Progress == nil {
+		return compaction.Progress{}, resp.Done, fmt.Errorf("remote: server reported no compaction progress")
+	}
+	return *resp.Progress, resp.Done, nil
 }
 
 // WaitCompacted polls until compaction completes. The server advances the

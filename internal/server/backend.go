@@ -3,9 +3,12 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"kvcsd/internal/array"
 	"kvcsd/internal/client"
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/core"
 	"kvcsd/internal/device"
 	"kvcsd/internal/host"
@@ -206,6 +209,16 @@ func (b *deviceBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 		}
 		return scrubResponse(rep)
 
+	case wire.OpCompactPolicy:
+		return compactPolicy(p, b.cl, req.Value)
+
+	case wire.OpMigrateCold:
+		moved, err := b.cl.MigrateCold(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Moved: moved}
+
 	case wire.OpCorrupt:
 		addr, ok := extentAddr(req.Extent)
 		if !ok {
@@ -271,11 +284,11 @@ func (b *deviceBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 	case wire.OpCompactWithIndexes:
 		return respErr(ks.CompactWithIndexes(p, clientSpecs(req.Indexes)))
 	case wire.OpCompactStatus:
-		done, err := ks.CompactDone(p)
+		pr, done, err := ks.CompactionProgress(p)
 		if err != nil {
 			return respErr(err)
 		}
-		return &wire.Response{Status: wire.StatusOK, Done: done}
+		return &wire.Response{Status: wire.StatusOK, Done: done, Progress: &pr}
 	case wire.OpBuildIndex:
 		return respErr(ks.BuildSecondaryIndex(p, clientSpec(req.Index)))
 	case wire.OpIndexStatus:
@@ -292,6 +305,27 @@ func (b *deviceBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK, HasInfo: true, Info: info}
 	}
 	return &wire.Response{Status: wire.StatusBadRequest, Err: "unhandled opcode " + req.Op.String()}
+}
+
+// compactPolicy serves OpCompactPolicy against one device client: a non-empty
+// body installs the config, and either way the response echoes the device's
+// active config.
+func compactPolicy(p *sim.Proc, cl *client.Client, body []byte) *wire.Response {
+	var cfg compaction.Config
+	var err error
+	if len(body) > 0 {
+		want, derr := compaction.DecodeConfig(body)
+		if derr != nil {
+			return &wire.Response{Status: wire.StatusBadRequest, Err: derr.Error()}
+		}
+		cfg, err = cl.SetCompactionConfig(p, want)
+	} else {
+		cfg, err = cl.CompactionConfig(p)
+	}
+	if err != nil {
+		return respErr(err)
+	}
+	return &wire.Response{Status: wire.StatusOK, Value: compaction.EncodeConfig(cfg)}
 }
 
 func (b *deviceBackend) BulkApply(p *sim.Proc, keyspace string, pairs []nvme.KVPair) *wire.Response {
@@ -326,6 +360,12 @@ func (b *deviceBackend) statsReport() *wire.Response {
 		AppWrite:     b.st.AppWrite.Value(),
 		VirtualNanos: int64(b.env.Now()),
 		Health:       []wire.DeviceHealth{{ID: 0, Down: b.dev.PoweredOff()}},
+	}
+	if !b.dev.PoweredOff() {
+		for _, pr := range b.dev.Engine().Progresses() {
+			rep.Compactions = append(rep.Compactions,
+				wire.CompactionProgress{Keyspace: pr.Keyspace, Progress: pr.Progress})
+		}
 	}
 	return &wire.Response{Status: wire.StatusOK, Stats: rep}
 }
@@ -448,6 +488,35 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusOK,
 			Report: fmt.Sprintf("flipped %d bits in %s granule %d on device %d", flips, req.Keyspace, addr.Granule, id)}
+
+	case wire.OpCompactPolicy:
+		// Fan the config out to every healthy member; the echo is the last
+		// member's active config (members share one template, so they agree).
+		var last *wire.Response
+		for _, m := range b.arr.Members() {
+			if !m.Healthy() {
+				continue
+			}
+			last = compactPolicy(p, m.Client, req.Value)
+			if last.Status != wire.StatusOK {
+				return last
+			}
+		}
+		if last == nil {
+			return &wire.Response{Status: wire.StatusUnavailable, Err: "compact-policy: no healthy device"}
+		}
+		return last
+
+	case wire.OpMigrateCold:
+		id := int(req.Device)
+		if id < 0 || id >= len(b.arr.Members()) {
+			return &wire.Response{Status: wire.StatusInvalid, Err: fmt.Sprintf("device %d out of range", id)}
+		}
+		moved, err := b.arr.Member(id).Client.MigrateCold(p)
+		if err != nil {
+			return respErr(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Moved: moved}
 	}
 
 	if rk, err := b.arr.OpenReplicated(req.Keyspace); err == nil {
@@ -510,7 +579,14 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 		if err != nil {
 			return respErr(err)
 		}
-		return &wire.Response{Status: wire.StatusOK, Done: done}
+		pr := compaction.Progress{}
+		for _, row := range b.aggregateCompactions() {
+			if row.Keyspace == req.Keyspace {
+				pr = row.Progress
+				break
+			}
+		}
+		return &wire.Response{Status: wire.StatusOK, Done: done, Progress: &pr}
 	case wire.OpBuildIndex:
 		return respErr(ks.BuildSecondaryIndex(p, clientSpec(req.Index)))
 	case wire.OpIndexStatus:
@@ -527,6 +603,57 @@ func (b *arrayBackend) Apply(p *sim.Proc, req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK, HasInfo: true, Info: info}
 	}
 	return &wire.Response{Status: wire.StatusBadRequest, Err: "unhandled opcode " + req.Op.String()}
+}
+
+// aggregateCompactions folds the fleet's per-shard compaction progress into
+// one row per logical keyspace (shards are named "<keyspace>#pN" on their
+// devices): counters sum across shards and replicas, and the stage shown is
+// the furthest-behind shard's — any active stage outranks idle, and among
+// active stages the earliest pipeline stage wins.
+func (b *arrayBackend) aggregateCompactions() []wire.CompactionProgress {
+	byKs := make(map[string]*compaction.Progress)
+	var names []string
+	for _, m := range b.arr.Members() {
+		if m.Dev.PoweredOff() {
+			continue
+		}
+		for _, row := range m.Dev.Engine().Progresses() {
+			name, _, _ := strings.Cut(row.Keyspace, "#")
+			agg, ok := byKs[name]
+			if !ok {
+				cp := row.Progress
+				byKs[name] = &cp
+				names = append(names, name)
+				continue
+			}
+			agg.GranulesDone += row.Progress.GranulesDone
+			agg.GranulesTotal += row.Progress.GranulesTotal
+			agg.BytesMoved += row.Progress.BytesMoved
+			agg.HostRuns += row.Progress.HostRuns
+			agg.DeviceRuns += row.Progress.DeviceRuns
+			agg.Occupancy += row.Progress.Occupancy
+			if stageBehind(row.Progress.Stage, agg.Stage) {
+				agg.Stage = row.Progress.Stage
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]wire.CompactionProgress, 0, len(names))
+	for _, name := range names {
+		out = append(out, wire.CompactionProgress{Keyspace: name, Progress: *byKs[name]})
+	}
+	return out
+}
+
+// stageBehind reports whether stage a is further behind than b.
+func stageBehind(a, b compaction.Stage) bool {
+	if a == compaction.StageIdle {
+		return false
+	}
+	if b == compaction.StageIdle {
+		return true
+	}
+	return a < b
 }
 
 // applyReplicated serves the consensus-backed keyspace operation set. Ops
@@ -615,6 +742,7 @@ func (b *arrayBackend) statsReport() *wire.Response {
 		VirtualNanos: int64(b.env.Now()),
 		Health:       wh,
 		Ring:         b.arr.RingTable(),
+		Compactions:  b.aggregateCompactions(),
 	}
 	return &wire.Response{Status: wire.StatusOK, Stats: rep}
 }

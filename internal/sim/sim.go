@@ -368,6 +368,26 @@ func (r *Resource) Acquires() int64 { return r.acquires }
 // MaxInUse returns the high-water mark of concurrently held servers.
 func (r *Resource) MaxInUse() int { return r.maxObserved }
 
+// NextFree returns the earliest virtual time any server sheds its
+// reservations (never before now). Inspection only — no side effects — for
+// Reserve-mode resources like device channels; a value after now means the
+// resource has a backlog.
+func (r *Resource) NextFree() Time {
+	if r.freeAt == nil {
+		return r.env.now
+	}
+	best := r.freeAt[0]
+	for _, t := range r.freeAt[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	if best < r.env.now {
+		return r.env.now
+	}
+	return best
+}
+
 // Utilization reports mean busy servers / capacity over the resource lifetime.
 func (r *Resource) Utilization() float64 {
 	r.accumulate()

@@ -84,6 +84,14 @@ type Config struct {
 	// OverprovisionPct reserves extra physical blocks for the conventional
 	// FTL (affects GC efficiency bookkeeping only).
 	OverprovisionPct float64
+	// ColdZones dedicates the last N zones of the zoned namespace to a
+	// cheap/slow cold tier (dense QLC-style media). Zero disables the tier;
+	// the timing model is then untouched.
+	ColdZones int
+	// ColdReadFactor and ColdWriteFactor scale per-operation time (latency
+	// and transfer) on cold-tier zones. Values <= 0 mean 1 (no penalty).
+	ColdReadFactor  float64
+	ColdWriteFactor float64
 }
 
 // DefaultConfig returns the simulation defaults used by all experiments.
@@ -189,6 +197,76 @@ func (d *Device) Channel(zoneIdx int) *sim.Resource {
 // ChannelCount returns the number of NAND channels.
 func (d *Device) ChannelCount() int { return d.cfg.Channels }
 
+// ChannelBacklog reports the fraction of channels with queued reservations
+// right now — an instantaneous utilization signal for load-aware planners.
+func (d *Device) ChannelBacklog() float64 {
+	if len(d.channels) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, ch := range d.channels {
+		if ch.NextFree() > d.env.Now() {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(d.channels))
+}
+
+// ChannelBusyTime returns the busy virtual time summed across all channels —
+// paired with a wall-clock window it yields mean channel utilization, the
+// sustained complement to ChannelBacklog's instantaneous sample.
+func (d *Device) ChannelBusyTime() time.Duration {
+	var t time.Duration
+	for _, ch := range d.channels {
+		t += ch.BusyTime()
+	}
+	return t
+}
+
+// ChannelBusyTimes returns each channel's busy virtual time. Hot data pins
+// individual channels while the mean stays low, and a striped operation is
+// gated by its busiest channel — so planners should difference these over a
+// window and look at the max, not the mean.
+func (d *Device) ChannelBusyTimes(out []time.Duration) []time.Duration {
+	out = out[:0]
+	for _, ch := range d.channels {
+		out = append(out, ch.BusyTime())
+	}
+	return out
+}
+
+// IsCold reports whether a zone belongs to the configured cold tier.
+func (d *Device) IsCold(zone int) bool {
+	return d.cfg.ColdZones > 0 && zone >= d.cfg.NumZones-d.cfg.ColdZones
+}
+
+// coldFactor returns the time multiplier for an operation on a zone.
+func (d *Device) coldFactor(zone int, write bool) float64 {
+	if !d.IsCold(zone) {
+		return 1
+	}
+	f := d.cfg.ColdReadFactor
+	if write {
+		f = d.cfg.ColdWriteFactor
+	}
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// readCost and writeCost return the channel time (latency + transfer) for an
+// n-byte zone operation, scaled by the zone's tier.
+func (d *Device) readCost(zone int, n int64) time.Duration {
+	base := d.cfg.ReadLatency + sim.TransferTime(n, d.cfg.ReadBandwidth)
+	return time.Duration(float64(base) * d.coldFactor(zone, false))
+}
+
+func (d *Device) writeCost(zone int, n int64) time.Duration {
+	base := d.cfg.WriteLatency + sim.TransferTime(n, d.cfg.WriteBandwidth)
+	return time.Duration(float64(base) * d.coldFactor(zone, true))
+}
+
 // Stats returns the device's stats block.
 func (d *Device) Stats() *stats.IOStats { return d.st }
 
@@ -293,6 +371,15 @@ func (d *Device) busy(p *sim.Proc, ch *sim.Resource, kind string, lat time.Durat
 	d.traceMedia(p, kind, n, start, done)
 }
 
+// busyDur is busy with a fully precomputed channel time (used where tier
+// scaling has already been folded into the duration).
+func (d *Device) busyDur(p *sim.Proc, ch *sim.Resource, kind string, dur time.Duration, n int64) {
+	start := d.env.Now()
+	done := ch.Reserve(dur)
+	p.SleepUntil(done)
+	d.traceMedia(p, kind, n, start, done)
+}
+
 // ZoneSpan names a contiguous byte range inside one zone.
 type ZoneSpan struct {
 	Zone int
@@ -324,7 +411,7 @@ func (d *Device) ReadZoneSpans(p *sim.Proc, spans []ZoneSpan) ([][]byte, error) 
 			return nil, err
 		}
 		d.maybeRot("zone-read", sp.Zone, sp.Off, int64(sp.N))
-		done := d.Channel(sp.Zone).Reserve(d.cfg.ReadLatency + d.faultLatency("zone-read") + sim.TransferTime(int64(sp.N), d.cfg.ReadBandwidth))
+		done := d.Channel(sp.Zone).Reserve(d.readCost(sp.Zone, int64(sp.N)) + d.faultLatency("zone-read"))
 		if done > latest {
 			latest = done
 		}
@@ -369,7 +456,7 @@ func (d *Device) WriteZoneSpans(p *sim.Proc, zones []int, data [][]byte) error {
 		if err := d.checkFault("zone-write", int64(zi)); err != nil {
 			return err
 		}
-		done := d.Channel(zi).Reserve(d.cfg.WriteLatency + d.faultLatency("zone-write") + sim.TransferTime(int64(len(data[i])), d.cfg.WriteBandwidth))
+		done := d.Channel(zi).Reserve(d.writeCost(zi, int64(len(data[i]))) + d.faultLatency("zone-write"))
 		if done > latest {
 			latest = done
 		}
@@ -531,7 +618,7 @@ func (d *Device) WriteZone(p *sim.Proc, idx int, data []byte) error {
 	// The append lands on media at issue time (matching WriteZoneSpans) so a
 	// power cut during the channel sleep can tear it at a byte offset.
 	start := d.env.Now()
-	done := d.Channel(idx).Reserve(d.cfg.WriteLatency + d.faultLatency("zone-write") + sim.TransferTime(int64(len(data)), d.cfg.WriteBandwidth))
+	done := d.Channel(idx).Reserve(d.writeCost(idx, int64(len(data))) + d.faultLatency("zone-write"))
 	d.noteAppend(idx, z.wp, int64(len(data)), done)
 	if z.data == nil {
 		z.data = make([]byte, 0, 64<<10)
@@ -573,7 +660,7 @@ func (d *Device) ReadZone(p *sim.Proc, idx int, off int64, n int) ([]byte, error
 		return nil, err
 	}
 	d.maybeRot("zone-read", idx, off, int64(n))
-	d.busy(p, d.Channel(idx), "read", d.cfg.ReadLatency+d.faultLatency("zone-read"), int64(n), d.cfg.ReadBandwidth)
+	d.busyDur(p, d.Channel(idx), "read", d.readCost(idx, int64(n))+d.faultLatency("zone-read"), int64(n))
 	if d.poweredOff {
 		return nil, ErrPoweredOff
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/nvme"
 	"kvcsd/internal/sim"
 )
@@ -336,6 +337,30 @@ func encodeStats(e *encoder, s *StatsReport) {
 	}
 	encodeRing(e, s.Ring)
 	encodeTenants(e, s.Tenants)
+	encodeCompactions(e, s.Compactions)
+}
+
+func encodeCompactions(e *encoder, cs []CompactionProgress) {
+	e.uvarint(uint64(len(cs)))
+	for _, c := range cs {
+		e.str(c.Keyspace)
+		e.bytes(compaction.EncodeProgress(c.Progress))
+	}
+}
+
+func decodeCompactions(d *decoder) []CompactionProgress {
+	n := d.count(2)
+	var cs []CompactionProgress
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.str()
+		pr, err := compaction.DecodeProgress(d.bytes())
+		if err != nil {
+			d.fail()
+			return nil
+		}
+		cs = append(cs, CompactionProgress{Keyspace: name, Progress: pr})
+	}
+	return cs
 }
 
 func encodeRPC(e *encoder, r *RPCReport) {
@@ -411,6 +436,7 @@ func decodeStats(d *decoder) *StatsReport {
 	}
 	s.Ring = decodeRing(d)
 	s.Tenants = decodeTenants(d)
+	s.Compactions = decodeCompactions(d)
 	if d.err != nil {
 		return nil
 	}
@@ -443,6 +469,11 @@ func EncodeResponse(r *Response) []byte {
 	if r.Hello != nil {
 		encodeHelloReply(e, r.Hello)
 	}
+	e.boolean(r.Progress != nil)
+	if r.Progress != nil {
+		e.bytes(compaction.EncodeProgress(*r.Progress))
+	}
+	e.varint(r.Moved)
 	return e.b
 }
 
@@ -471,6 +502,15 @@ func DecodeResponse(h Header, payload []byte) (*Response, error) {
 	if d.boolean() {
 		r.Hello = decodeHelloReply(d)
 	}
+	if d.boolean() {
+		pr, err := compaction.DecodeProgress(d.bytes())
+		if err != nil {
+			d.fail()
+		} else {
+			r.Progress = &pr
+		}
+	}
+	r.Moved = d.varint()
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -536,6 +576,8 @@ func Accumulate(acc, chunk *Response) (*Response, bool) {
 		acc.Report = chunk.Report
 		acc.Replica = chunk.Replica
 		acc.Hello = chunk.Hello
+		acc.Progress = chunk.Progress
+		acc.Moved = chunk.Moved
 		acc.More = false
 		return acc, true
 	}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kvcsd/internal/compaction"
 	"kvcsd/internal/nvme"
 )
 
@@ -40,8 +41,10 @@ const (
 	// priority class, resumable sessions), QoS lane bits in the flags byte,
 	// and the per-tenant section of Stats reports. Version 5 added the
 	// integrity verbs (Scrub/Corrupt), the extent-address request body, and
-	// the Corrupted status.
-	Version uint8 = 5
+	// the Corrupted status. Version 6 added the compaction-control verbs
+	// (CompactPolicy/MigrateCold), live pipeline progress on CompactStatus
+	// responses, and the per-keyspace compaction section of Stats reports.
+	Version uint8 = 6
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 44
 	// TrailerSize is the CRC32-C trailer length in bytes.
@@ -135,6 +138,15 @@ const (
 	OpScrub
 	OpCorrupt
 
+	// Compaction-control verbs (DESIGN.md §12): OpCompactPolicy installs or
+	// queries a device's collaborative-compaction config (Request.Value
+	// carries the encoded compaction.Config, empty = query; the response
+	// echoes the active config in Value). OpMigrateCold triggers one
+	// lifetime-aware cold-placement sweep; the response reports zones moved
+	// in Moved.
+	OpCompactPolicy
+	OpMigrateCold
+
 	opMax // one past the last valid opcode
 )
 
@@ -167,6 +179,8 @@ var opNames = map[Op]string{
 	OpHello:              "Hello",
 	OpScrub:              "Scrub",
 	OpCorrupt:            "Corrupt",
+	OpCompactPolicy:      "CompactPolicy",
+	OpMigrateCold:        "MigrateCold",
 }
 
 // String names the opcode.
@@ -224,6 +238,10 @@ func (o Op) NVMe() nvme.Opcode {
 		return nvme.OpScrubMedia
 	case OpCorrupt:
 		return nvme.OpCorruptMedia
+	case OpCompactPolicy:
+		return nvme.OpCompactPolicy
+	case OpMigrateCold:
+		return nvme.OpMigrateCold
 	case OpKeyspaceInfo, OpStats, OpPowerCut, OpRecover,
 		OpRequestVote, OpAppendEntries, OpMigrate, OpHello:
 		return nvme.OpKeyspaceInfo
@@ -237,7 +255,9 @@ func (o Op) NVMe() nvme.Opcode {
 // and status polls trivially, writes because duplicate log records
 // deduplicate at compaction, PowerCut because it is idempotent while the
 // device is off, and Scrub because re-verifying (and re-repairing with
-// content-identical bytes) converges to the same state. Lifecycle verbs
+// content-identical bytes) converges to the same state. CompactPolicy
+// replays install the same config again; a MigrateCold replay sweeps a tier
+// the first sweep already drained. Lifecycle verbs
 // (create/delete keyspace, compaction and index kicks, recover) are not
 // replayed: a replay of one that actually landed would report a different
 // status. Neither is Corrupt — a replay flips additional bits.
@@ -246,7 +266,7 @@ func (o Op) Idempotent() bool {
 	case OpPing, OpOpenKeyspace, OpPut, OpDelete, OpBulkPut, OpSync,
 		OpGet, OpExist, OpScan, OpSecondaryRange, OpSecondaryPoint,
 		OpCompactStatus, OpIndexStatus, OpKeyspaceInfo, OpStats, OpPowerCut,
-		OpHello, OpScrub:
+		OpHello, OpScrub, OpCompactPolicy, OpMigrateCold:
 		return true
 	}
 	return false
@@ -400,10 +420,10 @@ func (l Lane) String() string {
 func LaneOf(op Op) Lane {
 	switch op {
 	case OpPing, OpGet, OpExist, OpKeyspaceInfo, OpCompactStatus,
-		OpIndexStatus, OpStats, OpOpenKeyspace, OpHello:
+		OpIndexStatus, OpStats, OpOpenKeyspace, OpHello, OpCompactPolicy:
 		return LaneLatency
 	case OpBulkPut, OpCompact, OpCompactWithIndexes, OpBuildIndex,
-		OpPowerCut, OpRecover, OpMigrate, OpScrub, OpCorrupt:
+		OpPowerCut, OpRecover, OpMigrate, OpScrub, OpCorrupt, OpMigrateCold:
 		return LaneBulk
 	}
 	return LaneNormal
@@ -550,6 +570,18 @@ type StatsReport struct {
 	// leader), nil from single-device backends. It closes the placement
 	// blind spot: kvcsd-cli stats and zns-inspect render it directly.
 	Ring []RingEntry
+
+	// Compactions is the per-keyspace compaction progress section (nil when
+	// no keyspace has ever compacted). An array backend aggregates shards:
+	// one row per keyspace, counters summed, stage = the furthest-behind
+	// shard's stage.
+	Compactions []CompactionProgress
+}
+
+// CompactionProgress is one keyspace's row in the Stats compaction section.
+type CompactionProgress struct {
+	Keyspace string
+	Progress compaction.Progress
 }
 
 // RingEntry is one row of the shard-ownership table: which devices hold a
@@ -608,4 +640,12 @@ type Response struct {
 	// Hello carries the session handshake reply for OpHello responses (nil
 	// on every other verb).
 	Hello *HelloReply
+
+	// Progress carries the live pipeline state on OpCompactStatus responses
+	// (nil from pre-v6 servers and on every other verb).
+	Progress *compaction.Progress
+
+	// Moved reports how many zones an OpMigrateCold sweep placed on the
+	// cold tier.
+	Moved int64
 }
